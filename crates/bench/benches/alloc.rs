@@ -1,0 +1,46 @@
+//! E3 hot path: the Fig. 3 allocation algorithm.
+
+use arm_bench::{large_problem, medium_problem};
+use arm_model::alloc::{AllocParams, AllocatorKind, ExplorationMode, FairnessAllocator};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_alloc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alloc");
+    for (name, problem) in [("medium", medium_problem()), ("large", large_problem())] {
+        let (gr, view, init, goal, qos) = problem;
+        for (mode_name, mode) in [
+            ("all_simple_paths", ExplorationMode::AllSimplePaths),
+            ("global_visited", ExplorationMode::GlobalVisited),
+        ] {
+            let allocator = FairnessAllocator {
+                params: AllocParams {
+                    mode,
+                    ..AllocParams::default()
+                },
+                kind: AllocatorKind::MaxFairness,
+            };
+            g.bench_function(format!("{name}/{mode_name}"), |b| {
+                b.iter(|| {
+                    black_box(allocator.allocate(
+                        black_box(&gr),
+                        black_box(&view),
+                        init,
+                        &[goal],
+                        &qos,
+                        None,
+                    ))
+                })
+            });
+        }
+        // Baseline objective on the same graph.
+        let first = FairnessAllocator::with_kind(AllocatorKind::FirstFeasible);
+        g.bench_function(format!("{name}/first_feasible"), |b| {
+            b.iter(|| black_box(first.allocate(&gr, &view, init, &[goal], &qos, None)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_alloc);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! §3.1 hot path: Bloom summaries.
+
+use arm_util::BloomFilter;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_bloom(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bloom");
+    let mut filter = BloomFilter::with_capacity(10_000, 0.01);
+    for i in 0..10_000u64 {
+        filter.insert_u64(i);
+    }
+    g.bench_function("insert", |b| {
+        let mut f = BloomFilter::with_capacity(10_000, 0.01);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            f.insert_u64(black_box(i));
+        })
+    });
+    g.bench_function("contains_hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            black_box(filter.contains_u64(black_box(i)))
+        })
+    });
+    g.bench_function("contains_miss", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(filter.contains_u64(black_box(1_000_000 + i)))
+        })
+    });
+    let other = filter.clone();
+    g.bench_function("union_96kbit", |b| {
+        b.iter(|| {
+            let mut f = filter.clone();
+            f.union(black_box(&other));
+            black_box(f.items())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bloom);
+criterion_main!(benches);

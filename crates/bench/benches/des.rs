@@ -1,0 +1,58 @@
+//! DES kernel throughput.
+
+use arm_des::Simulator;
+use arm_util::{DetRng, SimTime};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_des(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des");
+    g.bench_function("schedule_pop_10k_random", |b| {
+        let mut rng = DetRng::new(1);
+        let times: Vec<u64> = (0..10_000).map(|_| rng.below(1_000_000)).collect();
+        b.iter(|| {
+            let mut sim: Simulator<u32> = Simulator::with_capacity(times.len());
+            for (i, &t) in times.iter().enumerate() {
+                sim.schedule_at(SimTime::from_micros(t), i as u32);
+            }
+            let mut acc = 0u64;
+            while let Some(ev) = sim.step() {
+                acc = acc.wrapping_add(ev.event as u64);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("self_rescheduling_timer_100k", |b| {
+        b.iter(|| {
+            let mut sim: Simulator<()> = Simulator::new();
+            sim.schedule_at(SimTime::from_micros(1), ());
+            let mut n = 0u64;
+            while n < 100_000 {
+                let ev = sim.step().expect("timer chain");
+                n += 1;
+                sim.schedule_at(ev.time + arm_util::SimDuration::from_micros(10), ());
+            }
+            black_box(n)
+        })
+    });
+    g.bench_function("cancel_half_10k", |b| {
+        b.iter(|| {
+            let mut sim: Simulator<u32> = Simulator::with_capacity(10_000);
+            let ids: Vec<_> = (0..10_000u32)
+                .map(|i| sim.schedule_at(SimTime::from_micros(i as u64), i))
+                .collect();
+            for id in ids.iter().step_by(2) {
+                sim.cancel(*id);
+            }
+            let mut count = 0u32;
+            while sim.step().is_some() {
+                count += 1;
+            }
+            black_box(count)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_des);
+criterion_main!(benches);

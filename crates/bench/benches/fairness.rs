@@ -1,0 +1,35 @@
+//! §4.2 hot path: Jain's fairness index and incremental tracking.
+
+use arm_util::{fairness_index, DetRng, FairnessTracker};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fairness(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fairness");
+    for n in [16usize, 256, 4096] {
+        let mut rng = DetRng::new(1);
+        let loads: Vec<f64> = (0..n).map(|_| rng.uniform(0.0, 100.0)).collect();
+        g.bench_function(format!("direct/{n}"), |b| {
+            b.iter(|| black_box(fairness_index(black_box(&loads))))
+        });
+        let tracker = FairnessTracker::from_loads(loads.clone());
+        g.bench_function(format!("tracker_index/{n}"), |b| {
+            b.iter(|| black_box(tracker.index()))
+        });
+        let changes = [(0usize, 5.0), (n / 2, 3.0), (n - 1, 7.0)];
+        g.bench_function(format!("hypothetical_3change/{n}"), |b| {
+            b.iter(|| black_box(tracker.index_with(black_box(&changes))))
+        });
+        let mut mutable = tracker.clone();
+        g.bench_function(format!("point_update/{n}"), |b| {
+            b.iter(|| {
+                mutable.add(black_box(n / 3), 1.0);
+                mutable.add(black_box(n / 3), -1.0);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fairness);
+criterion_main!(benches);

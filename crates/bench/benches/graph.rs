@@ -1,0 +1,44 @@
+//! §3.4/§4.1 hot paths: resource-graph construction and maintenance.
+
+use arm_bench::medium_problem;
+use arm_model::{ResourceGraph, ServiceCost};
+use arm_util::{NodeId, ServiceId};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_graph(c: &mut Criterion) {
+    let mut g = c.benchmark_group("graph");
+    g.bench_function("figure1_build", |b| {
+        b.iter(|| black_box(ResourceGraph::figure1()))
+    });
+    let (gr, ..) = medium_problem();
+    g.bench_function("remove_peer_medium", |b| {
+        b.iter(|| {
+            let mut graph = gr.clone();
+            black_box(graph.remove_peer(NodeId::new(3)))
+        })
+    });
+    g.bench_function("add_service_x100", |b| {
+        let (template, ..) = medium_problem();
+        b.iter(|| {
+            let mut graph = template.clone();
+            let states: Vec<_> = graph.states().collect();
+            for i in 0..100u64 {
+                let a = states[i as usize % states.len()].1;
+                let b2 = states[(i as usize + 1) % states.len()].1;
+                graph.add_service(
+                    a,
+                    b2,
+                    NodeId::new(i % 16),
+                    ServiceId::new(10_000 + i),
+                    ServiceCost::FREE,
+                );
+            }
+            black_box(graph.num_edges())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_graph);
+criterion_main!(benches);

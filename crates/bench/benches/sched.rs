@@ -1,0 +1,52 @@
+//! §2/E8 hot path: the local scheduler under load.
+
+use arm_model::Importance;
+use arm_sched::{Job, JobId, LocalScheduler, PolicyKind, SchedulerConfig};
+use arm_util::{DetRng, SimDuration, SimTime};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn job_batch(n: usize) -> Vec<Job> {
+    let mut rng = DetRng::new(3);
+    let mut t = 0.0;
+    (0..n)
+        .map(|i| {
+            t += rng.exponential(0.05);
+            let arrival = SimTime::from_secs_f64(t);
+            let work = rng.exponential(5.0).clamp(0.1, 40.0);
+            Job {
+                id: JobId(i as u64),
+                arrival,
+                deadline: arrival + SimDuration::from_secs_f64(work / 10.0 * 2.5),
+                work,
+                importance: Importance::new(rng.below(10) as u8 + 1),
+            }
+        })
+        .collect()
+}
+
+fn bench_sched(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sched");
+    let jobs = job_batch(1_000);
+    for policy in PolicyKind::ALL {
+        g.bench_function(format!("run_1000_jobs/{policy}"), |b| {
+            b.iter(|| {
+                let mut s = LocalScheduler::new(SchedulerConfig {
+                    policy,
+                    capacity: 10.0,
+                    quantum: Some(SimDuration::from_millis(10)),
+                    abort_late: false,
+                });
+                for j in &jobs {
+                    s.submit(j.clone());
+                }
+                s.advance_to(SimTime::from_secs(100_000));
+                black_box(s.stats().missed)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sched);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! End-to-end simulation benches: the E4 inner loop (one scenario run per
+//! allocator) and the DES event rate of a mid-size overlay.
+
+use arm_model::alloc::AllocatorKind;
+use arm_sim::{ScenarioConfig, Simulation};
+use arm_util::{SimDuration, SimTime};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn scenario(kind: AllocatorKind) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig {
+        seed: 5,
+        clusters: 2,
+        peers_per_cluster: 8,
+        horizon: SimTime::from_secs(60),
+        warmup: SimDuration::from_secs(5),
+        ..ScenarioConfig::default()
+    };
+    cfg.workload.arrival_rate = 0.5;
+    cfg.protocol.allocator = kind;
+    cfg
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim");
+    g.sample_size(10);
+    for (name, kind) in [
+        ("max_fairness", AllocatorKind::MaxFairness),
+        ("first_feasible", AllocatorKind::FirstFeasible),
+        ("least_loaded", AllocatorKind::LeastLoaded),
+    ] {
+        g.bench_function(format!("16peer_60s/{name}"), |b| {
+            b.iter(|| black_box(Simulation::new(scenario(kind)).run()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

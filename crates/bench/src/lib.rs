@@ -1,0 +1,28 @@
+//! Shared fixtures for the Criterion benches.
+//!
+//! The benches cover every hot path of the middleware: the Fig. 3
+//! allocator (E3), the fairness index (§4.2), the local scheduler (E8/§2),
+//! Bloom summaries (§3.1), the DES kernel, resource-graph maintenance
+//! (§3.4/§4.1), gossip digest construction (§4.4/E12) and whole
+//! simulations per allocator (E4's inner loop).
+
+#![warn(missing_docs)]
+
+use arm_model::{PeerView, QosSpec, ResourceGraph, StateId};
+use arm_util::SimDuration;
+
+/// A mid-size layered allocation problem: ~26 states, 16 peers.
+pub fn medium_problem() -> (ResourceGraph, PeerView, StateId, StateId, QosSpec) {
+    let (gr, view, init, goal) =
+        arm_experiments::e03_alloc_scaling::layered_graph(7, 5, 4, 16, 0.7);
+    let qos = QosSpec::with_deadline(SimDuration::from_secs(60));
+    (gr, view, init, goal, qos)
+}
+
+/// A large layered allocation problem for stress benches.
+pub fn large_problem() -> (ResourceGraph, PeerView, StateId, StateId, QosSpec) {
+    let (gr, view, init, goal) =
+        arm_experiments::e03_alloc_scaling::layered_graph(11, 7, 5, 32, 0.6);
+    let qos = QosSpec::with_deadline(SimDuration::from_secs(60));
+    (gr, view, init, goal, qos)
+}

@@ -1,0 +1,293 @@
+//! `arm` — command-line front end for the adaptive P2P resource-management
+//! middleware.
+//!
+//! ```text
+//! arm scaffold [--out scenario.json]        write a default scenario config
+//! arm simulate --config scenario.json       run it; print a summary
+//!              [--out report.json]          also dump the full report as JSON
+//!              [--seed N]                   override the config's seed
+//! arm topology [--clusters N] [--per-cluster M] [--seed S]
+//!                                           print a generated topology
+//! arm experiment <e01..e14|all> [--quick]   run a reproduction experiment
+//! ```
+//!
+//! Argument parsing is deliberately dependency-free (no CLI crates in the
+//! approved set); flags are `--name value` pairs.
+
+use arm_sim::{ScenarioConfig, Simulation};
+use arm_util::DetRng;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = parse_flags(&args[1..]);
+    let result = match cmd.as_str() {
+        "scaffold" => scaffold(&flags),
+        "simulate" => simulate(&flags),
+        "topology" => topology(&flags),
+        "experiment" => experiment(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+arm — adaptive P2P resource-management middleware
+
+USAGE:
+  arm scaffold [--out scenario.json]
+  arm simulate --config scenario.json [--out report.json] [--seed N]
+  arm topology [--clusters N] [--per-cluster M] [--seed S]
+  arm experiment <e01..e14|all> [--quick]";
+
+/// `--name value` pairs (a trailing flag without a value maps to "true").
+fn parse_flags(args: &[String]) -> BTreeMap<String, String> {
+    let mut flags = BTreeMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            let value = args
+                .get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .cloned()
+                .unwrap_or_else(|| "true".into());
+            let advanced = if value == "true" && args.get(i + 1).map(|v| v.as_str()) != Some("true")
+            {
+                1
+            } else {
+                2
+            };
+            flags.insert(name.to_string(), value);
+            i += advanced;
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+fn scaffold(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let path = flags
+        .get("out")
+        .map(String::as_str)
+        .unwrap_or("scenario.json");
+    let cfg = ScenarioConfig::default();
+    let json = serde_json::to_string_pretty(&cfg).map_err(|e| e.to_string())?;
+    std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+    println!("wrote default scenario to {path}; edit and run `arm simulate --config {path}`");
+    Ok(())
+}
+
+fn simulate(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let path = flags
+        .get("config")
+        .ok_or("simulate requires --config <file>")?;
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut cfg: ScenarioConfig =
+        serde_json::from_str(&raw).map_err(|e| format!("parsing {path}: {e}"))?;
+    if let Some(seed) = flags.get("seed") {
+        cfg.seed = seed.parse().map_err(|e| format!("bad --seed: {e}"))?;
+    }
+    let peers = cfg.num_peers();
+    let horizon = cfg.horizon.as_secs_f64();
+    println!("running {peers} peers for {horizon:.0}s of virtual time (seed {})...", cfg.seed);
+    let report = Simulation::new(cfg).run();
+
+    println!();
+    println!("submitted            {}", report.submitted);
+    println!(
+        "on time / late       {} / {} (goodput {:.1}%)",
+        report.outcomes.on_time,
+        report.outcomes.late,
+        report.outcomes.goodput() * 100.0
+    );
+    println!(
+        "rejected / failed    {} / {}",
+        report.outcomes.rejected, report.outcomes.failed
+    );
+    let mut resp = report.response_time.clone();
+    println!(
+        "response p50/p95     {:.0} ms / {:.0} ms",
+        resp.quantile(0.5) * 1e3,
+        resp.quantile(0.95) * 1e3
+    );
+    println!("mean fairness        {:.3}", report.mean_fairness());
+    println!("mean utilization     {:.2}", report.mean_utilization());
+    println!(
+        "domains / peers      {} / {}",
+        report.final_domains, report.final_peers
+    );
+    println!(
+        "messages             {} ({:.1} MB), {} lost",
+        report.message_count(),
+        report.message_bytes() as f64 / 1e6,
+        report.messages_lost
+    );
+    println!(
+        "adaptation           {} repairs, {} migrations, {} promotions, {} redirects",
+        report.repairs_ok + report.repairs_failed,
+        report.reassignments,
+        report.promotions,
+        report.redirects
+    );
+    println!(
+        "simulated in         {} ms ({} events)",
+        report.wall_ms, report.events_processed
+    );
+
+    if let Some(out) = flags.get("out") {
+        let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        std::fs::write(out, json).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("full report written to {out}");
+    }
+    Ok(())
+}
+
+fn topology(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let clusters: usize = flags
+        .get("clusters")
+        .map(|v| v.parse().map_err(|e| format!("bad --clusters: {e}")))
+        .transpose()?
+        .unwrap_or(2);
+    let per: usize = flags
+        .get("per-cluster")
+        .map(|v| v.parse().map_err(|e| format!("bad --per-cluster: {e}")))
+        .transpose()?
+        .unwrap_or(8);
+    let seed: u64 = flags
+        .get("seed")
+        .map(|v| v.parse().map_err(|e| format!("bad --seed: {e}")))
+        .transpose()?
+        .unwrap_or(1);
+    let mut rng = DetRng::new(seed).stream("topology");
+    let topo = arm_net::Topology::clustered(
+        clusters,
+        per,
+        0.05,
+        arm_net::Heterogeneity::default(),
+        &mut rng,
+        0,
+    );
+    println!("{:<6} {:<8} {:<18} {:>10} {:>10} {:>10}", "peer", "cluster", "coord", "capacity", "bw kbps", "stability");
+    for p in &topo.peers {
+        println!(
+            "{:<6} {:<8} ({:>6.2},{:>6.2})   {:>10.1} {:>10} {:>9.0}s",
+            p.id.to_string(),
+            p.cluster,
+            p.coord.x,
+            p.coord.y,
+            p.capacity,
+            p.bandwidth_kbps,
+            p.stability
+        );
+    }
+    Ok(())
+}
+
+fn experiment(args: &[String]) -> Result<(), String> {
+    let Some(id) = args.first() else {
+        return Err("experiment requires an id (e01..e14 or all)".into());
+    };
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    type Runner = fn(bool) -> Vec<arm_experiments::Table>;
+    let registry: Vec<(&str, &str, Runner)> = vec![
+        ("e01", "Figure 1", arm_experiments::e01_figure1::run),
+        ("e02", "Figure 2", arm_experiments::e02_figure2::run),
+        ("e03", "Figure 3 / allocation scaling", arm_experiments::e03_alloc_scaling::run),
+        ("e04", "fairness vs baselines", arm_experiments::e04_fairness::run),
+        ("e05", "scalability", arm_experiments::e05_scalability::run),
+        ("e06", "heterogeneity", arm_experiments::e06_heterogeneity::run),
+        ("e07", "churn", arm_experiments::e07_churn::run),
+        ("e08", "local scheduling", arm_experiments::e08_scheduling::run),
+        ("e09", "redirection & blooms", arm_experiments::e09_admission::run),
+        ("e10", "report period", arm_experiments::e10_update_period::run),
+        ("e11", "reassignment", arm_experiments::e11_reassignment::run),
+        ("e12", "gossip", arm_experiments::e12_gossip::run),
+        ("e13", "loss resilience", arm_experiments::e13_loss::run),
+        ("e14", "domain granularity", arm_experiments::e14_domain_size::run),
+    ];
+    if id == "all" {
+        for (eid, title, f) in registry {
+            arm_experiments::run_and_print(eid, title, f(quick));
+        }
+        return Ok(());
+    }
+    let Some((eid, title, f)) = registry.iter().find(|(eid, ..)| eid == id) else {
+        return Err(format!("unknown experiment '{id}' (e01..e14 or all)"));
+    };
+    arm_experiments::run_and_print(eid, title, f(quick));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_parsing() {
+        let args: Vec<String> = ["--config", "x.json", "--quick", "--seed", "7"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let flags = parse_flags(&args);
+        assert_eq!(flags["config"], "x.json");
+        assert_eq!(flags["seed"], "7");
+        assert_eq!(flags["quick"], "true");
+    }
+
+    #[test]
+    fn scaffold_and_simulate_roundtrip() {
+        let dir = std::env::temp_dir().join("arm-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg_path = dir.join("scenario.json");
+        let out_path = dir.join("report.json");
+        let mut flags = BTreeMap::new();
+        flags.insert("out".to_string(), cfg_path.to_str().unwrap().to_string());
+        scaffold(&flags).unwrap();
+
+        // Shrink the scenario so the test is fast.
+        let raw = std::fs::read_to_string(&cfg_path).unwrap();
+        let mut cfg: ScenarioConfig = serde_json::from_str(&raw).unwrap();
+        cfg.horizon = arm_util::SimTime::from_secs(30);
+        cfg.peers_per_cluster = 4;
+        std::fs::write(&cfg_path, serde_json::to_string(&cfg).unwrap()).unwrap();
+
+        let mut flags = BTreeMap::new();
+        flags.insert("config".to_string(), cfg_path.to_str().unwrap().to_string());
+        flags.insert("out".to_string(), out_path.to_str().unwrap().to_string());
+        flags.insert("seed".to_string(), "5".to_string());
+        simulate(&flags).unwrap();
+        let report: arm_sim::SimReport =
+            serde_json::from_str(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
+        assert!(report.events_processed > 0);
+    }
+
+    #[test]
+    fn topology_runs() {
+        let mut flags = BTreeMap::new();
+        flags.insert("clusters".to_string(), "2".to_string());
+        flags.insert("per-cluster".to_string(), "3".to_string());
+        topology(&flags).unwrap();
+    }
+
+    #[test]
+    fn unknown_experiment_errors() {
+        let args = vec!["e99".to_string()];
+        assert!(experiment(&args).is_err());
+    }
+}

@@ -1,0 +1,204 @@
+//! Events consumed and actions emitted by the state machines.
+
+use arm_model::task::TaskOutcome;
+use arm_model::TaskSpec;
+use arm_proto::Message;
+use arm_util::{DomainId, NodeId, SessionId, SimDuration, SimTime, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// One-shot timers a node can arm. Firing delivers
+/// [`Event::Timer`]; state machines re-arm recurring ones themselves and
+/// ignore stale fires (e.g. a `SessionEnd` for a session already gone).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TimerKind {
+    /// Liveness tick: send heartbeats, check silence thresholds.
+    Heartbeat,
+    /// Profiler load-report tick (§4.4).
+    Report,
+    /// Inter-domain gossip tick (RM only).
+    Gossip,
+    /// Backup snapshot shipping tick (RM only).
+    Backup,
+    /// Adaptation tick: overload detection + session reassignment (RM).
+    Adapt,
+    /// Local scheduler polling while jobs are queued.
+    SchedPoll,
+    /// Join handshake retry.
+    JoinRetry,
+    /// End of a streaming session (RM side).
+    SessionEnd(SessionId),
+    /// Composition deadline for a session (RM side).
+    ComposeTimeout(SessionId),
+}
+
+/// An input to [`PeerNode::on_event`](crate::PeerNode::on_event).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// The node boots. With `bootstrap: None` it founds the overlay as the
+    /// first Resource Manager; otherwise it runs the §4.1 join protocol
+    /// against the given contact peer.
+    Start {
+        /// A peer already in the overlay, or `None` to found it.
+        bootstrap: Option<NodeId>,
+    },
+    /// A protocol message arrived.
+    Msg {
+        /// The sending peer.
+        from: NodeId,
+        /// The payload.
+        msg: Message,
+    },
+    /// A previously armed timer fired.
+    Timer(TimerKind),
+    /// The local user submits an application task (Fig. 2A).
+    SubmitTask(TaskSpec),
+    /// The local user renegotiates a running task's QoS (§4.5: "users may
+    /// change QoS requirements dynamically").
+    Renegotiate {
+        /// The task whose requirements change.
+        task: TaskId,
+        /// The new requirement set.
+        new_qos: arm_model::QosSpec,
+    },
+    /// The node shuts down. `graceful` announces departure (§4.1 "peers
+    /// may disconnect intentionally"); otherwise it is a crash and peers
+    /// find out by timeout.
+    Shutdown {
+        /// Whether departure is announced.
+        graceful: bool,
+    },
+}
+
+/// An output of the state machine, executed by the driver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Transmit a message.
+    Send {
+        /// Destination peer.
+        to: NodeId,
+        /// Payload.
+        msg: Message,
+    },
+    /// Arm a one-shot timer `after` from now.
+    SetTimer {
+        /// Which timer.
+        kind: TimerKind,
+        /// Delay.
+        after: SimDuration,
+    },
+    /// Telemetry: a terminal decision about a task was made at this node
+    /// (allocation completed, rejected, or failed). Emitted by the RM that
+    /// made the call; the driver aggregates these into experiment metrics.
+    Outcome {
+        /// The task.
+        task: TaskId,
+        /// What happened.
+        outcome: TaskOutcome,
+        /// When the decision landed.
+        at: SimTime,
+        /// Response time from submission, when known (allocation +
+        /// composition latency for completed tasks).
+        response: Option<SimDuration>,
+    },
+    /// Telemetry: the requesting peer received its `TaskReply`.
+    ReplyReceived {
+        /// The task.
+        task: TaskId,
+        /// True if an allocation was returned.
+        allocated: bool,
+        /// Arrival time of the reply.
+        at: SimTime,
+    },
+    /// Telemetry: this node promoted itself from backup to RM (§4.1).
+    Promoted {
+        /// The domain taken over.
+        domain: DomainId,
+        /// When.
+        at: SimTime,
+    },
+    /// Telemetry: a session repair was attempted after a participant died.
+    SessionRepaired {
+        /// The session.
+        session: SessionId,
+        /// Whether a replacement allocation was found.
+        ok: bool,
+        /// When.
+        at: SimTime,
+    },
+    /// Telemetry: a running session was migrated by the adaptation loop
+    /// (§4.5).
+    SessionReassigned {
+        /// The session.
+        session: SessionId,
+        /// Fairness before → after.
+        fairness_gain: f64,
+        /// When.
+        at: SimTime,
+    },
+}
+
+impl Action {
+    /// Convenience: the destination if this is a `Send`.
+    pub fn send_to(&self) -> Option<NodeId> {
+        match self {
+            Action::Send { to, .. } => Some(*to),
+            _ => None,
+        }
+    }
+}
+
+/// Convenience extractors over action batches, used by drivers and tests.
+pub trait ActionBatch {
+    /// All `Send` actions as `(to, msg)` pairs.
+    fn sends(&self) -> Vec<(NodeId, &Message)>;
+    /// All armed timers.
+    fn timers(&self) -> Vec<(TimerKind, SimDuration)>;
+}
+
+impl ActionBatch for [Action] {
+    fn sends(&self) -> Vec<(NodeId, &Message)> {
+        self.iter()
+            .filter_map(|a| match a {
+                Action::Send { to, msg } => Some((*to, msg)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn timers(&self) -> Vec<(TimerKind, SimDuration)> {
+        self.iter()
+            .filter_map(|a| match a {
+                Action::SetTimer { kind, after } => Some((*kind, *after)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_batch_extractors() {
+        let actions = [Action::Send {
+                to: NodeId::new(1),
+                msg: Message::Leave {
+                    node: NodeId::new(2),
+                },
+            },
+            Action::SetTimer {
+                kind: TimerKind::Heartbeat,
+                after: SimDuration::from_secs(1),
+            },
+            Action::Promoted {
+                domain: DomainId::new(1),
+                at: SimTime::ZERO,
+            }];
+        assert_eq!(actions.sends().len(), 1);
+        assert_eq!(actions.sends()[0].0, NodeId::new(1));
+        assert_eq!(actions.timers(), vec![(TimerKind::Heartbeat, SimDuration::from_secs(1))]);
+        assert_eq!(actions[0].send_to(), Some(NodeId::new(1)));
+        assert_eq!(actions[1].send_to(), None);
+    }
+}

@@ -1,0 +1,132 @@
+//! E1 — Figure 1 reproduction: the resource graph (A) and the service
+//! graph (B) it produces for the paper's transcoding example.
+//!
+//! The paper's §4.3 walkthrough: a source streams 800×600 MPEG-2 @ 512
+//! kbps (`v1`); a user wants 640×480 MPEG-4 @ 64 kbps (`v3`). The
+//! candidate edge sequences are `{e1,e2}`, `{e1,e3}` and `{e1,e4,e5,e8}`;
+//! the load-balancing algorithm picks among the QoS-feasible ones by
+//! fairness, and the chosen transcoders become the vertices of `G_s`
+//! (Fig. 1B).
+
+use crate::{f3, Table};
+use arm_model::{
+    allocate, MediaFormat, PeerInfo, PeerView, QosSpec, ResourceGraph, ServiceGraph,
+};
+use arm_util::{NodeId, SimDuration, TaskId};
+
+/// Runs the reproduction; `_quick` has no effect (the figure is fixed).
+pub fn run(_quick: bool) -> Vec<Table> {
+    let (gr, edges) = ResourceGraph::figure1();
+
+    // Table 1: the resource graph itself.
+    let mut t_graph = Table::new(
+        "Figure 1(A): resource graph G_r (paper's transcoding example)",
+        &["edge", "from", "to", "peer", "work/s", "bw kbps"],
+    );
+    for (k, &eid) in edges.iter().enumerate() {
+        let e = gr.edge(eid);
+        t_graph.row(vec![
+            format!("e{}", k + 1),
+            gr.format(e.from).to_string(),
+            gr.format(e.to).to_string(),
+            e.peer.to_string(),
+            f3(e.cost.work_per_sec),
+            e.cost.bandwidth_kbps.to_string(),
+        ]);
+    }
+
+    // Table 2: the candidate paths v1 → v3 (enumerated independently).
+    let init = gr.state_of(MediaFormat::paper_source()).expect("v1");
+    let goal = gr.state_of(MediaFormat::paper_target()).expect("v3");
+    let mut paths = Vec::new();
+    let mut stack = vec![(init, Vec::new())];
+    while let Some((v, path)) = stack.pop() {
+        if v == goal {
+            paths.push(path);
+            continue;
+        }
+        for e in gr.out_edges(v) {
+            if e.to == init || path.iter().any(|&pe| gr.edge(pe).to == e.to) {
+                continue;
+            }
+            let mut np = path.clone();
+            np.push(e.id);
+            stack.push((e.to, np));
+        }
+    }
+    paths.sort_by_key(|p| (p.len(), p.clone()));
+    let mut t_paths = Table::new(
+        "Candidate edge sequences v1 → v3 (paper §4.3 lists exactly these)",
+        &["path", "edges", "hops"],
+    );
+    for (i, p) in paths.iter().enumerate() {
+        let names: Vec<String> = p
+            .iter()
+            .map(|eid| format!("e{}", edges.iter().position(|x| x == eid).unwrap() + 1))
+            .collect();
+        t_paths.row(vec![
+            format!("p{}", i + 1),
+            format!("{{{}}}", names.join(",")),
+            p.len().to_string(),
+        ]);
+    }
+
+    // Table 3: run the Fig. 3 allocator on an idle domain and show the
+    // produced service graph G_s (Fig. 1B).
+    let mut view = PeerView::new();
+    for p in 1..=5u64 {
+        view.upsert(NodeId::new(p), PeerInfo::idle(100.0, 10_000));
+    }
+    let qos = QosSpec::with_deadline(SimDuration::from_secs(5));
+    let alloc = allocate(&gr, &view, init, &[goal], &qos).expect("paper example allocates");
+    let gs = ServiceGraph::from_path(
+        TaskId::new(1),
+        NodeId::new(10),
+        NodeId::new(20),
+        &gr,
+        &alloc.path,
+    );
+    let mut t_gs = Table::new(
+        format!(
+            "Figure 1(B): produced service graph G_s (fairness {:.4}, est. response {})",
+            alloc.fairness, alloc.est_response
+        ),
+        &["hop", "transcoder (edge)", "peer", "input", "output"],
+    );
+    for (i, h) in gs.hops.iter().enumerate() {
+        t_gs.row(vec![
+            format!("T{}", i + 1),
+            format!(
+                "e{}",
+                edges.iter().position(|x| *x == h.edge).unwrap() + 1
+            ),
+            h.peer.to_string(),
+            h.input.to_string(),
+            h.output.to_string(),
+        ]);
+    }
+
+    vec![t_graph, t_paths, t_gs]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_path_set() {
+        let tables = run(true);
+        assert_eq!(tables.len(), 3);
+        // 8 edges in G_r.
+        assert_eq!(tables[0].len(), 8);
+        // Exactly the three paper paths.
+        assert_eq!(tables[1].len(), 3);
+        assert_eq!(tables[1].cell(0, 1), "{e1,e2}");
+        assert_eq!(tables[1].cell(1, 1), "{e1,e3}");
+        assert_eq!(tables[1].cell(2, 1), "{e1,e4,e5,e8}");
+        // The produced G_s is one of the paper's candidates: 2 or 4 hops.
+        assert!(tables[2].len() == 2 || tables[2].len() == 4);
+        // First hop is always e1, as in the paper.
+        assert_eq!(tables[2].cell(0, 1), "e1");
+    }
+}

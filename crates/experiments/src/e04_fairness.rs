@@ -1,0 +1,102 @@
+//! E4 — Load-balancing fairness (§4.2 claim).
+//!
+//! The paper's central claim: choosing, among QoS-feasible paths, the one
+//! that maximises Jain's fairness index keeps domain load "fairly
+//! balanced". We compare the paper allocator against the baselines on
+//! identical workloads and report the time-averaged fairness index of the
+//! ground-truth peer loads, plus what it costs (goodput, misses).
+//!
+//! The sweep (allocators × rates × seeds) fans out over worker threads via
+//! [`arm_sim::run_parallel`]; per-run determinism is unaffected.
+
+use crate::{base_scenario, f2, f3, pct, Table};
+use arm_model::alloc::AllocatorKind;
+use arm_sim::{run_parallel, ScenarioConfig};
+
+const KINDS: [(AllocatorKind, &str); 5] = [
+    (AllocatorKind::MaxFairness, "MaxFairness (paper)"),
+    (AllocatorKind::FirstFeasible, "FirstFeasible"),
+    (AllocatorKind::Random, "Random"),
+    (AllocatorKind::LeastLoaded, "LeastLoaded"),
+    (AllocatorKind::MinWork, "MinWork"),
+];
+
+/// Sweep allocators × arrival rates.
+pub fn run(quick: bool) -> Vec<Table> {
+    let rates: Vec<f64> = if quick { vec![1.0] } else { vec![0.5, 1.0, 2.0] };
+    let seeds: Vec<u64> = if quick { vec![1] } else { vec![1, 2, 3] };
+
+    // Build the whole grid, then run it in parallel.
+    let mut configs: Vec<ScenarioConfig> = Vec::new();
+    for &rate in &rates {
+        for (kind, _) in KINDS {
+            for &seed in &seeds {
+                let mut cfg = base_scenario(seed);
+                cfg.workload.arrival_rate = rate;
+                cfg.protocol.allocator = kind;
+                configs.push(cfg);
+            }
+        }
+    }
+    let reports = run_parallel(configs, 0);
+
+    let mut tables = Vec::new();
+    let mut cursor = 0;
+    for &rate in &rates {
+        let mut t = Table::new(
+            format!(
+                "Fairness by allocator, arrival rate {rate}/s (mean over {} seed(s))",
+                seeds.len()
+            ),
+            &[
+                "allocator",
+                "mean fairness",
+                "goodput",
+                "miss ratio",
+                "rejected",
+                "mean util",
+            ],
+        );
+        for (_, name) in KINDS {
+            let batch = &reports[cursor..cursor + seeds.len()];
+            cursor += seeds.len();
+            let n = seeds.len() as f64;
+            let mean = |f: &dyn Fn(&arm_sim::SimReport) -> f64| -> f64 {
+                batch.iter().map(f).sum::<f64>() / n
+            };
+            t.row(vec![
+                name.into(),
+                f3(mean(&|r| r.mean_fairness())),
+                pct(mean(&|r| r.outcomes.goodput())),
+                pct(mean(&|r| r.outcomes.miss_ratio())),
+                pct(mean(&|r| r.outcomes.rejection_ratio())),
+                f2(mean(&|r| r.mean_utilization())),
+            ]);
+        }
+        tables.push(t);
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_allocator_is_fairest() {
+        let tables = run(true);
+        let t = &tables[0];
+        assert_eq!(t.len(), 5);
+        let fairness_of = |row: usize| -> f64 { t.cell(row, 1).parse().unwrap() };
+        let paper = fairness_of(0);
+        // The paper allocator must beat (or tie within noise) every
+        // load-agnostic baseline on mean fairness.
+        let first = fairness_of(1);
+        let random = fairness_of(2);
+        let minwork = fairness_of(4);
+        assert!(
+            paper >= first - 0.02 && paper >= random - 0.02 && paper >= minwork - 0.02,
+            "paper {paper} vs first {first} random {random} minwork {minwork}"
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! E5 — Scalability with the number of peers (abstract/§6 claim).
+//!
+//! "Our proposed architecture scales well with respect to the number of
+//! peers." We grow the overlay from 8 to 512 peers at *fixed per-peer
+//! offered load* and measure what should stay flat if the claim holds:
+//! goodput, per-peer control-message overhead and response time — while
+//! the domain count grows with the network.
+
+use crate::{base_scenario, f2, f3, pct, Table};
+use arm_sim::Simulation;
+use arm_util::SimTime;
+
+/// Sweep total peer counts.
+pub fn run(quick: bool) -> Vec<Table> {
+    let sizes: Vec<usize> = if quick {
+        vec![8, 16, 32, 64]
+    } else {
+        vec![8, 16, 32, 64, 128, 256, 512]
+    };
+    let mut t = Table::new(
+        "Scalability: fixed per-peer offered load (0.04 tasks/s/peer), horizon 120s",
+        &[
+            "peers",
+            "domains",
+            "goodput",
+            "miss ratio",
+            "resp p50 s",
+            "resp p95 s",
+            "ctrl msg/peer/s",
+            "events",
+            "wall ms",
+        ],
+    );
+    for n in sizes {
+        let mut cfg = base_scenario(17);
+        // Cluster size 16 → domain count grows with the network.
+        cfg.peers_per_cluster = 16.min(n);
+        cfg.clusters = (n / cfg.peers_per_cluster).max(1);
+        cfg.horizon = SimTime::from_secs(120);
+        cfg.workload.arrival_rate = 0.04 * n as f64;
+        cfg.workload.num_objects = (n * 2).max(10);
+        let peers = cfg.num_peers();
+        let horizon_secs = cfg.horizon.as_secs_f64();
+        let mut report = Simulation::new(cfg).run();
+        t.row(vec![
+            peers.to_string(),
+            report.final_domains.to_string(),
+            pct(report.outcomes.goodput()),
+            pct(report.outcomes.miss_ratio()),
+            f3(report.response_time.quantile(0.5)),
+            f3(report.response_time.quantile(0.95)),
+            f2(report.control_msgs_per_peer_sec(peers, horizon_secs)),
+            report.events_processed.to_string(),
+            report.wall_ms.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn goodput_stays_high_as_network_grows() {
+        let tables = run(true);
+        let t = &tables[0];
+        assert!(t.len() >= 3);
+        for r in 0..t.len() {
+            let goodput: f64 = t.cell(r, 2).trim_end_matches('%').parse().unwrap();
+            assert!(
+                goodput > 50.0,
+                "goodput collapsed at {} peers: {goodput}%",
+                t.cell(r, 0)
+            );
+        }
+        // Per-peer control overhead must not explode with size: allow 3×
+        // between the smallest and largest network.
+        let first: f64 = t.cell(0, 6).parse().unwrap();
+        let last: f64 = t.cell(t.len() - 1, 6).parse().unwrap();
+        assert!(
+            last < first * 3.0 + 1.0,
+            "per-peer overhead grew superlinearly: {first} → {last}"
+        );
+    }
+}

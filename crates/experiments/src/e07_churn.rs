@@ -1,0 +1,88 @@
+//! E7 — Dynamics: churn, failover and session repair (§4.1/§4.5 claims).
+//!
+//! "Works effectively in … dynamic environments": peers "may connect,
+//! disconnect or fail unexpectedly". We sweep mean peer uptime from
+//! stable (20 min) to brutal (1 min) and measure completion under churn,
+//! the repair machinery's activity, and RM failovers.
+
+use crate::{base_scenario, f3, pct, Table};
+use arm_net::churn::ChurnParams;
+use arm_sim::Simulation;
+use arm_util::SimTime;
+
+/// Sweep mean uptimes.
+pub fn run(quick: bool) -> Vec<Table> {
+    let uptimes: Vec<f64> = if quick {
+        vec![1200.0, 300.0, 90.0]
+    } else {
+        vec![1200.0, 600.0, 300.0, 120.0, 60.0]
+    };
+    let mut t = Table::new(
+        "Churn: mean uptime sweep (crash-only departures, 80% of peers churn)",
+        &[
+            "mean uptime s",
+            "goodput",
+            "miss ratio",
+            "failed",
+            "repairs ok",
+            "repairs failed",
+            "promotions",
+            "mean fairness",
+            "final peers",
+        ],
+    );
+    for up in uptimes {
+        let mut cfg = base_scenario(31);
+        cfg.horizon = SimTime::from_secs(240);
+        cfg.churn = Some(ChurnParams {
+            mean_uptime_secs: up,
+            mean_downtime_secs: 60.0,
+            crash_fraction: 1.0,
+            churning_fraction: 0.8,
+        });
+        cfg.workload.session_mean_secs = 90.0; // long sessions feel churn
+        let r = Simulation::new(cfg).run();
+        t.row(vec![
+            format!("{up:.0}"),
+            pct(r.outcomes.goodput()),
+            pct(r.outcomes.miss_ratio()),
+            r.outcomes.failed.to_string(),
+            r.repairs_ok.to_string(),
+            r.repairs_failed.to_string(),
+            r.promotions.to_string(),
+            f3(r.mean_fairness()),
+            r.final_peers.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_network_beats_flaky_one() {
+        let tables = run(true);
+        let t = &tables[0];
+        assert!(t.len() >= 2);
+        let good_stable: f64 = t.cell(0, 1).trim_end_matches('%').parse().unwrap();
+        let good_flaky: f64 = t
+            .cell(t.len() - 1, 1)
+            .trim_end_matches('%')
+            .parse()
+            .unwrap();
+        assert!(
+            good_stable >= good_flaky - 5.0,
+            "stable {good_stable}% vs flaky {good_flaky}%"
+        );
+        // Heavy churn must exercise the repair/failover machinery.
+        let repairs: u64 = t.cell(t.len() - 1, 4).parse::<u64>().unwrap()
+            + t.cell(t.len() - 1, 5).parse::<u64>().unwrap();
+        let promotions: u64 = t.cell(t.len() - 1, 6).parse().unwrap();
+        assert!(
+            repairs + promotions > 0,
+            "churn exercised no adaptation machinery"
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! E8 — Local scheduling: LLS vs baselines (§2).
+//!
+//! The paper adopts Least-Laxity Scheduling for the per-peer Local
+//! Scheduler. We measure deadline-miss ratio versus offered load for LLS
+//! and the baselines on identical Poisson job streams with exponential
+//! service times and proportional deadlines.
+
+use crate::{f3, pct, Table};
+use arm_model::Importance;
+use arm_sched::{Job, JobId, LocalScheduler, PolicyKind, SchedulerConfig};
+use arm_util::{DetRng, SimDuration, SimTime};
+
+/// One synthetic job stream, shared by every policy (common random
+/// numbers).
+fn job_stream(seed: u64, rho: f64, n: usize, capacity: f64) -> Vec<Job> {
+    let mut rng = DetRng::new(seed).stream("jobs");
+    let mean_work = 0.5 * capacity; // 0.5 s of work on average
+    let arrival_rate = rho * capacity / mean_work; // jobs/s for load ρ
+    let mut t = 0.0;
+    (0..n)
+        .map(|i| {
+            t += rng.exponential(1.0 / arrival_rate);
+            let work = rng.exponential(mean_work).clamp(0.01, mean_work * 8.0);
+            // Deadline proportional to the job's own service time, with
+            // slack factor 1.5–4×.
+            let slack = rng.uniform(1.5, 4.0);
+            let arrival = SimTime::from_secs_f64(t);
+            Job {
+                id: JobId(i as u64),
+                arrival,
+                deadline: arrival + SimDuration::from_secs_f64(slack * work / capacity),
+                work,
+                importance: Importance::new(rng.below(10) as u8 + 1),
+            }
+        })
+        .collect()
+}
+
+/// Runs one policy over a stream; returns (miss_ratio, mean_response).
+fn run_policy(policy: PolicyKind, jobs: &[Job], capacity: f64) -> (f64, f64) {
+    let mut s = LocalScheduler::new(SchedulerConfig {
+        policy,
+        capacity,
+        quantum: Some(SimDuration::from_millis(5)),
+        abort_late: false,
+    });
+    for j in jobs {
+        s.submit(j.clone());
+    }
+    s.advance_to(SimTime::from_secs(1_000_000));
+    (s.stats().miss_ratio(), s.stats().mean_response_secs())
+}
+
+/// Sweep offered load × policies.
+pub fn run(quick: bool) -> Vec<Table> {
+    let loads: Vec<f64> = if quick {
+        vec![0.6, 0.9, 1.2]
+    } else {
+        vec![0.5, 0.7, 0.8, 0.9, 1.0, 1.1, 1.3, 1.5]
+    };
+    let n_jobs = if quick { 2_000 } else { 10_000 };
+    let capacity = 10.0;
+
+    let mut t_miss = Table::new(
+        "Deadline miss ratio vs offered load ρ (per policy)",
+        &["rho", "LLS", "EDF", "FIFO", "SJF", "IMP"],
+    );
+    let mut t_resp = Table::new(
+        "Mean response time (s) vs offered load ρ (per policy)",
+        &["rho", "LLS", "EDF", "FIFO", "SJF", "IMP"],
+    );
+    for rho in loads {
+        let jobs = job_stream(7, rho, n_jobs, capacity);
+        let mut miss_row = vec![format!("{rho:.1}")];
+        let mut resp_row = vec![format!("{rho:.1}")];
+        for policy in PolicyKind::ALL {
+            let (miss, resp) = run_policy(policy, &jobs, capacity);
+            miss_row.push(pct(miss));
+            resp_row.push(f3(resp));
+        }
+        t_miss.row(miss_row);
+        t_resp.row(resp_row);
+    }
+    vec![t_miss, t_resp]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_pct(s: &str) -> f64 {
+        s.trim_end_matches('%').parse().unwrap()
+    }
+
+    #[test]
+    fn deadline_aware_policies_beat_fifo_under_load() {
+        let tables = run(true);
+        let t = &tables[0];
+        // At the highest load row, LLS and EDF must miss less than FIFO.
+        let last = t.len() - 1;
+        let lls = parse_pct(t.cell(last, 1));
+        let edf = parse_pct(t.cell(last, 2));
+        let fifo = parse_pct(t.cell(last, 3));
+        assert!(lls < fifo, "LLS {lls}% vs FIFO {fifo}%");
+        assert!(edf < fifo, "EDF {edf}% vs FIFO {fifo}%");
+    }
+
+    #[test]
+    fn misses_increase_with_load() {
+        let tables = run(true);
+        let t = &tables[0];
+        let first_lls = parse_pct(t.cell(0, 1));
+        let last_lls = parse_pct(t.cell(t.len() - 1, 1));
+        assert!(last_lls >= first_lls, "{first_lls} → {last_lls}");
+    }
+}

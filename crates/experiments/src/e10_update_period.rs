@@ -1,0 +1,73 @@
+//! E10 — Load-report period trade-off (§4.4).
+//!
+//! "Too frequent updates would cause high network traffic and processing
+//! load, while too infrequent updates may not capture the application
+//! requirements adequately." We sweep the profiler report period and
+//! measure both sides of the trade: control overhead per peer, and the
+//! quality loss from allocating on stale views (goodput/fairness).
+
+use crate::{base_scenario, f2, f3, pct, Table};
+use arm_sim::Simulation;
+use arm_util::SimDuration;
+
+/// Sweep report periods.
+pub fn run(quick: bool) -> Vec<Table> {
+    let periods_ms: Vec<u64> = if quick {
+        vec![250, 1000, 5000]
+    } else {
+        vec![250, 500, 1000, 2000, 5000, 10000]
+    };
+    let mut t = Table::new(
+        "Report-period sweep: staleness vs overhead (bursty sessions)",
+        &[
+            "period ms",
+            "ctrl msg/peer/s",
+            "report bytes/s",
+            "goodput",
+            "miss ratio",
+            "mean fairness",
+        ],
+    );
+    for ms in periods_ms {
+        let mut cfg = base_scenario(53);
+        cfg.protocol.report_period = SimDuration::from_millis(ms);
+        // Bursty, short sessions make staleness matter.
+        cfg.workload.arrival_rate = 2.0;
+        cfg.workload.session_mean_secs = 15.0;
+        let peers = cfg.num_peers();
+        let horizon = cfg.horizon.as_secs_f64();
+        let r = Simulation::new(cfg).run();
+        let report_bytes = r
+            .messages
+            .get("load_report")
+            .map(|(_, b)| *b as f64 / horizon)
+            .unwrap_or(0.0);
+        t.row(vec![
+            ms.to_string(),
+            f2(r.control_msgs_per_peer_sec(peers, horizon)),
+            format!("{report_bytes:.0}"),
+            pct(r.outcomes.goodput()),
+            pct(r.outcomes.miss_ratio()),
+            f3(r.mean_fairness()),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_shrinks_with_longer_periods() {
+        let tables = run(true);
+        let t = &tables[0];
+        assert!(t.len() >= 2);
+        let fast: f64 = t.cell(0, 1).parse().unwrap();
+        let slow: f64 = t.cell(t.len() - 1, 1).parse().unwrap();
+        assert!(slow < fast, "overhead must drop: {fast} → {slow}");
+        let fast_bytes: f64 = t.cell(0, 2).parse().unwrap();
+        let slow_bytes: f64 = t.cell(t.len() - 1, 2).parse().unwrap();
+        assert!(slow_bytes < fast_bytes);
+    }
+}

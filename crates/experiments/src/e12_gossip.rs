@@ -1,0 +1,100 @@
+//! E12 — Gossip convergence of inter-domain summaries (§4.4).
+//!
+//! "A gossiping protocol … should suffice for lazily propagating changes
+//! among the Resource Managers." We grow the number of domains and
+//! measure how long it takes until every RM holds a fresh summary of
+//! every other domain, and what the digests cost; then sweep the fanout.
+
+use crate::{f2, Table};
+use crate::base_scenario;
+use arm_sim::Simulation;
+use arm_util::SimTime;
+
+/// Sweep domain counts and gossip fanout.
+pub fn run(quick: bool) -> Vec<Table> {
+    let domain_counts: Vec<usize> = if quick {
+        vec![2, 4, 8]
+    } else {
+        vec![2, 4, 8, 16, 32]
+    };
+    let mut t = Table::new(
+        "Gossip convergence vs number of domains (fanout 2, period 10s)",
+        &[
+            "domains",
+            "peers",
+            "converged at s",
+            "gossip msgs",
+            "gossip kB",
+        ],
+    );
+    for d in domain_counts {
+        let mut cfg = base_scenario(71);
+        cfg.clusters = d;
+        cfg.peers_per_cluster = 4;
+        cfg.horizon = SimTime::from_secs(180);
+        cfg.workload.arrival_rate = 0.2; // light load; gossip is the focus
+        let peers = cfg.num_peers();
+        let r = Simulation::new(cfg).run();
+        let (gc, gb) = r.messages.get("gossip").copied().unwrap_or((0, 0));
+        t.row(vec![
+            d.to_string(),
+            peers.to_string(),
+            r.gossip_converged_at
+                .map(|s| format!("{s:.0}"))
+                .unwrap_or_else(|| "never".into()),
+            gc.to_string(),
+            f2(gb as f64 / 1024.0),
+        ]);
+    }
+
+    let fanouts: Vec<usize> = if quick { vec![1, 3] } else { vec![1, 2, 3, 4] };
+    let mut t_fan = Table::new(
+        "Gossip fanout sweep at 8 domains",
+        &["fanout", "converged at s", "gossip msgs", "gossip kB"],
+    );
+    for fanout in fanouts {
+        let mut cfg = base_scenario(73);
+        cfg.clusters = 8;
+        cfg.peers_per_cluster = 4;
+        cfg.horizon = SimTime::from_secs(180);
+        cfg.workload.arrival_rate = 0.2;
+        cfg.protocol.gossip_fanout = fanout;
+        let r = Simulation::new(cfg).run();
+        let (gc, gb) = r.messages.get("gossip").copied().unwrap_or((0, 0));
+        t_fan.row(vec![
+            fanout.to_string(),
+            r.gossip_converged_at
+                .map(|s| format!("{s:.0}"))
+                .unwrap_or_else(|| "never".into()),
+            gc.to_string(),
+            f2(gb as f64 / 1024.0),
+        ]);
+    }
+    vec![t, t_fan]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gossip_converges_and_cost_grows_with_domains() {
+        let tables = run(true);
+        let t = &tables[0];
+        for r in 0..t.len() {
+            assert_ne!(t.cell(r, 2), "never", "domains={} never converged", t.cell(r, 0));
+        }
+        let small: u64 = t.cell(0, 3).parse().unwrap();
+        let big: u64 = t.cell(t.len() - 1, 3).parse().unwrap();
+        assert!(big > small, "more domains → more gossip traffic");
+    }
+
+    #[test]
+    fn higher_fanout_converges_no_slower() {
+        let tables = run(true);
+        let t = &tables[1];
+        let lo: f64 = t.cell(0, 1).parse().unwrap();
+        let hi: f64 = t.cell(t.len() - 1, 1).parse().unwrap();
+        assert!(hi <= lo + 25.0, "fanout should help or tie: {lo} → {hi}");
+    }
+}

@@ -1,0 +1,71 @@
+//! E13 (extension) — Message-loss resilience.
+//!
+//! The paper assumes "unpredictable latencies" on wide-area links; real
+//! overlays also lose messages. The protocol tolerates loss through
+//! periodic repetition (heartbeats, reports, gossip) and timeouts
+//! (compose → repair). This experiment sweeps the drop probability and
+//! measures how gracefully service degrades — an experiment the paper
+//! does not contain, marked as an extension in EXPERIMENTS.md.
+
+use crate::{base_scenario, f3, pct, Table};
+use arm_sim::Simulation;
+
+/// Sweep loss probability.
+pub fn run(quick: bool) -> Vec<Table> {
+    let losses: Vec<f64> = if quick {
+        vec![0.0, 0.05, 0.20]
+    } else {
+        vec![0.0, 0.01, 0.02, 0.05, 0.10, 0.20]
+    };
+    let mut t = Table::new(
+        "Message-loss sweep: goodput and repair activity vs drop probability",
+        &[
+            "loss",
+            "goodput",
+            "failed",
+            "rejected",
+            "repairs",
+            "messages lost",
+            "mean fairness",
+        ],
+    );
+    for loss in losses {
+        let mut cfg = base_scenario(83);
+        cfg.loss = loss;
+        cfg.workload.arrival_rate = 0.8;
+        let r = Simulation::new(cfg).run();
+        t.row(vec![
+            pct(loss),
+            pct(r.outcomes.goodput()),
+            r.outcomes.failed.to_string(),
+            r.outcomes.rejected.to_string(),
+            (r.repairs_ok + r.repairs_failed).to_string(),
+            r.messages_lost.to_string(),
+            f3(r.mean_fairness()),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_pct(s: &str) -> f64 {
+        s.trim_end_matches('%').parse().unwrap()
+    }
+
+    #[test]
+    fn degradation_is_graceful() {
+        let tables = run(true);
+        let t = &tables[0];
+        let clean = parse_pct(t.cell(0, 1));
+        let lossy = parse_pct(t.cell(t.len() - 1, 1));
+        assert!(clean > 90.0, "lossless baseline healthy: {clean}%");
+        // 20% loss hurts but must not collapse the overlay.
+        assert!(lossy > 30.0, "20% loss collapsed goodput to {lossy}%");
+        // Losses actually happened.
+        let dropped: u64 = t.cell(t.len() - 1, 5).parse().unwrap();
+        assert!(dropped > 100);
+    }
+}

@@ -1,0 +1,81 @@
+//! Experiment harness: regenerates every figure of the paper and every
+//! quantitative claim's synthetic experiment (DESIGN.md §5, E1–E12).
+//!
+//! Each experiment lives in its own module with a `run(quick) -> Vec<Table>`
+//! entry point and has a binary (`src/bin/eNN_*.rs`) that prints the tables
+//! recorded in EXPERIMENTS.md. `quick` shrinks sweep sizes for CI; the
+//! recorded tables use `quick = false`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod e01_figure1;
+pub mod e02_figure2;
+pub mod e03_alloc_scaling;
+pub mod e04_fairness;
+pub mod e05_scalability;
+pub mod e06_heterogeneity;
+pub mod e07_churn;
+pub mod e08_scheduling;
+pub mod e09_admission;
+pub mod e10_update_period;
+pub mod e11_reassignment;
+pub mod e12_gossip;
+pub mod e13_loss;
+pub mod e14_domain_size;
+
+mod table;
+
+pub use table::Table;
+
+use arm_sim::ScenarioConfig;
+use arm_util::{SimDuration, SimTime};
+
+/// Reads `--quick` from the command line (binaries share this).
+pub fn quick_flag() -> bool {
+    std::env::args().any(|a| a == "--quick" || a == "-q")
+}
+
+/// Standard experiment entry point used by the binaries: print a header,
+/// run, print every table.
+pub fn run_and_print(id: &str, title: &str, tables: Vec<Table>) {
+    println!("## {id} — {title}\n");
+    for t in tables {
+        t.print_markdown();
+        println!();
+    }
+}
+
+/// The baseline scenario shared by the simulation experiments: 2 clusters
+/// × 16 peers, 300 virtual seconds, moderate load. Individual experiments
+/// override single knobs.
+pub fn base_scenario(seed: u64) -> ScenarioConfig {
+    ScenarioConfig {
+        seed,
+        clusters: 2,
+        peers_per_cluster: 16,
+        horizon: SimTime::from_secs(300),
+        warmup: SimDuration::from_secs(5),
+        workload: arm_workload::WorkloadConfig {
+            arrival_rate: 1.0,
+            session_mean_secs: 45.0,
+            ..arm_workload::WorkloadConfig::default()
+        },
+        ..ScenarioConfig::default()
+    }
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a ratio as a percentage with 1 decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}

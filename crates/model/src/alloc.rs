@@ -1,0 +1,1161 @@
+//! The task-allocation algorithm (paper §4.3, Fig. 3) and baselines.
+//!
+//! The Resource Manager "uses the Breadth-First-Search (BFS) algorithm to
+//! search for services (edges) connecting the initial and final requested
+//! application states, prunes the possible solutions using the requested
+//! QoS requirements `q` … among the allocations that satisfy the QoS
+//! requirements, the algorithm returns the one that results to the maximum
+//! fairness of the load distribution among the peers."
+//!
+//! This module implements that algorithm as a pure function over the
+//! resource graph and the RM's peer view, plus:
+//!
+//! * an [`ExplorationMode`] knob: [`ExplorationMode::AllSimplePaths`]
+//!   (default) enumerates every cycle-free path with QoS pruning, which is
+//!   what maximising fairness *requires*; [`ExplorationMode::GlobalVisited`]
+//!   is the literal reading of the Fig. 3 pseudocode, where a global
+//!   visited set lets only the first BFS path reach each vertex — it
+//!   under-explores and is kept as an ablation (experiment E3 compares
+//!   them);
+//! * the baseline allocators used in the evaluation
+//!   ([`AllocatorKind::FirstFeasible`], [`AllocatorKind::Random`],
+//!   [`AllocatorKind::LeastLoaded`], [`AllocatorKind::MinWork`]).
+//!
+//! # QoS feasibility of a path
+//!
+//! A candidate path `e_1 … e_k` is feasible for requirement set `q` iff
+//!
+//! 1. `k ≤ q.max_hops` (if bounded);
+//! 2. for every peer `p` on the path, `p`'s available bandwidth covers the
+//!    accumulated bandwidth cost of the path's hops on `p`, and — if
+//!    `q.min_bandwidth_kbps` is set — also that floor;
+//! 3. for every peer `p`, `p`'s available processing capacity covers the
+//!    accumulated sustained work of the path's hops on `p` (the session
+//!    must be sustainable);
+//! 4. the estimated response time — per-hop setup computation at the
+//!    peer's *currently available* speed plus a per-hop communication
+//!    latency — fits within `q.deadline` ("it calculates which paths
+//!    satisfy the deadline by utilizing the current load information").
+
+use crate::peerview::PeerView;
+use crate::qos::QosSpec;
+use crate::resource_graph::{EdgeId, ResourceGraph, StateId};
+use arm_util::{DetRng, FairnessTracker, NodeId, SimDuration};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// How the path space is explored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ExplorationMode {
+    /// Enumerate all simple (cycle-free) paths, pruning by QoS. Required
+    /// for a true fairness argmax. Default.
+    #[default]
+    AllSimplePaths,
+    /// Literal Fig. 3 pseudocode: a global visited set — each vertex is
+    /// expanded at most once, so only the first BFS path to the goal is
+    /// scored. Cheaper, but under-explores. Kept as an ablation.
+    GlobalVisited,
+    /// Greedy best-first: the frontier is ordered by the fairness of the
+    /// path prefix, so high-fairness completions surface early. With the
+    /// same `max_explored` cap this is the right mode for *dense* graphs
+    /// (e.g. 64-peer domains, see experiment E14), where full enumeration
+    /// truncates before finding good paths. Explores the same simple-path
+    /// space as [`ExplorationMode::AllSimplePaths`]; only the order (and
+    /// hence what a truncated search sees) differs.
+    BestFirst,
+}
+
+/// Which objective picks among feasible paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum AllocatorKind {
+    /// The paper's algorithm: maximise Jain's fairness index of the
+    /// post-allocation load distribution.
+    #[default]
+    MaxFairness,
+    /// First feasible path in BFS order (shortest-ish, load-agnostic).
+    FirstFeasible,
+    /// Uniformly random feasible path (needs an RNG).
+    Random,
+    /// Minimise the resulting maximum peer utilization (classic
+    /// least-loaded / min-makespan greedy).
+    LeastLoaded,
+    /// Minimise total sustained work of the path (efficiency-greedy,
+    /// ignores balance).
+    MinWork,
+}
+
+/// Tuning parameters of the search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AllocParams {
+    /// Estimated one-hop communication latency used in deadline pruning.
+    pub hop_latency: SimDuration,
+    /// Cap on the number of paths dequeued before the search gives up
+    /// enumerating (guards against exponential blowup on dense graphs).
+    /// The result is flagged `truncated` when the cap is hit.
+    pub max_explored: usize,
+    /// Path-space exploration mode.
+    pub mode: ExplorationMode,
+}
+
+impl Default for AllocParams {
+    fn default() -> Self {
+        Self {
+            hop_latency: SimDuration::from_millis(20),
+            max_explored: 200_000,
+            mode: ExplorationMode::AllSimplePaths,
+        }
+    }
+}
+
+/// A successful allocation: the chosen path and its predicted effects.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// The chosen resource-graph path (empty = the initial state already
+    /// satisfies the request; a direct fetch).
+    pub path: Vec<EdgeId>,
+    /// Jain's fairness index of the domain load distribution *after*
+    /// committing this path (`f_max` of Fig. 3).
+    pub fairness: f64,
+    /// Estimated response time (setup) of the path.
+    pub est_response: SimDuration,
+    /// Sustained work the path adds to each involved peer.
+    pub load_deltas: Vec<(NodeId, f64)>,
+    /// Number of candidate paths dequeued during the search.
+    pub explored: usize,
+    /// True if the exploration cap was hit (the argmax may be approximate).
+    pub truncated: bool,
+}
+
+/// Why allocation failed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllocError {
+    /// The initial or goal state is not in the resource graph.
+    UnknownState,
+    /// No goal states were supplied.
+    NoGoal,
+    /// The domain has no peers.
+    EmptyDomain,
+    /// Paths exist but none satisfies the QoS requirements
+    /// ("if no allocation that satisfies the given QoS exists, the
+    /// algorithm reports that").
+    NoFeasiblePath {
+        /// How many candidate paths were examined.
+        explored: usize,
+    },
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::UnknownState => write!(f, "initial or goal state not in resource graph"),
+            AllocError::NoGoal => write!(f, "no goal states supplied"),
+            AllocError::EmptyDomain => write!(f, "domain has no peers"),
+            AllocError::NoFeasiblePath { explored } => {
+                write!(f, "no QoS-feasible path (explored {explored} candidates)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// The allocator: parameters + objective.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FairnessAllocator {
+    /// Search tuning.
+    pub params: AllocParams,
+    /// Selection objective.
+    pub kind: AllocatorKind,
+}
+
+/// Per-path accumulator carried through the BFS queue.
+#[derive(Debug, Clone)]
+struct PathState {
+    vertex: StateId,
+    edges: Vec<EdgeId>,
+    /// (peer, accumulated work/s) pairs — tiny vectors, linear scans.
+    work: Vec<(NodeId, f64)>,
+    /// (peer, accumulated bandwidth kbps).
+    bw: Vec<(NodeId, u32)>,
+    /// Estimated response time so far, in seconds.
+    est_secs: f64,
+}
+
+impl FairnessAllocator {
+    /// Creates the paper's default allocator.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Creates an allocator with a specific objective.
+    pub fn with_kind(kind: AllocatorKind) -> Self {
+        Self {
+            kind,
+            ..Self::default()
+        }
+    }
+
+    /// Runs the allocation algorithm.
+    ///
+    /// `rng` is only consulted by [`AllocatorKind::Random`]; pass `None`
+    /// otherwise. See the module docs for the feasibility rules.
+    pub fn allocate(
+        &self,
+        gr: &ResourceGraph,
+        view: &PeerView,
+        init: StateId,
+        goals: &[StateId],
+        qos: &QosSpec,
+        rng: Option<&mut DetRng>,
+    ) -> Result<Allocation, AllocError> {
+        if goals.is_empty() {
+            return Err(AllocError::NoGoal);
+        }
+        if view.is_empty() {
+            return Err(AllocError::EmptyDomain);
+        }
+        if init.0 as usize >= gr.num_states()
+            || goals.iter().any(|g| g.0 as usize >= gr.num_states())
+        {
+            return Err(AllocError::UnknownState);
+        }
+
+        // Node order for the fairness tracker (PeerView iterates sorted).
+        let ids: Vec<NodeId> = view.ids().collect();
+        let tracker = FairnessTracker::from_loads(view.loads());
+        let peer_index = |n: NodeId| ids.binary_search(&n).ok();
+
+        let deadline_secs = qos.deadline.as_secs_f64();
+        let hop_latency_secs = self.params.hop_latency.as_secs_f64();
+
+        // Candidates that reached a goal, with their scores.
+        struct Candidate {
+            path: Vec<EdgeId>,
+            fairness: f64,
+            est_secs: f64,
+            work: Vec<(NodeId, f64)>,
+            max_util: f64,
+            total_work: f64,
+        }
+        let mut candidates: Vec<Candidate> = Vec::new();
+        let mut explored = 0usize;
+        let mut truncated = false;
+
+        // The frontier: FIFO for (literal) BFS modes, a max-heap keyed by
+        // prefix fairness for best-first.
+        struct BestEntry {
+            priority: f64,
+            seq: u64,
+            state: PathState,
+        }
+        impl PartialEq for BestEntry {
+            fn eq(&self, other: &Self) -> bool {
+                self.priority == other.priority && self.seq == other.seq
+            }
+        }
+        impl Eq for BestEntry {}
+        impl PartialOrd for BestEntry {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for BestEntry {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                // Max-heap on priority; FIFO (lower seq first) among ties
+                // for determinism.
+                self.priority
+                    .partial_cmp(&other.priority)
+                    .expect("fairness is never NaN")
+                    .then_with(|| other.seq.cmp(&self.seq))
+            }
+        }
+        enum Frontier {
+            Fifo(VecDeque<PathState>),
+            Best(std::collections::BinaryHeap<BestEntry>, u64),
+        }
+        impl Frontier {
+            fn pop(&mut self) -> Option<PathState> {
+                match self {
+                    Frontier::Fifo(q) => q.pop_front(),
+                    Frontier::Best(h, _) => h.pop().map(|e| e.state),
+                }
+            }
+            fn push(&mut self, state: PathState, priority: f64) {
+                match self {
+                    Frontier::Fifo(q) => q.push_back(state),
+                    Frontier::Best(h, seq) => {
+                        *seq += 1;
+                        h.push(BestEntry {
+                            priority,
+                            seq: *seq,
+                            state,
+                        });
+                    }
+                }
+            }
+        }
+        let mut queue = match self.params.mode {
+            ExplorationMode::BestFirst => {
+                Frontier::Best(std::collections::BinaryHeap::new(), 0)
+            }
+            _ => Frontier::Fifo(VecDeque::new()),
+        };
+        // Scores a prefix for best-first ordering: the fairness of the
+        // domain if the prefix's work were committed.
+        let prefix_priority = |work: &[(NodeId, f64)]| -> f64 {
+            let mut deltas: Vec<(usize, f64)> = Vec::with_capacity(work.len());
+            for &(peer, w) in work {
+                match peer_index(peer) {
+                    Some(i) => deltas.push((i, w)),
+                    None => return 0.0,
+                }
+            }
+            tracker.index_with(&deltas)
+        };
+        queue.push(
+            PathState {
+                vertex: init,
+                edges: Vec::new(),
+                work: Vec::new(),
+                bw: Vec::new(),
+                est_secs: 0.0,
+            },
+            1.0,
+        );
+        let mut visited = vec![false; gr.num_states()]; // GlobalVisited mode only
+
+        while let Some(ps) = queue.pop() {
+            if explored >= self.params.max_explored {
+                truncated = true;
+                break;
+            }
+            explored += 1;
+
+            if self.params.mode == ExplorationMode::GlobalVisited {
+                if visited[ps.vertex.0 as usize] {
+                    continue;
+                }
+                visited[ps.vertex.0 as usize] = true;
+            }
+
+            if goals.contains(&ps.vertex) {
+                // Score the completed path.
+                let mut deltas: Vec<(usize, f64)> = Vec::with_capacity(ps.work.len());
+                let mut ok = true;
+                for &(peer, w) in &ps.work {
+                    match peer_index(peer) {
+                        Some(i) => deltas.push((i, w)),
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+                let fairness = tracker.index_with(&deltas);
+                let max_util = deltas
+                    .iter()
+                    .map(|&(i, w)| {
+                        let info = view.get(ids[i]).expect("indexed peer");
+                        if info.capacity > 0.0 {
+                            (info.load + w) / info.capacity
+                        } else {
+                            f64::INFINITY
+                        }
+                    })
+                    .fold(0.0f64, f64::max);
+                let total_work: f64 = ps.work.iter().map(|&(_, w)| w).sum();
+                candidates.push(Candidate {
+                    path: ps.edges.clone(),
+                    fairness,
+                    est_secs: ps.est_secs,
+                    work: ps.work.clone(),
+                    max_util,
+                    total_work,
+                });
+                if self.kind == AllocatorKind::FirstFeasible {
+                    break; // first complete feasible path in BFS order
+                }
+                // A goal vertex may still have outgoing edges (another goal
+                // further on is possible but pointless); stop extending.
+                continue;
+            }
+
+            // Expand. Hop-count prune before generating children.
+            if let Some(max_hops) = qos.max_hops {
+                if ps.edges.len() >= max_hops {
+                    continue;
+                }
+            }
+
+            for edge in gr.out_edges(ps.vertex) {
+                // Cycle check (simple paths): `to` must not be on the path.
+                let revisits = edge.to == init
+                    || ps
+                        .edges
+                        .iter()
+                        .any(|&e| gr.edge(e).to == edge.to);
+                if revisits && self.params.mode != ExplorationMode::GlobalVisited {
+                    continue;
+                }
+                if self.params.mode == ExplorationMode::GlobalVisited
+                    && visited[edge.to.0 as usize]
+                {
+                    continue;
+                }
+
+                let Some(info) = view.get(edge.peer) else {
+                    continue; // peer no longer in the domain
+                };
+
+                // Accumulate this path's demands on edge.peer.
+                let prev_work = ps
+                    .work
+                    .iter()
+                    .find(|(p, _)| *p == edge.peer)
+                    .map_or(0.0, |&(_, w)| w);
+                let prev_bw = ps
+                    .bw
+                    .iter()
+                    .find(|(p, _)| *p == edge.peer)
+                    .map_or(0, |&(_, b)| b);
+                let new_work = prev_work + edge.cost.work_per_sec;
+                let new_bw = prev_bw + edge.cost.bandwidth_kbps;
+
+                // (3) CPU sustainability.
+                if new_work > info.capacity - info.load + 1e-9 {
+                    continue;
+                }
+                // (2) bandwidth, including the user's floor.
+                let avail_bw = info.available_bandwidth_kbps();
+                if new_bw > avail_bw || qos.min_bandwidth_kbps > avail_bw {
+                    continue;
+                }
+                // (4) deadline: setup at currently-available speed + hop latency.
+                let setup = edge.cost.setup_work / info.available_capacity();
+                let est = ps.est_secs + setup + hop_latency_secs;
+                if est > deadline_secs {
+                    continue;
+                }
+
+                let mut child = PathState {
+                    vertex: edge.to,
+                    edges: Vec::with_capacity(ps.edges.len() + 1),
+                    work: ps.work.clone(),
+                    bw: ps.bw.clone(),
+                    est_secs: est,
+                };
+                child.edges.extend_from_slice(&ps.edges);
+                child.edges.push(edge.id);
+                if let Some(w) = child.work.iter_mut().find(|(p, _)| *p == edge.peer) {
+                    w.1 = new_work;
+                } else {
+                    child.work.push((edge.peer, new_work));
+                }
+                if let Some(b) = child.bw.iter_mut().find(|(p, _)| *p == edge.peer) {
+                    b.1 = new_bw;
+                } else {
+                    child.bw.push((edge.peer, new_bw));
+                }
+                let priority = if matches!(self.params.mode, ExplorationMode::BestFirst) {
+                    prefix_priority(&child.work)
+                } else {
+                    0.0
+                };
+                queue.push(child, priority);
+            }
+        }
+
+        if candidates.is_empty() {
+            return Err(AllocError::NoFeasiblePath { explored });
+        }
+
+        // Select per objective. All tiebreaks are deterministic: shorter
+        // path first, then lexicographically smaller edge sequence.
+        let better_tiebreak = |a: &Candidate, b: &Candidate| -> bool {
+            (a.path.len(), &a.path) < (b.path.len(), &b.path)
+        };
+        let chosen: usize = match self.kind {
+            AllocatorKind::MaxFairness => {
+                let mut best = 0;
+                for i in 1..candidates.len() {
+                    let (a, b) = (&candidates[i], &candidates[best]);
+                    if a.fairness > b.fairness + 1e-12
+                        || ((a.fairness - b.fairness).abs() <= 1e-12 && better_tiebreak(a, b))
+                    {
+                        best = i;
+                    }
+                }
+                best
+            }
+            AllocatorKind::FirstFeasible => 0,
+            AllocatorKind::Random => {
+                let rng = rng
+                    .expect("AllocatorKind::Random requires an RNG");
+                rng.index(candidates.len())
+            }
+            AllocatorKind::LeastLoaded => {
+                let mut best = 0;
+                for i in 1..candidates.len() {
+                    let (a, b) = (&candidates[i], &candidates[best]);
+                    if a.max_util < b.max_util - 1e-12
+                        || ((a.max_util - b.max_util).abs() <= 1e-12 && better_tiebreak(a, b))
+                    {
+                        best = i;
+                    }
+                }
+                best
+            }
+            AllocatorKind::MinWork => {
+                let mut best = 0;
+                for i in 1..candidates.len() {
+                    let (a, b) = (&candidates[i], &candidates[best]);
+                    if a.total_work < b.total_work - 1e-12
+                        || ((a.total_work - b.total_work).abs() <= 1e-12 && better_tiebreak(a, b))
+                    {
+                        best = i;
+                    }
+                }
+                best
+            }
+        };
+
+        let c = candidates.swap_remove(chosen);
+        Ok(Allocation {
+            path: c.path,
+            fairness: c.fairness,
+            est_response: SimDuration::from_secs_f64(c.est_secs),
+            load_deltas: c.work,
+            explored,
+            truncated,
+        })
+    }
+}
+
+/// Runs the paper's default allocator (fairness argmax over all simple
+/// QoS-feasible paths) — the free-function form of
+/// [`FairnessAllocator::allocate`].
+///
+/// # Examples
+///
+/// ```
+/// use arm_model::{allocate, MediaFormat, PeerInfo, PeerView, QosSpec, ResourceGraph};
+/// use arm_util::{NodeId, SimDuration};
+///
+/// let (graph, _) = ResourceGraph::figure1();
+/// let mut view = PeerView::new();
+/// for p in 1..=5 {
+///     view.upsert(NodeId::new(p), PeerInfo::idle(100.0, 10_000));
+/// }
+/// let init = graph.state_of(MediaFormat::paper_source()).unwrap();
+/// let goal = graph.state_of(MediaFormat::paper_target()).unwrap();
+/// let qos = QosSpec::with_deadline(SimDuration::from_secs(5));
+/// let alloc = allocate(&graph, &view, init, &[goal], &qos).unwrap();
+/// assert!(!alloc.path.is_empty());
+/// assert!(alloc.fairness > 0.0 && alloc.fairness <= 1.0);
+/// ```
+pub fn allocate(
+    gr: &ResourceGraph,
+    view: &PeerView,
+    init: StateId,
+    goals: &[StateId],
+    qos: &QosSpec,
+) -> Result<Allocation, AllocError> {
+    FairnessAllocator::paper().allocate(gr, view, init, goals, qos, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::media::MediaFormat;
+    use crate::peerview::PeerInfo;
+    use arm_util::fairness_index;
+
+    /// The Fig. 1 graph with a fully idle, capable domain.
+    fn setup() -> (ResourceGraph, Vec<EdgeId>, PeerView, StateId, StateId) {
+        let (gr, e) = ResourceGraph::figure1();
+        let mut view = PeerView::new();
+        for p in 1..=5u64 {
+            view.upsert(NodeId::new(p), PeerInfo::idle(100.0, 10_000));
+        }
+        let init = gr.state_of(MediaFormat::paper_source()).unwrap();
+        let goal = gr.state_of(MediaFormat::paper_target()).unwrap();
+        (gr, e, view, init, goal)
+    }
+
+    fn lenient_qos() -> QosSpec {
+        QosSpec::with_deadline(SimDuration::from_secs(10))
+    }
+
+    #[test]
+    fn finds_the_three_paper_paths() {
+        let (gr, e, view, init, goal) = setup();
+        // Collect all feasible candidates by running Random across seeds —
+        // instead, verify via FirstFeasible+exploration count and the known
+        // path set by checking each path is feasible under MaxFairness with
+        // forced tie conditions. Simplest: enumerate with a tiny helper.
+        let alloc = allocate(&gr, &view, init, &[goal], &lenient_qos()).unwrap();
+        // All three candidate paths are {e1,e2}, {e1,e3}, {e1,e4,e5,e8}.
+        let valid = [
+            vec![e[0], e[1]],
+            vec![e[0], e[2]],
+            vec![e[0], e[3], e[4], e[7]],
+        ];
+        assert!(valid.contains(&alloc.path), "got {:?}", alloc.path);
+        assert!(!alloc.truncated);
+        assert!(alloc.explored > 0);
+    }
+
+    #[test]
+    fn idle_domain_prefers_spreading() {
+        // On an idle domain the 2-hop paths load 2 peers; fairness of the
+        // chosen allocation must equal the best achievable.
+        let (gr, _e, view, init, goal) = setup();
+        let alloc = allocate(&gr, &view, init, &[goal], &lenient_qos()).unwrap();
+        // Verify the reported fairness matches a direct computation.
+        let mut loads = view.loads();
+        let ids: Vec<NodeId> = view.ids().collect();
+        for (peer, w) in &alloc.load_deltas {
+            let i = ids.iter().position(|n| n == peer).unwrap();
+            loads[i] += w;
+        }
+        assert!((alloc.fairness - fairness_index(&loads)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn maxfairness_beats_or_equals_first_feasible() {
+        let (gr, _e, mut view, init, goal) = setup();
+        // Pre-load peer 2 so the e1,e2 path becomes unattractive.
+        view.get_mut(NodeId::new(2)).unwrap().load = 80.0;
+        let fair = allocate(&gr, &view, init, &[goal], &lenient_qos()).unwrap();
+        let first = FairnessAllocator::with_kind(AllocatorKind::FirstFeasible)
+            .allocate(&gr, &view, init, &[goal], &lenient_qos(), None)
+            .unwrap();
+        assert!(fair.fairness >= first.fairness - 1e-12);
+        // With peer 2 at load 80, the fairest option is the 4-hop path
+        // (loads 8,82,0,5,3 → F≈0.2816, beating {e1,e3}'s F≈0.2719): the
+        // allocator spreads work across more peers rather than merely
+        // avoiding the hot one.
+        assert_eq!(fair.path.len(), 4);
+    }
+
+    #[test]
+    fn deadline_prunes_long_path() {
+        let (gr, e, view, init, goal) = setup();
+        // Per-hop latency 20ms. The 2-hop paths estimate at 75ms
+        // (20+8·0.25/100 s, 20+6·0.25/100 s); the 4-hop path at 125ms.
+        // An 80ms deadline admits only the 2-hop paths.
+        let qos = QosSpec::with_deadline(SimDuration::from_millis(80));
+        let alloc = allocate(&gr, &view, init, &[goal], &qos).unwrap();
+        assert!(alloc.path.len() == 2, "got {:?}", alloc.path);
+        // And an impossible deadline yields NoFeasiblePath.
+        let qos = QosSpec::with_deadline(SimDuration::from_millis(1));
+        let err = allocate(&gr, &view, init, &[goal], &qos).unwrap_err();
+        assert!(matches!(err, AllocError::NoFeasiblePath { .. }));
+        let _ = e;
+    }
+
+    #[test]
+    fn max_hops_prunes() {
+        let (gr, _e, mut view, init, goal) = setup();
+        // Kill the short paths but keep the long one alive: e3's host
+        // (peer 3) fully loaded; e2's host (peer 2) left just enough
+        // headroom for e8 (work 2) but not e2 (work 6).
+        view.get_mut(NodeId::new(2)).unwrap().load = 95.0;
+        view.get_mut(NodeId::new(3)).unwrap().load = 99.9;
+        let qos = lenient_qos().max_hops(2);
+        let err = allocate(&gr, &view, init, &[goal], &qos).unwrap_err();
+        assert!(matches!(err, AllocError::NoFeasiblePath { .. }));
+        // Without the cap the 4-hop path is found.
+        let alloc = allocate(&gr, &view, init, &[goal], &lenient_qos()).unwrap();
+        assert_eq!(alloc.path.len(), 4);
+    }
+
+    #[test]
+    fn cpu_saturation_excludes_peer() {
+        let (gr, e, mut view, init, goal) = setup();
+        // Saturate peer 1, which hosts the mandatory first hop e1.
+        view.get_mut(NodeId::new(1)).unwrap().load = 100.0;
+        let err = allocate(&gr, &view, init, &[goal], &lenient_qos()).unwrap_err();
+        assert!(matches!(err, AllocError::NoFeasiblePath { .. }));
+        let _ = e;
+    }
+
+    #[test]
+    fn bandwidth_floor_excludes_thin_peers() {
+        let (gr, _e, mut view, init, goal) = setup();
+        // Peer 2's link too thin for the floor; peer 3 fine.
+        view.get_mut(NodeId::new(2)).unwrap().bandwidth_capacity_kbps = 100;
+        let qos = lenient_qos().min_bandwidth(320);
+        let alloc = allocate(&gr, &view, init, &[goal], &qos).unwrap();
+        assert!(!alloc.load_deltas.iter().any(|(p, _)| *p == NodeId::new(2)));
+    }
+
+    #[test]
+    fn init_equals_goal_is_empty_path() {
+        let (gr, _e, view, init, _goal) = setup();
+        let alloc = allocate(&gr, &view, init, &[init], &lenient_qos()).unwrap();
+        assert!(alloc.path.is_empty());
+        assert_eq!(alloc.est_response, SimDuration::ZERO);
+        assert_eq!(alloc.fairness, 1.0); // idle domain stays perfectly fair
+    }
+
+    #[test]
+    fn multiple_goals_any_accepted() {
+        let (gr, e, view, init, goal) = setup();
+        let v5 = gr.edge(e[4]).to; // intermediate 128kbps state
+        let alloc = allocate(&gr, &view, init, &[goal, v5], &lenient_qos()).unwrap();
+        // v5 is reachable in 3 hops, goal in 2; either acceptable, and the
+        // allocator scores both. The chosen path must end at one of them.
+        let last = *alloc.path.last().unwrap();
+        let end = gr.edge(last).to;
+        assert!(end == goal || end == v5);
+    }
+
+    #[test]
+    fn error_cases() {
+        let (gr, _e, view, init, goal) = setup();
+        assert_eq!(
+            allocate(&gr, &view, init, &[], &lenient_qos()).unwrap_err(),
+            AllocError::NoGoal
+        );
+        assert_eq!(
+            allocate(&gr, &PeerView::new(), init, &[goal], &lenient_qos()).unwrap_err(),
+            AllocError::EmptyDomain
+        );
+        assert_eq!(
+            allocate(&gr, &view, StateId(99), &[goal], &lenient_qos()).unwrap_err(),
+            AllocError::UnknownState
+        );
+    }
+
+    #[test]
+    fn global_visited_underexplores() {
+        let (gr, _e, mut view, init, goal) = setup();
+        view.get_mut(NodeId::new(2)).unwrap().load = 80.0;
+        let all = FairnessAllocator {
+            params: AllocParams::default(),
+            kind: AllocatorKind::MaxFairness,
+        }
+        .allocate(&gr, &view, init, &[goal], &lenient_qos(), None)
+        .unwrap();
+        let literal = FairnessAllocator {
+            params: AllocParams {
+                mode: ExplorationMode::GlobalVisited,
+                ..AllocParams::default()
+            },
+            kind: AllocatorKind::MaxFairness,
+        }
+        .allocate(&gr, &view, init, &[goal], &lenient_qos(), None)
+        .unwrap();
+        // The literal mode sees fewer candidates and can't beat the full
+        // enumeration.
+        assert!(literal.explored <= all.explored);
+        assert!(literal.fairness <= all.fairness + 1e-12);
+    }
+
+    #[test]
+    fn random_allocator_is_feasible_and_deterministic_per_seed() {
+        let (gr, _e, view, init, goal) = setup();
+        let alloc1 = FairnessAllocator::with_kind(AllocatorKind::Random)
+            .allocate(
+                &gr,
+                &view,
+                init,
+                &[goal],
+                &lenient_qos(),
+                Some(&mut DetRng::new(5)),
+            )
+            .unwrap();
+        let alloc2 = FairnessAllocator::with_kind(AllocatorKind::Random)
+            .allocate(
+                &gr,
+                &view,
+                init,
+                &[goal],
+                &lenient_qos(),
+                Some(&mut DetRng::new(5)),
+            )
+            .unwrap();
+        assert_eq!(alloc1.path, alloc2.path);
+    }
+
+    #[test]
+    fn least_loaded_minimises_max_util() {
+        let (gr, _e, mut view, init, goal) = setup();
+        view.get_mut(NodeId::new(2)).unwrap().load = 50.0;
+        let alloc = FairnessAllocator::with_kind(AllocatorKind::LeastLoaded)
+            .allocate(&gr, &view, init, &[goal], &lenient_qos(), None)
+            .unwrap();
+        // Avoids peer 2 (the loaded host of e2/e8): picks {e1,e3}.
+        assert!(!alloc.load_deltas.iter().any(|(p, _)| *p == NodeId::new(2)));
+    }
+
+    #[test]
+    fn min_work_picks_cheapest_path() {
+        let (gr, e, view, init, goal) = setup();
+        let alloc = FairnessAllocator::with_kind(AllocatorKind::MinWork)
+            .allocate(&gr, &view, init, &[goal], &lenient_qos(), None)
+            .unwrap();
+        // Total work: e1+e2 = 14, e1+e3 = 14, long path = 18. Tiebreak
+        // (lexicographic) picks {e1,e2}.
+        assert_eq!(alloc.path, vec![e[0], e[1]]);
+    }
+
+    #[test]
+    fn truncation_flag_when_cap_hit() {
+        let (gr, _e, view, init, goal) = setup();
+        let alloc = FairnessAllocator {
+            params: AllocParams {
+                max_explored: 2,
+                ..AllocParams::default()
+            },
+            kind: AllocatorKind::MaxFairness,
+        }
+        .allocate(&gr, &view, init, &[goal], &lenient_qos(), None);
+        // With only 2 dequeues the search may or may not reach a goal;
+        // either way it must not panic, and if it succeeds it's truncated.
+        if let Ok(a) = alloc {
+            assert!(a.truncated);
+        }
+    }
+
+    #[test]
+    fn fairness_choice_matches_exhaustive_argmax() {
+        // Cross-check the argmax against scoring every valid path by hand.
+        let (gr, e, mut view, init, goal) = setup();
+        view.get_mut(NodeId::new(3)).unwrap().load = 30.0;
+        view.get_mut(NodeId::new(5)).unwrap().load = 10.0;
+        let qos = lenient_qos();
+        let alloc = allocate(&gr, &view, init, &[goal], &qos).unwrap();
+
+        let ids: Vec<NodeId> = view.ids().collect();
+        let paths = [
+            vec![e[0], e[1]],
+            vec![e[0], e[2]],
+            vec![e[0], e[3], e[4], e[7]],
+        ];
+        let mut best = f64::MIN;
+        for p in &paths {
+            let mut loads = view.loads();
+            for &eid in p {
+                let edge = gr.edge(eid);
+                let i = ids.iter().position(|n| *n == edge.peer).unwrap();
+                loads[i] += edge.cost.work_per_sec;
+            }
+            best = best.max(fairness_index(&loads));
+        }
+        assert!((alloc.fairness - best).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::media::{Codec, MediaFormat, Resolution};
+    use crate::peerview::PeerInfo;
+    use crate::service::ServiceCost;
+    use arm_util::{fairness_index, ServiceId};
+    use proptest::prelude::*;
+
+    /// Random layered DAG: `layers` layers of up to `width` states; edges
+    /// connect adjacent layers, hosted on random peers.
+    fn random_graph(
+        seed: u64,
+        layers: usize,
+        width: usize,
+        peers: usize,
+        edge_prob: f64,
+    ) -> (ResourceGraph, PeerView, StateId, StateId) {
+        let mut rng = DetRng::new(seed);
+        let mut gr = ResourceGraph::new();
+        let mut layer_states: Vec<Vec<StateId>> = Vec::new();
+        let mut fmt_id = 0u32;
+        let mut fresh_format = || {
+            fmt_id += 1;
+            MediaFormat::new(
+                Codec::ALL[(fmt_id as usize) % Codec::ALL.len()],
+                Resolution::new(100 + fmt_id as u16, 100),
+                fmt_id,
+            )
+        };
+        for li in 0..layers {
+            let w = if li == 0 || li == layers - 1 {
+                1
+            } else {
+                1 + rng.index(width)
+            };
+            layer_states.push((0..w).map(|_| gr.intern_state(fresh_format())).collect());
+        }
+        let mut svc = 0u64;
+        for li in 0..layers - 1 {
+            for &a in &layer_states[li] {
+                for &b in &layer_states[li + 1] {
+                    if rng.chance(edge_prob) || b == layer_states[li + 1][0] {
+                        svc += 1;
+                        gr.add_edge(
+                            a,
+                            b,
+                            NodeId::new(rng.below(peers as u64)),
+                            ServiceId::new(svc),
+                            ServiceCost {
+                                work_per_sec: rng.uniform(1.0, 8.0),
+                                setup_work: rng.uniform(0.5, 2.0),
+                                bandwidth_kbps: 64,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        let mut view = PeerView::new();
+        for p in 0..peers as u64 {
+            let mut info = PeerInfo::idle(rng.uniform(50.0, 150.0), 100_000);
+            info.load = rng.uniform(0.0, 40.0);
+            view.upsert(NodeId::new(p), info);
+        }
+        (gr, view, layer_states[0][0], layer_states[layers - 1][0])
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The paper's core guarantee: among all simple QoS-feasible paths,
+        /// the returned one has maximal fairness. Verified against a
+        /// brute-force DFS enumeration.
+        #[test]
+        fn maxfairness_is_argmax(seed in 0u64..500) {
+            let (gr, view, init, goal) = random_graph(seed, 4, 3, 6, 0.7);
+            let qos = QosSpec::with_deadline(SimDuration::from_secs(30));
+            let result = allocate(&gr, &view, init, &[goal], &qos);
+
+            // Brute force: enumerate simple paths by DFS and re-check
+            // feasibility + fairness independently.
+            let ids: Vec<NodeId> = view.ids().collect();
+            let mut best: Option<f64> = None;
+            let mut stack = vec![(init, Vec::<EdgeId>::new())];
+            while let Some((v, path)) = stack.pop() {
+                if v == goal {
+                    // feasibility: accumulate per-peer work/bw
+                    let mut work: Vec<(NodeId, f64)> = Vec::new();
+                    let mut est = 0.0;
+                    let mut feasible = true;
+                    for &eid in &path {
+                        let e = gr.edge(eid);
+                        let info = view.get(e.peer).unwrap();
+                        let w = work.iter_mut().find(|(p, _)| *p == e.peer);
+                        match w {
+                            Some(entry) => entry.1 += e.cost.work_per_sec,
+                            None => work.push((e.peer, e.cost.work_per_sec)),
+                        }
+                        let acc = work.iter().find(|(p, _)| *p == e.peer).unwrap().1;
+                        if acc > info.capacity - info.load + 1e-9 {
+                            feasible = false;
+                            break;
+                        }
+                        est += e.cost.setup_work / info.available_capacity() + 0.020;
+                        if est > qos.deadline.as_secs_f64() {
+                            feasible = false;
+                            break;
+                        }
+                    }
+                    if feasible {
+                        let mut loads = view.loads();
+                        for (p, w) in &work {
+                            let i = ids.iter().position(|n| n == p).unwrap();
+                            loads[i] += w;
+                        }
+                        let f = fairness_index(&loads);
+                        best = Some(best.map_or(f, |b: f64| b.max(f)));
+                    }
+                    continue;
+                }
+                for e in gr.out_edges(v) {
+                    let revisit = e.to == init
+                        || path.iter().any(|&pe| gr.edge(pe).to == e.to);
+                    if revisit {
+                        continue;
+                    }
+                    let mut np = path.clone();
+                    np.push(e.id);
+                    stack.push((e.to, np));
+                }
+            }
+
+            match (result, best) {
+                (Ok(a), Some(b)) => prop_assert!((a.fairness - b).abs() < 1e-9,
+                    "allocator {} vs brute force {}", a.fairness, b),
+                (Err(AllocError::NoFeasiblePath{..}), None) => {}
+                (r, b) => prop_assert!(false, "disagree: {r:?} vs brute {b:?}"),
+            }
+        }
+
+        /// Allocation never violates the CPU sustainability invariant.
+        #[test]
+        fn allocation_respects_capacity(seed in 0u64..500) {
+            let (gr, view, init, goal) = random_graph(seed, 5, 3, 4, 0.6);
+            let qos = QosSpec::with_deadline(SimDuration::from_secs(30));
+            if let Ok(a) = allocate(&gr, &view, init, &[goal], &qos) {
+                for (peer, w) in &a.load_deltas {
+                    let info = view.get(*peer).unwrap();
+                    prop_assert!(info.load + w <= info.capacity + 1e-6);
+                }
+                // And the path is connected init -> goal.
+                let mut v = init;
+                for &eid in &a.path {
+                    let e = gr.edge(eid);
+                    prop_assert_eq!(e.from, v);
+                    v = e.to;
+                }
+                prop_assert_eq!(v, goal);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod bestfirst_tests {
+    use super::*;
+    use crate::media::MediaFormat;
+    use crate::peerview::PeerInfo;
+
+    fn setup() -> (ResourceGraph, PeerView, StateId, StateId, QosSpec) {
+        let (gr, _) = ResourceGraph::figure1();
+        let mut view = PeerView::new();
+        for p in 1..=5u64 {
+            view.upsert(NodeId::new(p), PeerInfo::idle(100.0, 10_000));
+        }
+        let init = gr.state_of(MediaFormat::paper_source()).unwrap();
+        let goal = gr.state_of(MediaFormat::paper_target()).unwrap();
+        (gr, view, init, goal, QosSpec::with_deadline(SimDuration::from_secs(10)))
+    }
+
+    fn with_mode(mode: ExplorationMode, cap: usize) -> FairnessAllocator {
+        FairnessAllocator {
+            params: AllocParams {
+                mode,
+                max_explored: cap,
+                ..AllocParams::default()
+            },
+            kind: AllocatorKind::MaxFairness,
+        }
+    }
+
+    #[test]
+    fn bestfirst_matches_full_enumeration_uncapped() {
+        let (gr, view, init, goal, qos) = setup();
+        let full = with_mode(ExplorationMode::AllSimplePaths, 200_000)
+            .allocate(&gr, &view, init, &[goal], &qos, None)
+            .unwrap();
+        let best = with_mode(ExplorationMode::BestFirst, 200_000)
+            .allocate(&gr, &view, init, &[goal], &qos, None)
+            .unwrap();
+        // Same path space explored exhaustively ⇒ same optimum.
+        assert!((full.fairness - best.fairness).abs() < 1e-12);
+        assert_eq!(full.path, best.path);
+    }
+
+    #[test]
+    fn bestfirst_beats_truncated_bfs_on_dense_graphs() {
+        // A dense layered graph where a tight cap truncates BFS before it
+        // reaches the well-balanced deep paths.
+        use arm_util::ServiceId;
+        use crate::media::{Codec, Resolution};
+        use crate::service::ServiceCost;
+        let mut rng = DetRng::new(3);
+        let mut gr = ResourceGraph::new();
+        let mut fmt = 0u32;
+        let mut fresh = |gr: &mut ResourceGraph| {
+            fmt += 1;
+            gr.intern_state(MediaFormat::new(
+                Codec::ALL[fmt as usize % Codec::ALL.len()],
+                Resolution::new(100 + fmt as u16, 100),
+                fmt,
+            ))
+        };
+        let layers = 5usize;
+        let width = 6usize;
+        let mut layer_states = Vec::new();
+        for li in 0..layers {
+            let w = if li == 0 || li == layers - 1 { 1 } else { width };
+            layer_states.push((0..w).map(|_| fresh(&mut gr)).collect::<Vec<_>>());
+        }
+        let mut svc = 0u64;
+        for li in 0..layers - 1 {
+            for &a in &layer_states[li] {
+                for &b in &layer_states[li + 1] {
+                    svc += 1;
+                    gr.add_edge(
+                        a,
+                        b,
+                        NodeId::new(rng.below(24)),
+                        ServiceId::new(svc),
+                        ServiceCost {
+                            work_per_sec: rng.uniform(1.0, 8.0),
+                            setup_work: 0.5,
+                            bandwidth_kbps: 64,
+                        },
+                    );
+                }
+            }
+        }
+        let mut view = PeerView::new();
+        for p in 0..24u64 {
+            let mut info = PeerInfo::idle(100.0, 1_000_000);
+            info.load = rng.uniform(0.0, 40.0);
+            view.upsert(NodeId::new(p), info);
+        }
+        let init = layer_states[0][0];
+        let goal = layer_states[layers - 1][0];
+        let qos = QosSpec::with_deadline(SimDuration::from_secs(60));
+
+        // Average over several randomised load refreshes.
+        let mut wins = 0;
+        let mut ties = 0;
+        let trials = 10;
+        for t in 0..trials {
+            let mut v = view.clone();
+            let mut r2 = DetRng::new(100 + t);
+            let ids: Vec<NodeId> = v.ids().collect();
+            for id in ids {
+                v.get_mut(id).unwrap().load = r2.uniform(0.0, 50.0);
+            }
+            let cap = 60; // far below the full path count
+            let bfs = with_mode(ExplorationMode::AllSimplePaths, cap)
+                .allocate(&gr, &v, init, &[goal], &qos, None);
+            let best = with_mode(ExplorationMode::BestFirst, cap)
+                .allocate(&gr, &v, init, &[goal], &qos, None);
+            match (bfs, best) {
+                (Ok(b), Ok(bf)) => {
+                    if bf.fairness > b.fairness + 1e-12 {
+                        wins += 1;
+                    } else if (bf.fairness - b.fairness).abs() <= 1e-12 {
+                        ties += 1;
+                    }
+                }
+                (Err(_), Ok(_)) => wins += 1,
+                _ => {}
+            }
+        }
+        assert!(
+            wins + ties >= trials * 7 / 10,
+            "best-first should match or beat truncated BFS most of the time: \
+             {wins} wins, {ties} ties of {trials}"
+        );
+        assert!(wins >= 1, "and strictly win at least once ({wins})");
+    }
+
+    #[test]
+    fn bestfirst_is_deterministic() {
+        let (gr, view, init, goal, qos) = setup();
+        let a = with_mode(ExplorationMode::BestFirst, 50)
+            .allocate(&gr, &view, init, &[goal], &qos, None)
+            .unwrap();
+        let b = with_mode(ExplorationMode::BestFirst, 50)
+            .allocate(&gr, &view, init, &[goal], &qos, None)
+            .unwrap();
+        assert_eq!(a.path, b.path);
+    }
+}

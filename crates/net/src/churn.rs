@@ -1,0 +1,313 @@
+//! Churn traces: scripted join/leave/crash schedules.
+//!
+//! §4.1: "Peers may disconnect from the system either intentionally or due
+//! to a failure." §4.5 lists "changes in the infrastructure" as the first
+//! adaptation trigger. A [`ChurnTrace`] is a deterministic, pre-generated
+//! schedule of such events that the simulation replays; generating it ahead
+//! of the run keeps policy comparisons on *identical* churn (common random
+//! numbers).
+
+use crate::topology::Topology;
+use arm_util::{DetRng, NodeId, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// What happens to the peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChurnKind {
+    /// The peer (re)joins the overlay.
+    Join,
+    /// The peer leaves gracefully (announces departure).
+    Leave,
+    /// The peer crashes silently (detected only by timeout).
+    Crash,
+}
+
+/// One scheduled churn event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChurnEvent {
+    /// When it happens.
+    pub at: SimTime,
+    /// The affected peer.
+    pub node: NodeId,
+    /// The kind of event.
+    pub kind: ChurnKind,
+}
+
+/// A time-ordered schedule of churn events.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ChurnTrace {
+    events: Vec<ChurnEvent>,
+}
+
+/// Parameters of the alternating up/down renewal churn process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnParams {
+    /// Mean session (up) time in seconds. Exponentially distributed.
+    pub mean_uptime_secs: f64,
+    /// Mean downtime before rejoining, in seconds. Exponentially
+    /// distributed.
+    pub mean_downtime_secs: f64,
+    /// Fraction of departures that are crashes rather than graceful
+    /// leaves.
+    pub crash_fraction: f64,
+    /// Fraction of peers subject to churn at all (the rest are stable
+    /// infrastructure-grade peers).
+    pub churning_fraction: f64,
+}
+
+impl Default for ChurnParams {
+    fn default() -> Self {
+        Self {
+            mean_uptime_secs: 600.0,
+            mean_downtime_secs: 120.0,
+            crash_fraction: 0.5,
+            churning_fraction: 0.8,
+        }
+    }
+}
+
+impl ChurnTrace {
+    /// An empty trace (no churn).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Generates an alternating up/down process per peer over `horizon`.
+    /// All peers start up; each churning peer's first departure is drawn
+    /// from its uptime distribution.
+    pub fn generate(
+        topo: &Topology,
+        params: ChurnParams,
+        horizon: SimTime,
+        rng: &mut DetRng,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&params.crash_fraction));
+        assert!((0.0..=1.0).contains(&params.churning_fraction));
+        let mut events = Vec::new();
+        for peer in &topo.peers {
+            let mut peer_rng = rng.stream_idx("churn", peer.id.raw());
+            if !peer_rng.chance(params.churning_fraction) {
+                continue;
+            }
+            let mut t = SimTime::ZERO;
+            loop {
+                // Up period, then departure.
+                let up = peer_rng.exponential(params.mean_uptime_secs);
+                t += SimDuration::from_secs_f64(up);
+                if t >= horizon {
+                    break;
+                }
+                let kind = if peer_rng.chance(params.crash_fraction) {
+                    ChurnKind::Crash
+                } else {
+                    ChurnKind::Leave
+                };
+                events.push(ChurnEvent {
+                    at: t,
+                    node: peer.id,
+                    kind,
+                });
+                // Down period, then rejoin.
+                let down = peer_rng.exponential(params.mean_downtime_secs);
+                t += SimDuration::from_secs_f64(down);
+                if t >= horizon {
+                    break;
+                }
+                events.push(ChurnEvent {
+                    at: t,
+                    node: peer.id,
+                    kind: ChurnKind::Join,
+                });
+            }
+        }
+        events.sort_by_key(|e| (e.at, e.node));
+        Self { events }
+    }
+
+    /// The events in time order.
+    pub fn events(&self) -> &[ChurnEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Heterogeneity;
+
+    fn topo(n: usize) -> Topology {
+        Topology::uniform(n, 1.0, Heterogeneity::default(), &mut DetRng::new(1), 0)
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = ChurnTrace::none();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn events_are_time_ordered() {
+        let topo = topo(30);
+        let trace = ChurnTrace::generate(
+            &topo,
+            ChurnParams::default(),
+            SimTime::from_secs(3_600),
+            &mut DetRng::new(2),
+        );
+        assert!(!trace.is_empty());
+        for w in trace.events().windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+    }
+
+    #[test]
+    fn alternating_state_per_peer() {
+        let topo = topo(20);
+        let trace = ChurnTrace::generate(
+            &topo,
+            ChurnParams::default(),
+            SimTime::from_secs(7_200),
+            &mut DetRng::new(3),
+        );
+        // Per peer: first event is a departure; events alternate
+        // departure/join.
+        for peer in &topo.peers {
+            let evs: Vec<_> = trace
+                .events()
+                .iter()
+                .filter(|e| e.node == peer.id)
+                .collect();
+            for (i, e) in evs.iter().enumerate() {
+                if i % 2 == 0 {
+                    assert_ne!(e.kind, ChurnKind::Join, "even events are departures");
+                } else {
+                    assert_eq!(e.kind, ChurnKind::Join);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn churning_fraction_zero_means_no_events() {
+        let topo = topo(20);
+        let params = ChurnParams {
+            churning_fraction: 0.0,
+            ..ChurnParams::default()
+        };
+        let trace = ChurnTrace::generate(
+            &topo,
+            params,
+            SimTime::from_secs(3_600),
+            &mut DetRng::new(4),
+        );
+        assert!(trace.is_empty());
+    }
+
+    #[test]
+    fn crash_fraction_extremes() {
+        let topo = topo(30);
+        let crashes_only = ChurnParams {
+            crash_fraction: 1.0,
+            churning_fraction: 1.0,
+            ..ChurnParams::default()
+        };
+        let trace = ChurnTrace::generate(
+            &topo,
+            crashes_only,
+            SimTime::from_secs(3_600),
+            &mut DetRng::new(5),
+        );
+        assert!(trace
+            .events()
+            .iter()
+            .all(|e| e.kind != ChurnKind::Leave));
+        let leaves_only = ChurnParams {
+            crash_fraction: 0.0,
+            churning_fraction: 1.0,
+            ..ChurnParams::default()
+        };
+        let trace = ChurnTrace::generate(
+            &topo,
+            leaves_only,
+            SimTime::from_secs(3_600),
+            &mut DetRng::new(5),
+        );
+        assert!(trace
+            .events()
+            .iter()
+            .all(|e| e.kind != ChurnKind::Crash));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let topo = topo(25);
+        let a = ChurnTrace::generate(
+            &topo,
+            ChurnParams::default(),
+            SimTime::from_secs(3_600),
+            &mut DetRng::new(6),
+        );
+        let b = ChurnTrace::generate(
+            &topo,
+            ChurnParams::default(),
+            SimTime::from_secs(3_600),
+            &mut DetRng::new(6),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shorter_uptime_means_more_events() {
+        let topo = topo(30);
+        let stable = ChurnTrace::generate(
+            &topo,
+            ChurnParams {
+                mean_uptime_secs: 10_000.0,
+                churning_fraction: 1.0,
+                ..ChurnParams::default()
+            },
+            SimTime::from_secs(3_600),
+            &mut DetRng::new(7),
+        );
+        let flaky = ChurnTrace::generate(
+            &topo,
+            ChurnParams {
+                mean_uptime_secs: 60.0,
+                churning_fraction: 1.0,
+                ..ChurnParams::default()
+            },
+            SimTime::from_secs(3_600),
+            &mut DetRng::new(7),
+        );
+        assert!(flaky.len() > stable.len() * 2);
+    }
+
+    #[test]
+    fn all_events_within_horizon() {
+        let topo = topo(15);
+        let horizon = SimTime::from_secs(1_000);
+        let trace = ChurnTrace::generate(
+            &topo,
+            ChurnParams {
+                mean_uptime_secs: 50.0,
+                mean_downtime_secs: 20.0,
+                churning_fraction: 1.0,
+                ..ChurnParams::default()
+            },
+            horizon,
+            &mut DetRng::new(8),
+        );
+        assert!(trace.events().iter().all(|e| e.at < horizon));
+    }
+}

@@ -1,0 +1,27 @@
+//! Overlay network model.
+//!
+//! The paper targets "wide-area environments with unpredictable latencies
+//! and changing resource availability" where peers are "grouped into
+//! domains according to their topological proximity" (§2). This crate
+//! provides the synthetic substrate standing in for that WAN (see
+//! DESIGN.md §2, substitution 2):
+//!
+//! * [`Coord`] — virtual geographic coordinates; distance maps to latency.
+//! * [`LatencyModel`] / [`NetworkModel`] — per-message delays with
+//!   deterministic jitter and optional loss, driven by an explicit RNG
+//!   stream.
+//! * [`Topology`] — generators for clustered (geographic-domain) and
+//!   uniform peer placements with heterogeneous capacities.
+//! * [`churn`] — join/leave/crash traces with exponential or Pareto
+//!   lifetimes, the standard P2P churn models.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod churn;
+pub mod model;
+pub mod topology;
+
+pub use churn::{ChurnEvent, ChurnKind, ChurnTrace};
+pub use model::{LatencyModel, NetworkModel};
+pub use topology::{Coord, Heterogeneity, PeerSpec, Topology};

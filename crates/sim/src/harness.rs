@@ -1,0 +1,561 @@
+//! The simulation driver.
+
+use crate::report::SimReport;
+use crate::scenario::ScenarioConfig;
+use arm_core::{Action, Event, PeerNode, Role};
+use arm_des::Simulator;
+use arm_model::task::TaskOutcome;
+use arm_net::churn::{ChurnEvent, ChurnKind, ChurnTrace};
+use arm_net::{NetworkModel, Topology};
+use arm_util::{DetRng, NodeId, SimTime};
+use arm_workload::{generate_inventories, generate_tasks, Inventory};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Internal DES payload.
+enum SimEvent {
+    Node(NodeId, Event),
+    Churn(ChurnEvent),
+    Sample,
+}
+
+/// A fully wired simulation, ready to [`run`](Simulation::run).
+pub struct Simulation {
+    cfg: ScenarioConfig,
+    topo: Topology,
+    net: NetworkModel,
+    net_rng: DetRng,
+    sim: Simulator<SimEvent>,
+    nodes: BTreeMap<NodeId, PeerNode>,
+    alive: BTreeSet<NodeId>,
+    inventories: BTreeMap<NodeId, Inventory>,
+    cluster_of: BTreeMap<NodeId, usize>,
+    leaders: Vec<NodeId>,
+    rejoin_counts: BTreeMap<NodeId, u64>,
+    report: SimReport,
+}
+
+impl Simulation {
+    /// Builds topology, inventories, task trace and churn from the
+    /// scenario, and schedules everything into the event list.
+    pub fn new(cfg: ScenarioConfig) -> Self {
+        let root = DetRng::new(cfg.seed);
+        let mut topo_rng = root.stream("topology");
+        let topo = Topology::clustered(
+            cfg.clusters,
+            cfg.peers_per_cluster,
+            cfg.spread,
+            cfg.heterogeneity,
+            &mut topo_rng,
+            0,
+        );
+        let mut net = NetworkModel::new(cfg.latency, cfg.jitter, cfg.loss, &topo);
+        if cfg.transmission_delay {
+            net = net.with_transmission_delay();
+        }
+        let peers: Vec<NodeId> = topo.peers.iter().map(|p| p.id).collect();
+        let leaders: Vec<NodeId> = (0..cfg.clusters)
+            .map(|c| peers[c * cfg.peers_per_cluster])
+            .collect();
+        let cluster_of: BTreeMap<NodeId, usize> =
+            topo.peers.iter().map(|p| (p.id, p.cluster)).collect();
+
+        // Workload: inventories over all peers; tasks start after warmup.
+        let mut wl = cfg.workload.clone();
+        wl.horizon = SimTime::from_micros(
+            cfg.horizon
+                .as_micros()
+                .saturating_sub(cfg.warmup.as_micros()),
+        );
+        let inventories = generate_inventories(&peers, &wl, &root.stream("inventory"));
+        let tasks = generate_tasks(&peers, &inventories, &wl, &root.stream("tasks"));
+
+        let mut sim: Simulator<SimEvent> = Simulator::with_capacity(4 * tasks.len() + 1024);
+
+        // Start-up: each cluster leader founds its own domain at t≈0 (the
+        // paper's premise that peers group into geographic domains); the
+        // rest join their cluster leader, staggered.
+        for &leader in &leaders {
+            sim.schedule_at(
+                SimTime::ZERO,
+                SimEvent::Node(leader, Event::Start { bootstrap: None }),
+            );
+        }
+        // Out-of-band RM discovery bootstrap (documented substitution):
+        // leaders learn of each other via stub gossip digests, as if a
+        // rendezvous service had introduced them. Real summaries replace
+        // the stubs at the first gossip round.
+        let mut intro_time = SimTime::from_millis(10);
+        for &a in &leaders {
+            for &b in &leaders {
+                if a != b {
+                    let stub = arm_proto::DomainSummary {
+                        domain: arm_util::DomainId::new(b.raw()),
+                        rm: b,
+                        objects: arm_util::BloomFilter::new(64, 1),
+                        services: arm_util::BloomFilter::new(64, 1),
+                        mean_utilization: 0.0,
+                        version: 0,
+                    };
+                    sim.schedule_at(
+                        intro_time,
+                        SimEvent::Node(
+                            a,
+                            Event::Msg {
+                                from: b,
+                                msg: arm_proto::Message::GossipDigest {
+                                    summaries: vec![stub],
+                                },
+                            },
+                        ),
+                    );
+                }
+            }
+            intro_time += arm_util::SimDuration::from_millis(1);
+        }
+        let mut t = SimTime::from_millis(100);
+        for (i, &p) in peers.iter().enumerate() {
+            if leaders.contains(&p) {
+                continue;
+            }
+            let leader = leaders[i / cfg.peers_per_cluster];
+            sim.schedule_at(
+                t,
+                SimEvent::Node(
+                    p,
+                    Event::Start {
+                        bootstrap: Some(leader),
+                    },
+                ),
+            );
+            t += cfg.join_stagger;
+        }
+
+        // Task arrivals, shifted past warmup.
+        let mut submitted = 0;
+        for arrival in tasks {
+            sim.schedule_at(
+                arrival.at + cfg.warmup,
+                SimEvent::Node(arrival.requester, Event::SubmitTask(arrival.task)),
+            );
+            submitted += 1;
+        }
+
+        // Churn trace.
+        if let Some(params) = cfg.churn {
+            let trace = ChurnTrace::generate(
+                &topo,
+                params,
+                cfg.horizon,
+                &mut root.stream("churn"),
+            );
+            for ev in trace.events() {
+                // Don't churn before the overlay has formed.
+                let at = if ev.at < SimTime::ZERO + cfg.warmup {
+                    SimTime::ZERO + cfg.warmup
+                } else {
+                    ev.at
+                };
+                sim.schedule_at(at, SimEvent::Churn(*ev));
+            }
+        }
+
+        // Metric sampling.
+        let mut s = SimTime::ZERO + cfg.sample_period;
+        while s < cfg.horizon {
+            sim.schedule_at(s, SimEvent::Sample);
+            s += cfg.sample_period;
+        }
+
+        // Build the nodes.
+        let mut nodes = BTreeMap::new();
+        for spec in &topo.peers {
+            let inv = &inventories[&spec.id];
+            nodes.insert(
+                spec.id,
+                PeerNode::new(
+                    spec.id,
+                    spec.capacity,
+                    spec.bandwidth_kbps,
+                    inv.objects.clone(),
+                    inv.services.clone(),
+                    cfg.protocol.clone(),
+                    cfg.seed,
+                    SimTime::ZERO,
+                ),
+            );
+        }
+
+        let report = SimReport {
+            submitted,
+            ..SimReport::default()
+        };
+
+        Self {
+            net_rng: root.stream("net"),
+            cfg,
+            topo,
+            net,
+            sim,
+            alive: nodes.keys().copied().collect(),
+            nodes,
+            inventories,
+            cluster_of,
+            leaders,
+            rejoin_counts: BTreeMap::new(),
+            report,
+        }
+    }
+
+    /// The generated topology (for inspection).
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Runs to the horizon and returns the report.
+    pub fn run(mut self) -> SimReport {
+        let started = std::time::Instant::now();
+        let horizon = self.cfg.horizon;
+        while let Some(scheduled) = self.sim.step_until(horizon) {
+            let now = scheduled.time;
+            match scheduled.event {
+                SimEvent::Node(target, event) => self.dispatch(now, target, event),
+                SimEvent::Churn(ev) => self.apply_churn(now, ev),
+                SimEvent::Sample => self.sample(now),
+            }
+        }
+        self.finalize(started)
+    }
+
+    fn dispatch(&mut self, now: SimTime, target: NodeId, event: Event) {
+        if !self.alive.contains(&target) {
+            return;
+        }
+        let Some(node) = self.nodes.get_mut(&target) else {
+            return;
+        };
+        let actions = node.on_event(now, event);
+        for action in actions {
+            self.apply_action(now, target, action);
+        }
+    }
+
+    fn apply_action(&mut self, now: SimTime, from: NodeId, action: Action) {
+        match action {
+            Action::Send { to, msg } => {
+                if msg.kind() == "task_redirect" {
+                    self.report.redirects += 1;
+                }
+                match self
+                    .net
+                    .sample_sized(from, to, msg.size_bytes(), &mut self.net_rng)
+                {
+                    Some(delay) => {
+                        let entry = self
+                            .report
+                            .messages
+                            .entry(msg.kind().to_string())
+                            .or_insert((0, 0));
+                        entry.0 += 1;
+                        entry.1 += msg.size_bytes() as u64;
+                        self.sim.schedule_at(
+                            now + delay,
+                            SimEvent::Node(to, Event::Msg { from, msg }),
+                        );
+                    }
+                    None => {
+                        self.report.messages_lost += 1;
+                    }
+                }
+            }
+            Action::SetTimer { kind, after } => {
+                self.sim
+                    .schedule_at(now + after, SimEvent::Node(from, Event::Timer(kind)));
+            }
+            Action::Outcome {
+                outcome, response, ..
+            } => {
+                match outcome {
+                    TaskOutcome::CompletedOnTime => self.report.outcomes.on_time += 1,
+                    TaskOutcome::CompletedLate => self.report.outcomes.late += 1,
+                    TaskOutcome::Rejected => self.report.outcomes.rejected += 1,
+                    TaskOutcome::Failed => self.report.outcomes.failed += 1,
+                }
+                if let Some(r) = response {
+                    if outcome.is_completed() {
+                        self.report.response_time.observe(r.as_secs_f64());
+                    }
+                }
+            }
+            Action::ReplyReceived { at, .. } => {
+                // Reply latency is measured from submission; the task's
+                // submitted_at is embedded, but the reply only carries the
+                // arrival time. Approximate with response-time tracking on
+                // the RM side; here we record the raw arrival for rate
+                // accounting.
+                let _ = at;
+            }
+            Action::Promoted { .. } => self.report.promotions += 1,
+            Action::SessionRepaired { ok, .. } => {
+                if ok {
+                    self.report.repairs_ok += 1;
+                } else {
+                    self.report.repairs_failed += 1;
+                }
+            }
+            Action::SessionReassigned { .. } => self.report.reassignments += 1,
+        }
+    }
+
+    fn apply_churn(&mut self, now: SimTime, ev: ChurnEvent) {
+        match ev.kind {
+            ChurnKind::Crash => {
+                self.alive.remove(&ev.node);
+            }
+            ChurnKind::Leave => {
+                self.dispatch(now, ev.node, Event::Shutdown { graceful: true });
+                self.alive.remove(&ev.node);
+            }
+            ChurnKind::Join => {
+                if self.alive.contains(&ev.node) {
+                    return;
+                }
+                // Fresh state machine: crashes lose state, as in reality.
+                let spec = self
+                    .topo
+                    .get(ev.node)
+                    .expect("churned node is in the topology")
+                    .clone();
+                let inv = &self.inventories[&ev.node];
+                let rejoins = self.rejoin_counts.entry(ev.node).or_insert(0);
+                *rejoins += 1;
+                let node = PeerNode::new(
+                    ev.node,
+                    spec.capacity,
+                    spec.bandwidth_kbps,
+                    inv.objects.clone(),
+                    inv.services.clone(),
+                    self.cfg.protocol.clone(),
+                    self.cfg.seed ^ (*rejoins << 32),
+                    now,
+                );
+                self.nodes.insert(ev.node, node);
+                self.alive.insert(ev.node);
+                let bootstrap = self.pick_bootstrap(ev.node);
+                self.sim
+                    .schedule_at(now, SimEvent::Node(ev.node, Event::Start { bootstrap }));
+            }
+        }
+    }
+
+    /// A rejoining peer contacts its cluster leader if alive, else any
+    /// alive peer of its cluster, else any alive peer.
+    fn pick_bootstrap(&self, node: NodeId) -> Option<NodeId> {
+        let cluster = self.cluster_of[&node];
+        let leader = self.leaders[cluster];
+        if leader != node && self.alive.contains(&leader) {
+            return Some(leader);
+        }
+        self.topo
+            .peers
+            .iter()
+            .filter(|p| p.cluster == cluster && p.id != node && self.alive.contains(&p.id))
+            .map(|p| p.id)
+            .next()
+            .or_else(|| self.alive.iter().find(|p| **p != node).copied())
+    }
+
+    fn sample(&mut self, now: SimTime) {
+        self.check_gossip_convergence(now);
+        let mut loads = Vec::with_capacity(self.alive.len());
+        let mut utils = Vec::with_capacity(self.alive.len());
+        for id in &self.alive {
+            let node = &self.nodes[id];
+            if matches!(node.role(), Role::Member | Role::Rm) {
+                loads.push(node.load());
+                utils.push(node.load() / node.profiler().capacity());
+            }
+        }
+        if !loads.is_empty() {
+            self.report
+                .fairness_series
+                .push((now.as_secs_f64(), arm_util::fairness_index(&loads)));
+            let mu = utils.iter().sum::<f64>() / utils.len() as f64;
+            self.report.utilization_series.push((now.as_secs_f64(), mu));
+        }
+    }
+
+    /// Records the first time every alive RM holds fresh summaries of all
+    /// other alive domains.
+    fn check_gossip_convergence(&mut self, now: SimTime) {
+        if self.report.gossip_converged_at.is_some() {
+            return;
+        }
+        let rms: Vec<&PeerNode> = self
+            .alive
+            .iter()
+            .map(|id| &self.nodes[id])
+            .filter(|n| n.role() == Role::Rm)
+            .collect();
+        if rms.len() < 2 {
+            return;
+        }
+        let domains: Vec<arm_util::DomainId> =
+            rms.iter().filter_map(|n| n.domain()).collect();
+        let converged = rms.iter().all(|n| {
+            let state = n.rm_state().expect("RM role");
+            domains
+                .iter()
+                .filter(|d| **d != state.domain)
+                .all(|d| state.summaries.get(d).is_some_and(|s| s.version >= 1))
+        });
+        if converged {
+            self.report.gossip_converged_at = Some(now.as_secs_f64());
+        }
+    }
+
+    fn finalize(mut self, started: std::time::Instant) -> SimReport {
+        self.report.final_peers = self.alive.len();
+        self.report.final_domains = self
+            .alive
+            .iter()
+            .filter(|id| self.nodes[id].role() == Role::Rm)
+            .count();
+        // Reply latencies: reconstruct from response_time; reply_latency
+        // additionally includes rejected replies, which we approximate by
+        // the response summary (documented).
+        self.report.reply_latency = self.report.response_time.clone();
+        self.report.wall_ms = started.elapsed().as_millis();
+        self.report.events_processed = self.sim.processed();
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arm_net::churn::ChurnParams;
+    use arm_util::SimDuration;
+
+    fn small_scenario(seed: u64) -> ScenarioConfig {
+        ScenarioConfig {
+            seed,
+            clusters: 2,
+            peers_per_cluster: 8,
+            horizon: SimTime::from_secs(60),
+            warmup: SimDuration::from_secs(5),
+            workload: arm_workload::WorkloadConfig {
+                arrival_rate: 0.4,
+                session_mean_secs: 20.0,
+                ..arm_workload::WorkloadConfig::default()
+            },
+            ..ScenarioConfig::default()
+        }
+    }
+
+    #[test]
+    fn overlay_forms_and_tasks_complete() {
+        let report = Simulation::new(small_scenario(1)).run();
+        assert!(report.submitted > 5, "submitted {}", report.submitted);
+        assert!(
+            report.outcomes.total() >= report.submitted * 9 / 10,
+            "most tasks get terminal outcomes: {:?} of {}",
+            report.outcomes,
+            report.submitted
+        );
+        assert!(
+            report.outcomes.on_time > 0,
+            "some tasks complete on time: {:?}",
+            report.outcomes
+        );
+        assert_eq!(report.final_peers, 16);
+        assert_eq!(report.final_domains, 2, "one RM per cluster");
+        assert!(report.message_count() > 100);
+        assert!(!report.fairness_series.is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Simulation::new(small_scenario(7)).run();
+        let b = Simulation::new(small_scenario(7)).run();
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.message_count(), b.message_count());
+        assert_eq!(a.fairness_series, b.fairness_series);
+        assert_eq!(a.events_processed, b.events_processed);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Simulation::new(small_scenario(1)).run();
+        let b = Simulation::new(small_scenario(2)).run();
+        // Different topology/workload draws — reports differ somewhere.
+        assert!(
+            a.message_count() != b.message_count()
+                || a.outcomes != b.outcomes
+                || a.fairness_series != b.fairness_series
+        );
+    }
+
+    #[test]
+    fn churn_triggers_failovers_and_repairs() {
+        let mut cfg = small_scenario(3);
+        cfg.horizon = SimTime::from_secs(120);
+        cfg.churn = Some(ChurnParams {
+            mean_uptime_secs: 40.0,
+            mean_downtime_secs: 15.0,
+            crash_fraction: 1.0,
+            churning_fraction: 0.6,
+        });
+        let report = Simulation::new(cfg).run();
+        // Crashes happened and the overlay survived.
+        assert!(report.final_peers > 4);
+        assert!(report.final_domains >= 1);
+        // Under heavy churn at least some liveness machinery fired.
+        assert!(
+            report.promotions > 0 || report.repairs_ok + report.repairs_failed > 0,
+            "failover machinery exercised: {report:?}"
+        );
+    }
+
+    #[test]
+    fn transmission_delay_slows_responses() {
+        let mut fast = small_scenario(5);
+        fast.jitter = 0.0;
+        let mut slow = fast.clone();
+        slow.transmission_delay = true;
+        let a = Simulation::new(fast).run();
+        let b = Simulation::new(slow).run();
+        // Same workload; size-dependent delays can only stretch responses.
+        let mut ra = a.response_time.clone();
+        let mut rb = b.response_time.clone();
+        assert!(rb.quantile(0.5) >= ra.quantile(0.5));
+        assert!(b.outcomes.on_time > 0);
+    }
+
+    #[test]
+    fn degenerate_scenarios_run() {
+        // Single cluster, minimum viable peers.
+        let mut tiny = small_scenario(6);
+        tiny.clusters = 1;
+        tiny.peers_per_cluster = 2;
+        tiny.workload.num_objects = 3;
+        let r = Simulation::new(tiny).run();
+        assert_eq!(r.final_peers, 2);
+        assert_eq!(r.final_domains, 1);
+        // Zero arrivals: a quiet overlay still heartbeats.
+        let mut quiet = small_scenario(7);
+        quiet.workload.arrival_rate = 1e-9;
+        let r = Simulation::new(quiet).run();
+        assert_eq!(r.submitted, 0);
+        assert!(r.message_count() > 0);
+        assert_eq!(r.outcomes.total(), 0);
+    }
+
+    #[test]
+    fn message_loss_is_tolerated() {
+        let mut cfg = small_scenario(4);
+        cfg.loss = 0.05;
+        let report = Simulation::new(cfg).run();
+        assert!(report.messages_lost > 0);
+        assert!(report.outcomes.on_time > 0, "{:?}", report.outcomes);
+    }
+}

@@ -1,0 +1,172 @@
+//! Run results.
+
+use arm_util::stats::Summary;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Terminal task outcome tallies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutcomeCounts {
+    /// Completed within deadline.
+    pub on_time: usize,
+    /// Completed after the deadline.
+    pub late: usize,
+    /// Rejected at admission (nowhere to run).
+    pub rejected: usize,
+    /// Started but lost (unrepaired failure).
+    pub failed: usize,
+}
+
+impl OutcomeCounts {
+    /// All terminal outcomes.
+    pub fn total(&self) -> usize {
+        self.on_time + self.late + self.rejected + self.failed
+    }
+
+    /// Deadline miss ratio among *admitted* tasks (late + failed over
+    /// completed + failed).
+    pub fn miss_ratio(&self) -> f64 {
+        let admitted = self.on_time + self.late + self.failed;
+        if admitted == 0 {
+            0.0
+        } else {
+            (self.late + self.failed) as f64 / admitted as f64
+        }
+    }
+
+    /// Fraction of all submitted tasks that completed on time (the
+    /// paper's goal: "maximize the number of applications that meet their
+    /// deadlines", §3.3).
+    pub fn goodput(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.on_time as f64 / self.total() as f64
+        }
+    }
+
+    /// Fraction rejected.
+    pub fn rejection_ratio(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Everything measured during one run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Tasks injected.
+    pub submitted: usize,
+    /// Outcome tallies.
+    pub outcomes: OutcomeCounts,
+    /// Query→reply latency (seconds) of every answered task.
+    pub reply_latency: Summary,
+    /// Submission→stream-start response time (seconds) of completed tasks.
+    pub response_time: Summary,
+    /// (t_secs, Jain fairness of ground-truth peer loads) samples.
+    pub fairness_series: Vec<(f64, f64)>,
+    /// (t_secs, mean utilization) samples.
+    pub utilization_series: Vec<(f64, f64)>,
+    /// Messages delivered, by kind: (count, bytes).
+    pub messages: BTreeMap<String, (u64, u64)>,
+    /// Messages lost in the network.
+    pub messages_lost: u64,
+    /// Backup→RM promotions observed.
+    pub promotions: usize,
+    /// Session repairs that found a replacement allocation.
+    pub repairs_ok: usize,
+    /// Session repairs that failed.
+    pub repairs_failed: usize,
+    /// Adaptive session migrations (§4.5).
+    pub reassignments: usize,
+    /// Task queries redirected between domains.
+    pub redirects: u64,
+    /// Number of RMs alive at the end.
+    pub final_domains: usize,
+    /// Number of peers alive at the end.
+    pub final_peers: usize,
+    /// Wall-clock milliseconds the run took (host time; informational).
+    pub wall_ms: u128,
+    /// Total events processed by the DES kernel.
+    pub events_processed: u64,
+    /// First instant (seconds) at which every alive RM held a fresh
+    /// (version ≥ 1) summary of every other alive domain — the gossip
+    /// convergence point (E12). `None` if never reached.
+    pub gossip_converged_at: Option<f64>,
+}
+
+impl SimReport {
+    /// Total messages delivered.
+    pub fn message_count(&self) -> u64 {
+        self.messages.values().map(|(c, _)| c).sum()
+    }
+
+    /// Total bytes delivered.
+    pub fn message_bytes(&self) -> u64 {
+        self.messages.values().map(|(_, b)| b).sum()
+    }
+
+    /// Mean of the fairness samples (time-averaged load balance).
+    pub fn mean_fairness(&self) -> f64 {
+        if self.fairness_series.is_empty() {
+            return 1.0;
+        }
+        self.fairness_series.iter().map(|(_, f)| f).sum::<f64>()
+            / self.fairness_series.len() as f64
+    }
+
+    /// Mean of the utilization samples.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.utilization_series.is_empty() {
+            return 0.0;
+        }
+        self.utilization_series.iter().map(|(_, u)| u).sum::<f64>()
+            / self.utilization_series.len() as f64
+    }
+
+    /// Control-message overhead in messages per peer per second.
+    pub fn control_msgs_per_peer_sec(&self, peers: usize, secs: f64) -> f64 {
+        if peers == 0 || secs <= 0.0 {
+            return 0.0;
+        }
+        self.message_count() as f64 / peers as f64 / secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_ratios() {
+        let c = OutcomeCounts {
+            on_time: 6,
+            late: 2,
+            rejected: 1,
+            failed: 1,
+        };
+        assert_eq!(c.total(), 10);
+        assert!((c.miss_ratio() - 3.0 / 9.0).abs() < 1e-12);
+        assert!((c.goodput() - 0.6).abs() < 1e-12);
+        assert!((c.rejection_ratio() - 0.1).abs() < 1e-12);
+        let empty = OutcomeCounts::default();
+        assert_eq!(empty.miss_ratio(), 0.0);
+        assert_eq!(empty.goodput(), 0.0);
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let mut r = SimReport::default();
+        r.messages.insert("heartbeat".into(), (10, 560));
+        r.messages.insert("task_query".into(), (2, 300));
+        assert_eq!(r.message_count(), 12);
+        assert_eq!(r.message_bytes(), 860);
+        r.fairness_series = vec![(1.0, 0.8), (2.0, 0.6)];
+        assert!((r.mean_fairness() - 0.7).abs() < 1e-12);
+        assert!((r.control_msgs_per_peer_sec(4, 3.0) - 1.0).abs() < 1e-12);
+        assert_eq!(SimReport::default().mean_fairness(), 1.0);
+    }
+}

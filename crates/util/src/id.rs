@@ -1,0 +1,188 @@
+//! Strongly-typed identifiers.
+//!
+//! The paper identifies processors by `⟨IP, port⟩` pairs "or a randomly
+//! generated number" (§3.1). We use opaque 64-bit newtypes throughout: they
+//! are cheap to copy and hash, totally ordered (needed for deterministic
+//! iteration), and the type system prevents mixing a peer id with a task id.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! typed_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+        )]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Wraps a raw 64-bit value.
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw 64-bit value.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl From<u64> for $name {
+            #[inline]
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u64 {
+            #[inline]
+            fn from(id: $name) -> u64 {
+                id.0
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+typed_id!(
+    /// Identifies a peer (a processor in the paper's terminology).
+    NodeId,
+    "n"
+);
+typed_id!(
+    /// Identifies a domain (a set of topologically close peers led by a
+    /// Resource Manager).
+    DomainId,
+    "d"
+);
+typed_id!(
+    /// Identifies an application task (one end-to-end request, e.g. one
+    /// transcoding session).
+    TaskId,
+    "t"
+);
+typed_id!(
+    /// Identifies a service session — a task that has been allocated and is
+    /// executing across one or more peers.
+    SessionId,
+    "s"
+);
+typed_id!(
+    /// Identifies an application data object (e.g. a stored media file).
+    ObjectId,
+    "o"
+);
+typed_id!(
+    /// Identifies a service *type* a peer can offer (e.g. a particular
+    /// transcoding capability).
+    ServiceId,
+    "svc"
+);
+
+/// Generates sequential identifiers of any of the typed-id kinds.
+///
+/// Deterministic: ids are handed out in strictly increasing order starting
+/// from a caller-chosen base value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IdGen {
+    next: u64,
+}
+
+impl IdGen {
+    /// Creates a generator that starts at `base`.
+    pub const fn new(base: u64) -> Self {
+        Self { next: base }
+    }
+
+    /// Returns the next raw id value.
+    #[inline]
+    pub fn next_raw(&mut self) -> u64 {
+        let v = self.next;
+        self.next += 1;
+        v
+    }
+
+    /// Returns the next id, converted into any typed id.
+    #[inline]
+    pub fn next_id<T: From<u64>>(&mut self) -> T {
+        T::from(self.next_raw())
+    }
+
+    /// Peeks at the value the next call will return without consuming it.
+    #[inline]
+    pub fn peek(&self) -> u64 {
+        self.next
+    }
+}
+
+impl Default for IdGen {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(NodeId::new(7).to_string(), "n7");
+        assert_eq!(DomainId::new(3).to_string(), "d3");
+        assert_eq!(TaskId::new(12).to_string(), "t12");
+        assert_eq!(SessionId::new(1).to_string(), "s1");
+        assert_eq!(ObjectId::new(0).to_string(), "o0");
+        assert_eq!(ServiceId::new(9).to_string(), "svc9");
+    }
+
+    #[test]
+    fn roundtrip_raw() {
+        let id = NodeId::new(42);
+        assert_eq!(id.raw(), 42);
+        assert_eq!(u64::from(id), 42);
+        assert_eq!(NodeId::from(42u64), id);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        let a = TaskId::new(1);
+        let b = TaskId::new(2);
+        assert!(a < b);
+        let set: HashSet<TaskId> = [a, b, a].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn idgen_is_sequential_and_unique() {
+        let mut g = IdGen::new(100);
+        assert_eq!(g.peek(), 100);
+        let a: NodeId = g.next_id();
+        let b: NodeId = g.next_id();
+        let c: TaskId = g.next_id();
+        assert_eq!(a, NodeId::new(100));
+        assert_eq!(b, NodeId::new(101));
+        assert_eq!(c, TaskId::new(102));
+        assert_eq!(g.peek(), 103);
+    }
+
+    #[test]
+    fn default_idgen_starts_at_zero() {
+        let mut g = IdGen::default();
+        assert_eq!(g.next_raw(), 0);
+        assert_eq!(g.next_raw(), 1);
+    }
+}

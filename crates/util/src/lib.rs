@@ -1,0 +1,36 @@
+//! Foundation utilities for the adaptive P2P resource-management middleware.
+//!
+//! This crate is dependency-light and shared by every other crate in the
+//! workspace. It provides:
+//!
+//! * strongly-typed identifiers ([`id`]),
+//! * a microsecond-resolution virtual clock ([`time`]),
+//! * deterministic, splittable random-number streams ([`rng`]),
+//! * streaming statistics — EWMA, Welford mean/variance, histograms and
+//!   percentile sketches ([`stats`]),
+//! * Jain's fairness index, the load-balance metric of the paper's §4.2
+//!   ([`fairness`]),
+//! * Bloom filters used for inter-domain object/service summaries, the
+//!   paper's §3.1 ([`bloom`]),
+//! * token-bucket rate limiting used to model bandwidth caps ([`ratelimit`]).
+//!
+//! Everything here is deterministic: no wall-clock reads, no global state,
+//! no ambient randomness. Experiments are reproducible from their seeds.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bloom;
+pub mod fairness;
+pub mod id;
+pub mod ratelimit;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use bloom::BloomFilter;
+pub use fairness::{fairness_index, FairnessTracker};
+pub use id::{DomainId, NodeId, ObjectId, ServiceId, SessionId, TaskId};
+pub use rng::DetRng;
+pub use stats::{Ewma, Histogram, Welford};
+pub use time::{SimDuration, SimTime};

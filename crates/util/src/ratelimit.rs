@@ -1,0 +1,203 @@
+//! Token-bucket rate limiting over virtual time.
+//!
+//! Used to model per-peer network bandwidth caps (the paper's `bw_i`) and to
+//! throttle profiler report propagation ("too frequent updates would cause
+//! high network traffic", §4.4).
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A token bucket: capacity `burst`, refill `rate` tokens per second of
+/// virtual time. Deterministic — time is supplied by the caller.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TokenBucket {
+    rate_per_sec: f64,
+    burst: f64,
+    tokens: f64,
+    last_refill: SimTime,
+}
+
+impl TokenBucket {
+    /// Creates a bucket that starts full.
+    pub fn new(rate_per_sec: f64, burst: f64) -> Self {
+        assert!(rate_per_sec > 0.0 && burst > 0.0);
+        Self {
+            rate_per_sec,
+            burst,
+            tokens: burst,
+            last_refill: SimTime::ZERO,
+        }
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        if now > self.last_refill {
+            let dt = (now - self.last_refill).as_secs_f64();
+            self.tokens = (self.tokens + dt * self.rate_per_sec).min(self.burst);
+            self.last_refill = now;
+        }
+    }
+
+    /// Attempts to consume `amount` tokens at virtual time `now`.
+    /// Returns true (and consumes) if enough tokens are available.
+    pub fn try_consume(&mut self, now: SimTime, amount: f64) -> bool {
+        debug_assert!(amount >= 0.0);
+        self.refill(now);
+        if self.tokens + 1e-9 >= amount {
+            self.tokens -= amount;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Time until `amount` tokens would be available, given no other
+    /// consumption. `SimDuration::ZERO` if available now; `None` if `amount`
+    /// exceeds the burst capacity (it can never succeed in one shot).
+    pub fn time_until_available(&mut self, now: SimTime, amount: f64) -> Option<SimDuration> {
+        if amount > self.burst {
+            return None;
+        }
+        self.refill(now);
+        if self.tokens >= amount {
+            Some(SimDuration::ZERO)
+        } else {
+            let deficit = amount - self.tokens;
+            Some(SimDuration::from_secs_f64(deficit / self.rate_per_sec))
+        }
+    }
+
+    /// Tokens currently available (after refilling to `now`).
+    pub fn available(&mut self, now: SimTime) -> f64 {
+        self.refill(now);
+        self.tokens
+    }
+
+    /// The sustained rate in tokens per second.
+    pub fn rate(&self) -> f64 {
+        self.rate_per_sec
+    }
+
+    /// The burst capacity in tokens.
+    pub fn burst(&self) -> f64 {
+        self.burst
+    }
+}
+
+/// Tracks a periodic action (e.g. load-report propagation) with a fixed
+/// virtual-time period.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Periodic {
+    period: SimDuration,
+    next_due: SimTime,
+}
+
+impl Periodic {
+    /// Creates a periodic trigger; first due at `first`.
+    pub fn new(period: SimDuration, first: SimTime) -> Self {
+        assert!(!period.is_zero(), "zero period");
+        Self {
+            period,
+            next_due: first,
+        }
+    }
+
+    /// If `now` has reached the due time, advances the schedule and returns
+    /// true. Skips missed periods rather than bursting to catch up.
+    pub fn fire(&mut self, now: SimTime) -> bool {
+        if now >= self.next_due {
+            // Jump past `now` in whole periods to avoid a burst of firings
+            // after a long pause.
+            let missed = (now - self.next_due).as_micros() / self.period.as_micros();
+            self.next_due += self.period * (missed + 1);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The next time this trigger is due.
+    pub fn next_due(&self) -> SimTime {
+        self.next_due
+    }
+
+    /// The configured period.
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// Changes the period, keeping the next due time unchanged.
+    pub fn set_period(&mut self, period: SimDuration) {
+        assert!(!period.is_zero());
+        self.period = period;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_starts_full() {
+        let mut b = TokenBucket::new(10.0, 5.0);
+        assert!(b.try_consume(SimTime::ZERO, 5.0));
+        assert!(!b.try_consume(SimTime::ZERO, 0.1));
+    }
+
+    #[test]
+    fn bucket_refills_over_time() {
+        let mut b = TokenBucket::new(10.0, 5.0);
+        assert!(b.try_consume(SimTime::ZERO, 5.0));
+        // After 0.3s, 3 tokens refilled.
+        let t = SimTime::from_millis(300);
+        assert!(b.try_consume(t, 3.0));
+        assert!(!b.try_consume(t, 0.5));
+    }
+
+    #[test]
+    fn bucket_caps_at_burst() {
+        let mut b = TokenBucket::new(100.0, 5.0);
+        let t = SimTime::from_secs(100);
+        assert!((b.available(t) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_until_available() {
+        let mut b = TokenBucket::new(10.0, 5.0);
+        assert!(b.try_consume(SimTime::ZERO, 5.0));
+        let wait = b.time_until_available(SimTime::ZERO, 2.0).unwrap();
+        assert_eq!(wait, SimDuration::from_millis(200));
+        assert_eq!(b.time_until_available(SimTime::ZERO, 100.0), None);
+        // Consume nothing: after waiting, it should succeed.
+        let t = SimTime::ZERO + wait;
+        assert!(b.try_consume(t, 2.0));
+    }
+
+    #[test]
+    fn periodic_fires_on_schedule() {
+        let mut p = Periodic::new(SimDuration::from_secs(1), SimTime::from_secs(1));
+        assert!(!p.fire(SimTime::from_millis(999)));
+        assert!(p.fire(SimTime::from_secs(1)));
+        assert!(!p.fire(SimTime::from_millis(1500)));
+        assert!(p.fire(SimTime::from_secs(2)));
+        assert_eq!(p.next_due(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn periodic_skips_missed_periods() {
+        let mut p = Periodic::new(SimDuration::from_secs(1), SimTime::from_secs(1));
+        assert!(p.fire(SimTime::from_secs(10)));
+        // Only one firing; next due strictly after 10s.
+        assert!(!p.fire(SimTime::from_secs(10)));
+        assert_eq!(p.next_due(), SimTime::from_secs(11));
+    }
+
+    #[test]
+    fn periodic_set_period() {
+        let mut p = Periodic::new(SimDuration::from_secs(1), SimTime::ZERO);
+        assert!(p.fire(SimTime::ZERO));
+        p.set_period(SimDuration::from_secs(5));
+        assert_eq!(p.period(), SimDuration::from_secs(5));
+        assert!(p.fire(SimTime::from_secs(1)));
+        assert_eq!(p.next_due(), SimTime::from_secs(6));
+    }
+}

@@ -1,0 +1,334 @@
+//! Deterministic, splittable random-number streams.
+//!
+//! Every stochastic component in the system (workload arrivals, latency
+//! jitter, churn, gossip peer selection, ...) draws from its own
+//! [`DetRng`] stream, derived from the scenario's master seed and a stream
+//! label. This guarantees that (a) runs are exactly reproducible from the
+//! seed, and (b) adding a new consumer of randomness does not perturb the
+//! draws seen by existing consumers — a property plain "one shared RNG"
+//! setups lack and which matters when comparing policies on *identical*
+//! workloads (common random numbers).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// splitmix64 — the standard 64-bit seed-sequencing mix.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hashes a byte-string label into a 64-bit stream discriminator.
+#[inline]
+fn hash_label(label: &str) -> u64 {
+    // FNV-1a with a splitmix finalizer: good enough dispersion for stream
+    // separation, fully deterministic across platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in label.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    splitmix64(h)
+}
+
+/// A deterministic random stream.
+///
+/// Thin wrapper over [`SmallRng`] that remembers how it was derived and can
+/// spawn independent child streams.
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    seed: u64,
+    inner: SmallRng,
+}
+
+impl DetRng {
+    /// Creates the root stream for a scenario from its master seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child stream identified by a string label.
+    ///
+    /// The child's seed depends only on this stream's *seed* (not on how
+    /// many values have been drawn), so derivation order is irrelevant.
+    pub fn stream(&self, label: &str) -> DetRng {
+        DetRng::new(splitmix64(self.seed ^ hash_label(label)))
+    }
+
+    /// Derives an independent child stream identified by an index, e.g. one
+    /// stream per peer.
+    pub fn stream_idx(&self, label: &str, idx: u64) -> DetRng {
+        DetRng::new(splitmix64(
+            self.seed ^ hash_label(label) ^ splitmix64(idx.wrapping_add(0xA5A5_5A5A)),
+        ))
+    }
+
+    /// The seed this stream was constructed with.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi);
+        lo + (hi - lo) * self.unit()
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform usize index in `[0, n)`. Panics if `n == 0`.
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index(0)");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        self.unit() < p
+    }
+
+    /// Exponentially distributed value with the given mean.
+    ///
+    /// Used for Poisson inter-arrival times and exponential peer lifetimes.
+    #[inline]
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0);
+        // Inverse-CDF; clamp the unit draw away from 0 to avoid ln(0).
+        let u = self.unit().max(1e-12);
+        -mean * u.ln()
+    }
+
+    /// Pareto-distributed value with scale `x_min` and shape `alpha`.
+    ///
+    /// Heavy-tailed session durations, the classic P2P lifetime model.
+    #[inline]
+    pub fn pareto(&mut self, x_min: f64, alpha: f64) -> f64 {
+        debug_assert!(x_min > 0.0 && alpha > 0.0);
+        let u = self.unit().max(1e-12);
+        x_min / u.powf(1.0 / alpha)
+    }
+
+    /// Normally distributed value (Box–Muller).
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        debug_assert!(std_dev >= 0.0);
+        let u1 = self.unit().max(1e-12);
+        let u2 = self.unit();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// Log-normally distributed value parameterised by the *underlying*
+    /// normal's `mu` and `sigma`. Used for heterogeneous peer capacities.
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Zipf-like rank selection over `n` items with exponent `s`
+    /// (rank 0 most popular). Linear-time inverse CDF; fine for the sizes
+    /// used in workload generation.
+    pub fn zipf(&mut self, n: usize, s: f64) -> usize {
+        assert!(n > 0);
+        let norm: f64 = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).sum();
+        let mut target = self.unit() * norm;
+        for k in 1..=n {
+            target -= 1.0 / (k as f64).powf(s);
+            if target <= 0.0 {
+                return k - 1;
+            }
+        }
+        n - 1
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Samples `k` distinct indices from `[0, n)` (k ≤ n), in random order.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n);
+        let mut idx: Vec<usize> = (0..n).collect();
+        // Partial Fisher-Yates: only the first k positions need settling.
+        for i in 0..k {
+            let j = i + self.index(n - i);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+}
+
+impl RngCore for DetRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    #[inline]
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproducible_from_seed() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn streams_are_independent_of_draw_order() {
+        let root = DetRng::new(7);
+        let mut c1 = root.stream("arrivals");
+        // Draw from the root's clone heavily, then derive again: same child.
+        let mut root2 = DetRng::new(7);
+        for _ in 0..1000 {
+            root2.next_u64();
+        }
+        let mut c2 = root2.stream("arrivals");
+        for _ in 0..50 {
+            assert_eq!(c1.next_u64(), c2.next_u64());
+        }
+    }
+
+    #[test]
+    fn labelled_streams_differ() {
+        let root = DetRng::new(7);
+        let mut a = root.stream("a");
+        let mut b = root.stream("b");
+        assert_ne!(a.next_u64(), b.next_u64());
+        let mut i0 = root.stream_idx("peer", 0);
+        let mut i1 = root.stream_idx("peer", 1);
+        assert_ne!(i0.next_u64(), i1.next_u64());
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut r = DetRng::new(11);
+        let n = 20_000;
+        let mean = 3.0;
+        let sum: f64 = (0..n).map(|_| r.exponential(mean)).sum();
+        let observed = sum / n as f64;
+        assert!((observed - mean).abs() < 0.1, "observed {observed}");
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut r = DetRng::new(5);
+        for _ in 0..1000 {
+            let v = r.uniform(2.0, 3.0);
+            assert!((2.0..3.0).contains(&v));
+            let i = r.below(10);
+            assert!(i < 10);
+            let j = r.index(7);
+            assert!(j < 7);
+        }
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let mut r = DetRng::new(13);
+        for _ in 0..1000 {
+            assert!(r.pareto(2.0, 1.5) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = DetRng::new(17);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal(5.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let mut r = DetRng::new(19);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[r.zipf(10, 1.0)] += 1;
+        }
+        assert!(counts[0] > counts[4]);
+        assert!(counts[4] > counts[9]);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = DetRng::new(23);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_bounded() {
+        let mut r = DetRng::new(29);
+        let s = r.sample_indices(50, 20);
+        assert_eq!(s.len(), 20);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20);
+        assert!(s.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = DetRng::new(31);
+        assert!((0..100).all(|_| !r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+}

@@ -1,0 +1,423 @@
+//! Workload generation for the transcoding middleware.
+//!
+//! The paper's motivating application (§1) is media streaming with
+//! on-demand transcoding: users request objects by name with "a set of
+//! acceptable bitrates, resolutions and codecs" (§4.3). This crate
+//! synthesizes that workload deterministically:
+//!
+//! * a **format ladder** — a quality-ordered chain of media formats, the
+//!   application states of the resource graph;
+//! * a **catalog** of media objects, replicated across peers with
+//!   Zipf-distributed popularity;
+//! * per-peer **transcoder inventories** that connect ladder steps;
+//! * **task traces**: Poisson arrivals of user requests with exponential
+//!   session lengths and uniformly drawn deadlines.
+//!
+//! All draws flow through labelled [`DetRng`] streams so that two policy
+//! runs see *identical* workloads (common random numbers).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use arm_model::{Codec, MediaFormat, MediaObject, QosSpec, Resolution, ServiceSpec, TaskSpec};
+use arm_util::{DetRng, NodeId, ObjectId, ServiceId, SimDuration, SimTime, TaskId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The default quality ladder: five formats from the paper's example
+/// source (800×600 MPEG-2 @ 512 kbps) down to a handheld profile.
+pub fn default_format_ladder() -> Vec<MediaFormat> {
+    vec![
+        MediaFormat::new(Codec::Mpeg2, Resolution::SVGA, 512),
+        MediaFormat::new(Codec::Mpeg2, Resolution::VGA, 256),
+        MediaFormat::new(Codec::Mpeg4, Resolution::VGA, 128),
+        MediaFormat::new(Codec::Mpeg4, Resolution::QVGA, 64),
+        MediaFormat::new(Codec::H263, Resolution::QCIF, 32),
+    ]
+}
+
+/// Workload parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Number of distinct media objects in the catalog.
+    pub num_objects: usize,
+    /// Replicas of each object (placed on distinct peers).
+    pub object_replicas: usize,
+    /// Zipf exponent of object popularity (0 = uniform).
+    pub zipf_exponent: f64,
+    /// The format ladder, highest quality first. Objects are stored at
+    /// rung 0..2; requests target strictly lower rungs.
+    pub formats: Vec<MediaFormat>,
+    /// Transcoders granted to each peer (drawn from ladder steps and
+    /// skips). Zero disables an individual peer's services.
+    pub transcoders_per_peer: usize,
+    /// Work scale of transcoders (work units per abstract transcode unit)
+    /// — larger means heavier CPU demand per session.
+    pub work_scale: f64,
+    /// Mean task arrival rate for the whole system, tasks per second
+    /// (Poisson process).
+    pub arrival_rate: f64,
+    /// Mean streaming-session duration in seconds (exponential).
+    pub session_mean_secs: f64,
+    /// Deadline drawn uniformly from this range, seconds.
+    pub deadline_secs: (f64, f64),
+    /// Length of the trace.
+    pub horizon: SimTime,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            num_objects: 20,
+            object_replicas: 2,
+            zipf_exponent: 0.8,
+            formats: default_format_ladder(),
+            transcoders_per_peer: 3,
+            work_scale: 5.0,
+            arrival_rate: 0.5,
+            session_mean_secs: 60.0,
+            deadline_secs: (2.0, 8.0),
+            horizon: SimTime::from_secs(600),
+        }
+    }
+}
+
+/// A peer's generated inventory.
+#[derive(Debug, Clone, Default)]
+pub struct Inventory {
+    /// Objects stored on the peer.
+    pub objects: Vec<MediaObject>,
+    /// Transcoding services the peer offers.
+    pub services: Vec<ServiceSpec>,
+}
+
+/// A generated request trace entry: when, who asks, and for what.
+#[derive(Debug, Clone)]
+pub struct TaskArrival {
+    /// Arrival time.
+    pub at: SimTime,
+    /// The requesting peer.
+    pub requester: NodeId,
+    /// The task (with `submitted_at` left at zero — the submitting node
+    /// stamps it).
+    pub task: TaskSpec,
+}
+
+/// All transcoder steps of a ladder: adjacent rungs plus one-rung skips.
+fn ladder_steps(formats: &[MediaFormat]) -> Vec<(MediaFormat, MediaFormat)> {
+    let mut steps = Vec::new();
+    for i in 0..formats.len().saturating_sub(1) {
+        steps.push((formats[i], formats[i + 1]));
+        if i + 2 < formats.len() {
+            steps.push((formats[i], formats[i + 2]));
+        }
+    }
+    steps
+}
+
+/// Generates per-peer inventories: object replicas on the first
+/// `…replicas` random peers per object, transcoders sampled from the
+/// ladder steps. Peers are keyed by id; generation is deterministic in the
+/// RNG stream.
+pub fn generate_inventories(
+    peers: &[NodeId],
+    cfg: &WorkloadConfig,
+    rng: &DetRng,
+) -> BTreeMap<NodeId, Inventory> {
+    assert!(!peers.is_empty());
+    assert!(cfg.formats.len() >= 2, "need a ladder of at least 2 formats");
+    let mut inv: BTreeMap<NodeId, Inventory> = peers
+        .iter()
+        .map(|p| (*p, Inventory::default()))
+        .collect();
+
+    // Objects: stored at a top-third rung, replicated on distinct peers.
+    let mut obj_rng = rng.stream("objects");
+    let top_rungs = (cfg.formats.len() / 3).max(1);
+    for k in 0..cfg.num_objects {
+        let rung = obj_rng.index(top_rungs);
+        let object = MediaObject::new(
+            ObjectId::new(k as u64),
+            format!("obj-{k}"),
+            cfg.formats[rung],
+            obj_rng.uniform(30.0, 300.0),
+        );
+        let replicas = cfg.object_replicas.min(peers.len());
+        for &pi in obj_rng.sample_indices(peers.len(), replicas).iter() {
+            inv.get_mut(&peers[pi]).unwrap().objects.push(object.clone());
+        }
+    }
+
+    // Transcoders: each peer draws `transcoders_per_peer` distinct steps.
+    let steps = ladder_steps(&cfg.formats);
+    for (pi, peer) in peers.iter().enumerate() {
+        let mut t_rng = rng.stream_idx("transcoders", peer.raw());
+        let count = cfg.transcoders_per_peer.min(steps.len());
+        for (si, &step_idx) in t_rng
+            .sample_indices(steps.len(), count)
+            .iter()
+            .enumerate()
+        {
+            let (input, output) = steps[step_idx];
+            let id = ServiceId::new((pi as u64) * 1_000 + si as u64);
+            inv.get_mut(peer)
+                .unwrap()
+                .services
+                .push(ServiceSpec::transcoder(id, input, output, cfg.work_scale));
+        }
+    }
+    inv
+}
+
+/// Generates a Poisson task trace over the configured horizon. Requesters
+/// are drawn uniformly from `users`; objects by Zipf popularity; target
+/// formats strictly below the object's rung.
+pub fn generate_tasks(
+    users: &[NodeId],
+    inventories: &BTreeMap<NodeId, Inventory>,
+    cfg: &WorkloadConfig,
+    rng: &DetRng,
+) -> Vec<TaskArrival> {
+    assert!(!users.is_empty());
+    // Object rungs (needed to pick strictly-lower targets).
+    let mut object_rung: BTreeMap<String, usize> = BTreeMap::new();
+    for inv in inventories.values() {
+        for o in &inv.objects {
+            let rung = cfg
+                .formats
+                .iter()
+                .position(|f| *f == o.format)
+                .expect("object format on ladder");
+            object_rung.insert(o.name.clone(), rung);
+        }
+    }
+    let names: Vec<String> = (0..cfg.num_objects).map(|k| format!("obj-{k}")).collect();
+
+    let mut arr_rng = rng.stream("arrivals");
+    let mut trace = Vec::new();
+    let mut t = 0.0;
+    let mut task_id = 0u64;
+    loop {
+        t += arr_rng.exponential(1.0 / cfg.arrival_rate);
+        let at = SimTime::from_secs_f64(t);
+        if at >= cfg.horizon {
+            break;
+        }
+        let name = &names[arr_rng.zipf(names.len(), cfg.zipf_exponent)];
+        let Some(&rung) = object_rung.get(name) else {
+            continue; // object generated but placed on no live peer
+        };
+        if rung + 1 >= cfg.formats.len() {
+            continue;
+        }
+        let target_rung = rung + 1 + arr_rng.index(cfg.formats.len() - rung - 1);
+        let requester = users[arr_rng.index(users.len())];
+        let deadline = arr_rng.uniform(cfg.deadline_secs.0, cfg.deadline_secs.1);
+        task_id += 1;
+        trace.push(TaskArrival {
+            at,
+            requester,
+            task: TaskSpec {
+                id: TaskId::new(task_id),
+                name: name.clone(),
+                requester,
+                initial_format: cfg.formats[rung],
+                acceptable_formats: vec![cfg.formats[target_rung]],
+                qos: QosSpec::with_deadline(SimDuration::from_secs_f64(deadline)),
+                submitted_at: SimTime::ZERO,
+                session_secs: arr_rng.exponential(cfg.session_mean_secs),
+            },
+        });
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peers(n: u64) -> Vec<NodeId> {
+        (0..n).map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn ladder_is_quality_ordered() {
+        let ladder = default_format_ladder();
+        assert_eq!(ladder.len(), 5);
+        for w in ladder.windows(2) {
+            assert!(w[0].bitrate_kbps > w[1].bitrate_kbps);
+            assert!(w[0].resolution.pixels() >= w[1].resolution.pixels());
+        }
+    }
+
+    #[test]
+    fn ladder_steps_cover_adjacent_and_skip() {
+        let steps = ladder_steps(&default_format_ladder());
+        // 4 adjacent + 3 skips.
+        assert_eq!(steps.len(), 7);
+        let ladder = default_format_ladder();
+        assert!(steps.contains(&(ladder[0], ladder[1])));
+        assert!(steps.contains(&(ladder[0], ladder[2])));
+        assert!(steps.contains(&(ladder[3], ladder[4])));
+    }
+
+    #[test]
+    fn inventories_replicate_objects() {
+        let ps = peers(10);
+        let cfg = WorkloadConfig::default();
+        let inv = generate_inventories(&ps, &cfg, &DetRng::new(1));
+        let total_objects: usize = inv.values().map(|i| i.objects.len()).sum();
+        assert_eq!(total_objects, cfg.num_objects * cfg.object_replicas);
+        // Every peer has the configured number of transcoders.
+        for i in inv.values() {
+            assert_eq!(i.services.len(), cfg.transcoders_per_peer);
+        }
+        // Replicas of one object are on distinct peers.
+        let mut holders: BTreeMap<String, Vec<NodeId>> = BTreeMap::new();
+        for (p, i) in &inv {
+            for o in &i.objects {
+                holders.entry(o.name.clone()).or_default().push(*p);
+            }
+        }
+        for (name, hs) in holders {
+            let mut uniq = hs.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            assert_eq!(uniq.len(), hs.len(), "{name} replicated on distinct peers");
+        }
+    }
+
+    #[test]
+    fn trace_is_time_ordered_within_horizon() {
+        let ps = peers(8);
+        let cfg = WorkloadConfig::default();
+        let inv = generate_inventories(&ps, &cfg, &DetRng::new(2));
+        let trace = generate_tasks(&ps, &inv, &cfg, &DetRng::new(2));
+        assert!(!trace.is_empty());
+        for w in trace.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        assert!(trace.iter().all(|a| a.at < cfg.horizon));
+        // ~ rate × horizon arrivals expected.
+        let expected = cfg.arrival_rate * cfg.horizon.as_secs_f64();
+        assert!((trace.len() as f64) > expected * 0.7);
+        assert!((trace.len() as f64) < expected * 1.3);
+    }
+
+    #[test]
+    fn tasks_request_strictly_lower_rungs() {
+        let ps = peers(8);
+        let cfg = WorkloadConfig::default();
+        let inv = generate_inventories(&ps, &cfg, &DetRng::new(3));
+        let trace = generate_tasks(&ps, &inv, &cfg, &DetRng::new(3));
+        let ladder = &cfg.formats;
+        for a in &trace {
+            let src = ladder.iter().position(|f| *f == a.task.initial_format).unwrap();
+            for target in &a.task.acceptable_formats {
+                let dst = ladder.iter().position(|f| f == target).unwrap();
+                assert!(dst > src, "target below source on the ladder");
+            }
+            assert!(a.task.session_secs > 0.0);
+            let d = a.task.qos.deadline.as_secs_f64();
+            assert!(d >= cfg.deadline_secs.0 && d <= cfg.deadline_secs.1);
+        }
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let ps = peers(8);
+        let cfg = WorkloadConfig {
+            arrival_rate: 5.0,
+            ..WorkloadConfig::default()
+        };
+        let inv = generate_inventories(&ps, &cfg, &DetRng::new(4));
+        let trace = generate_tasks(&ps, &inv, &cfg, &DetRng::new(4));
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+        for a in &trace {
+            *counts.entry(a.task.name.as_str()).or_default() += 1;
+        }
+        let hot = counts.get("obj-0").copied().unwrap_or(0);
+        let cold = counts.get("obj-19").copied().unwrap_or(0);
+        assert!(hot > cold, "Zipf skew: hot {hot} vs cold {cold}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ps = peers(6);
+        let cfg = WorkloadConfig::default();
+        let a = generate_inventories(&ps, &cfg, &DetRng::new(9));
+        let b = generate_inventories(&ps, &cfg, &DetRng::new(9));
+        for (p, inv) in &a {
+            assert_eq!(inv.objects, b[p].objects);
+            assert_eq!(inv.services, b[p].services);
+        }
+        let ta = generate_tasks(&ps, &a, &cfg, &DetRng::new(9));
+        let tb = generate_tasks(&ps, &b, &cfg, &DetRng::new(9));
+        assert_eq!(ta.len(), tb.len());
+        for (x, y) in ta.iter().zip(&tb) {
+            assert_eq!(x.at, y.at);
+            assert_eq!(x.task, y.task);
+        }
+    }
+
+    #[test]
+    fn unqualified_edge_cases() {
+        // Single peer, replicas clamp to 1.
+        let ps = peers(1);
+        let cfg = WorkloadConfig {
+            object_replicas: 5,
+            num_objects: 3,
+            ..WorkloadConfig::default()
+        };
+        let inv = generate_inventories(&ps, &cfg, &DetRng::new(5));
+        assert_eq!(inv[&NodeId::new(0)].objects.len(), 3);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Every generated task names an object that exists in some
+        /// inventory, with the correct stored format.
+        #[test]
+        fn tasks_reference_real_objects(seed in 0u64..200, peers in 2usize..12) {
+            let ps: Vec<NodeId> = (0..peers as u64).map(NodeId::new).collect();
+            let cfg = WorkloadConfig {
+                horizon: SimTime::from_secs(120),
+                ..WorkloadConfig::default()
+            };
+            let inv = generate_inventories(&ps, &cfg, &DetRng::new(seed));
+            let trace = generate_tasks(&ps, &inv, &cfg, &DetRng::new(seed));
+            for arrival in &trace {
+                let found = inv.values().flat_map(|i| &i.objects).find(|o| {
+                    o.name == arrival.task.name && o.format == arrival.task.initial_format
+                });
+                prop_assert!(found.is_some(), "task names unknown object {}", arrival.task.name);
+                prop_assert!(ps.contains(&arrival.requester));
+            }
+        }
+
+        /// All generated transcoders connect formats that are on the
+        /// ladder, always downward in quality.
+        #[test]
+        fn transcoders_stay_on_ladder(seed in 0u64..200) {
+            let ps: Vec<NodeId> = (0..8u64).map(NodeId::new).collect();
+            let cfg = WorkloadConfig::default();
+            let inv = generate_inventories(&ps, &cfg, &DetRng::new(seed));
+            for i in inv.values() {
+                for s in &i.services {
+                    let from = cfg.formats.iter().position(|f| *f == s.input);
+                    let to = cfg.formats.iter().position(|f| *f == s.output);
+                    prop_assert!(from.is_some() && to.is_some());
+                    prop_assert!(to.unwrap() > from.unwrap(), "transcoders go down-ladder");
+                    prop_assert!(s.cost.work_per_sec > 0.0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # adaptive-p2p-rm — facade crate
+//!
+//! Re-exports the public API of the adaptive resource-management middleware
+//! for soft real-time peer-to-peer systems, a reproduction of
+//! *Repantis, Drougas, Kalogeraki — "Adaptive Resource Management in
+//! Peer-to-Peer Middleware" (IPPS 2005)*.
+//!
+//! Downstream users depend on this crate and use the re-exported modules:
+//!
+//! ```
+//! use adaptive_p2p_rm::util::fairness_index;
+//! assert_eq!(fairness_index(&[1.0, 1.0, 1.0]), 1.0);
+//! ```
+//!
+//! See the individual crates for deeper documentation:
+//! [`util`], [`des`], [`net`], [`model`], [`sched`], [`profiler`],
+//! [`proto`], [`core`], [`sim`], [`runtime`], [`workload`].
+
+pub use arm_core as core;
+pub use arm_des as des;
+pub use arm_model as model;
+pub use arm_net as net;
+pub use arm_profiler as profiler;
+pub use arm_proto as proto;
+pub use arm_runtime as runtime;
+pub use arm_sched as sched;
+pub use arm_sim as sim;
+pub use arm_util as util;
+pub use arm_workload as workload;

@@ -1,0 +1,76 @@
+//! Workspace-level integration: full simulated overlays through the
+//! facade crate's public API.
+
+use adaptive_p2p_rm::sim::{ScenarioConfig, Simulation};
+use adaptive_p2p_rm::util::{SimDuration, SimTime};
+
+fn scenario(seed: u64) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig {
+        seed,
+        clusters: 2,
+        peers_per_cluster: 8,
+        horizon: SimTime::from_secs(90),
+        warmup: SimDuration::from_secs(5),
+        ..ScenarioConfig::default()
+    };
+    cfg.workload.arrival_rate = 0.5;
+    cfg.workload.session_mean_secs = 30.0;
+    cfg
+}
+
+#[test]
+fn overlay_serves_most_tasks_on_time() {
+    let report = Simulation::new(scenario(11)).run();
+    assert!(report.submitted >= 20);
+    assert!(
+        report.outcomes.goodput() > 0.7,
+        "goodput too low: {:?}",
+        report.outcomes
+    );
+    assert_eq!(report.final_domains, 2);
+    assert_eq!(report.final_peers, 16);
+}
+
+#[test]
+fn deterministic_replay_through_facade() {
+    let a = Simulation::new(scenario(12)).run();
+    let b = Simulation::new(scenario(12)).run();
+    assert_eq!(a.outcomes, b.outcomes);
+    assert_eq!(a.events_processed, b.events_processed);
+    assert_eq!(a.message_count(), b.message_count());
+}
+
+#[test]
+fn fairness_stays_meaningful_under_load() {
+    let mut cfg = scenario(13);
+    cfg.workload.arrival_rate = 1.5;
+    let report = Simulation::new(cfg).run();
+    let mf = report.mean_fairness();
+    assert!(
+        (0.2..=1.0).contains(&mf),
+        "fairness out of range: {mf}"
+    );
+    // Utilization is non-trivial under this load.
+    assert!(report.mean_utilization() > 0.02);
+}
+
+#[test]
+fn report_accounting_is_self_consistent() {
+    let report = Simulation::new(scenario(14)).run();
+    // Every terminal outcome belongs to a submitted task; composition can
+    // still be in flight at the horizon, so allow slack.
+    assert!(report.outcomes.total() <= report.submitted);
+    assert!(report.outcomes.total() >= report.submitted / 2);
+    // Message kinds contain the protocol staples.
+    for kind in ["heartbeat", "load_report", "task_query", "compose"] {
+        assert!(
+            report.messages.contains_key(kind),
+            "missing message kind {kind}: {:?}",
+            report.messages.keys().collect::<Vec<_>>()
+        );
+    }
+    // Byte counts are consistent with counts.
+    for (kind, (count, bytes)) in &report.messages {
+        assert!(bytes >= count, "{kind}: bytes {bytes} < count {count}");
+    }
+}

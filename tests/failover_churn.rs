@@ -1,0 +1,69 @@
+//! Workspace-level integration: dynamics — churn, failover, repair.
+
+use adaptive_p2p_rm::net::churn::ChurnParams;
+use adaptive_p2p_rm::sim::{ScenarioConfig, Simulation};
+use adaptive_p2p_rm::util::{SimDuration, SimTime};
+
+fn churny(seed: u64, crash_fraction: f64) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig {
+        seed,
+        clusters: 2,
+        peers_per_cluster: 8,
+        horizon: SimTime::from_secs(150),
+        warmup: SimDuration::from_secs(5),
+        ..ScenarioConfig::default()
+    };
+    cfg.workload.arrival_rate = 0.4;
+    cfg.workload.session_mean_secs = 60.0;
+    cfg.churn = Some(ChurnParams {
+        mean_uptime_secs: 50.0,
+        mean_downtime_secs: 20.0,
+        crash_fraction,
+        churning_fraction: 0.7,
+    });
+    cfg
+}
+
+#[test]
+fn overlay_survives_crash_churn() {
+    let report = Simulation::new(churny(21, 1.0)).run();
+    // The overlay keeps serving: some tasks complete despite churn.
+    assert!(
+        report.outcomes.on_time > 0,
+        "nothing completed under churn: {:?}",
+        report.outcomes
+    );
+    // At least one RM is alive at the end.
+    assert!(report.final_domains >= 1);
+    // Liveness machinery fired.
+    assert!(
+        report.promotions + report.repairs_ok + report.repairs_failed > 0,
+        "no failover/repair activity: {report:?}"
+    );
+}
+
+#[test]
+fn graceful_churn_is_cheaper_than_crashes() {
+    let crash = Simulation::new(churny(22, 1.0)).run();
+    let graceful = Simulation::new(churny(22, 0.0)).run();
+    // Graceful leaves are announced, so nothing waits for heartbeat
+    // timeouts; completion should not be worse by more than noise.
+    assert!(
+        graceful.outcomes.goodput() >= crash.outcomes.goodput() - 0.15,
+        "graceful {:.2} vs crash {:.2}",
+        graceful.outcomes.goodput(),
+        crash.outcomes.goodput()
+    );
+}
+
+#[test]
+fn churned_peers_rejoin() {
+    let report = Simulation::new(churny(23, 1.0)).run();
+    // With rejoin enabled, the final population stays near full strength
+    // (downtime is short relative to uptime).
+    assert!(
+        report.final_peers >= 10,
+        "population collapsed: {}",
+        report.final_peers
+    );
+}

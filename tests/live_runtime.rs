@@ -1,0 +1,146 @@
+//! Workspace-level integration: the live threaded runtime through the
+//! facade crate, and sim/live agreement on protocol behaviour.
+
+use adaptive_p2p_rm::core::ProtocolConfig;
+use adaptive_p2p_rm::model::{
+    Codec, MediaFormat, MediaObject, QosSpec, Resolution, ServiceSpec, TaskSpec,
+};
+use adaptive_p2p_rm::runtime::{PeerSpawn, Runtime, RuntimeConfig};
+use adaptive_p2p_rm::util::{NodeId, ObjectId, ServiceId, SimDuration, SimTime, TaskId};
+use std::time::{Duration, Instant};
+
+fn fast_protocol() -> ProtocolConfig {
+    ProtocolConfig {
+        heartbeat_period: SimDuration::from_millis(50),
+        heartbeat_timeout: SimDuration::from_millis(200),
+        report_period: SimDuration::from_millis(50),
+        gossip_period: SimDuration::from_millis(200),
+        backup_period: SimDuration::from_millis(100),
+        adapt_period: SimDuration::from_millis(200),
+        join_timeout: SimDuration::from_millis(200),
+        compose_timeout: SimDuration::from_millis(500),
+        sched_poll: SimDuration::from_millis(5),
+        ..ProtocolConfig::default()
+    }
+}
+
+#[test]
+fn live_overlay_completes_a_transcode() {
+    let (mut rt, cfg) = Runtime::new(RuntimeConfig {
+        latency: SimDuration::from_millis(1),
+        protocol: fast_protocol(),
+    });
+    let intermediate = MediaFormat::new(Codec::Mpeg2, Resolution::VGA, 256);
+    rt.spawn_peer(
+        PeerSpawn {
+            id: NodeId::new(1),
+            capacity: 100.0,
+            bandwidth_kbps: 10_000,
+            objects: vec![],
+            services: vec![],
+            bootstrap: None,
+        },
+        &cfg.protocol,
+        1,
+    );
+    std::thread::sleep(Duration::from_millis(50));
+    rt.spawn_peer(
+        PeerSpawn {
+            id: NodeId::new(2),
+            capacity: 100.0,
+            bandwidth_kbps: 10_000,
+            objects: vec![MediaObject::new(
+                ObjectId::new(1),
+                "clip",
+                MediaFormat::paper_source(),
+                30.0,
+            )],
+            services: vec![ServiceSpec::transcoder(
+                ServiceId::new(1),
+                MediaFormat::paper_source(),
+                intermediate,
+                5.0,
+            )],
+            bootstrap: Some(NodeId::new(1)),
+        },
+        &cfg.protocol,
+        1,
+    );
+    rt.spawn_peer(
+        PeerSpawn {
+            id: NodeId::new(3),
+            capacity: 100.0,
+            bandwidth_kbps: 10_000,
+            objects: vec![],
+            services: vec![ServiceSpec::transcoder(
+                ServiceId::new(2),
+                intermediate,
+                MediaFormat::paper_target(),
+                5.0,
+            )],
+            bootstrap: Some(NodeId::new(1)),
+        },
+        &cfg.protocol,
+        1,
+    );
+    std::thread::sleep(Duration::from_millis(300));
+
+    rt.submit(
+        NodeId::new(3),
+        TaskSpec {
+            id: TaskId::new(7),
+            name: "clip".into(),
+            requester: NodeId::new(3),
+            initial_format: MediaFormat::paper_source(),
+            acceptable_formats: vec![MediaFormat::paper_target()],
+            qos: QosSpec::with_deadline(SimDuration::from_secs(5)),
+            submitted_at: SimTime::ZERO,
+            session_secs: 0.5,
+        },
+    );
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let t = rt.telemetry();
+        if t.outcomes
+            .iter()
+            .any(|(id, o, _)| *id == TaskId::new(7) && o.is_completed())
+        {
+            break;
+        }
+        assert!(Instant::now() < deadline, "live transcode timed out: {t:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    rt.shutdown();
+}
+
+#[test]
+fn live_graceful_leave_is_announced() {
+    let (mut rt, cfg) = Runtime::new(RuntimeConfig {
+        latency: SimDuration::from_millis(1),
+        protocol: fast_protocol(),
+    });
+    for (id, boot) in [(1u64, None), (2, Some(1)), (3, Some(1))] {
+        rt.spawn_peer(
+            PeerSpawn {
+                id: NodeId::new(id),
+                capacity: 100.0,
+                bandwidth_kbps: 10_000,
+                objects: vec![],
+                services: vec![],
+                bootstrap: boot.map(NodeId::new),
+            },
+            &cfg.protocol,
+            1,
+        );
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    std::thread::sleep(Duration::from_millis(200));
+    let before = rt.telemetry().messages;
+    rt.leave(NodeId::new(3));
+    std::thread::sleep(Duration::from_millis(200));
+    // The leave produced protocol traffic (the announcement) and the
+    // remaining overlay keeps heartbeating.
+    let after = rt.telemetry().messages;
+    assert!(after > before);
+    rt.shutdown();
+}
