@@ -3,9 +3,12 @@
 //!
 //! ```text
 //! arm scaffold [--out scenario.json]        write a default scenario config
-//! arm simulate --config scenario.json       run it; print a summary
+//! arm simulate [--config scenario.json]     run it; print a summary
+//!              [--peers N]                  override the total peer count
 //!              [--out report.json]          also dump the full report as JSON
 //!              [--seed N]                   override the config's seed
+//!              [--trace out.jsonl]          write structured trace events
+//!              [--metrics out.json]         write the metrics snapshot
 //! arm topology [--clusters N] [--per-cluster M] [--seed S]
 //!                                           print a generated topology
 //! arm experiment <e01..e14|all> [--quick]   run a reproduction experiment
@@ -51,7 +54,8 @@ arm — adaptive P2P resource-management middleware
 
 USAGE:
   arm scaffold [--out scenario.json]
-  arm simulate --config scenario.json [--out report.json] [--seed N]
+  arm simulate [--config scenario.json] [--peers N] [--out report.json] [--seed N]
+               [--trace events.jsonl] [--metrics metrics.json]
   arm topology [--clusters N] [--per-cluster M] [--seed S]
   arm experiment <e01..e14|all> [--quick]";
 
@@ -94,19 +98,53 @@ fn scaffold(flags: &BTreeMap<String, String>) -> Result<(), String> {
 }
 
 fn simulate(flags: &BTreeMap<String, String>) -> Result<(), String> {
-    let path = flags
-        .get("config")
-        .ok_or("simulate requires --config <file>")?;
-    let raw = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let mut cfg: ScenarioConfig =
-        serde_json::from_str(&raw).map_err(|e| format!("parsing {path}: {e}"))?;
+    let mut cfg: ScenarioConfig = match flags.get("config") {
+        Some(path) => {
+            let raw = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            serde_json::from_str(&raw).map_err(|e| format!("parsing {path}: {e}"))?
+        }
+        None => {
+            // Without a config, run a demo scenario with mild churn and a
+            // hot workload so the whole protocol (failover, repair,
+            // admission control, reassignment) is exercised.
+            let mut cfg = ScenarioConfig::default();
+            cfg.churn = Some(arm_net::churn::ChurnParams {
+                mean_uptime_secs: 120.0,
+                mean_downtime_secs: 20.0,
+                crash_fraction: 0.7,
+                churning_fraction: 0.3,
+            });
+            cfg.workload.arrival_rate = 3.0;
+            cfg.workload.session_mean_secs = 180.0;
+            // Low overload threshold: hot peers show up even in a short
+            // demo run, so §4.5 reassignment visibly fires.
+            cfg.protocol.overload_threshold = 0.05;
+            cfg
+        }
+    };
     if let Some(seed) = flags.get("seed") {
         cfg.seed = seed.parse().map_err(|e| format!("bad --seed: {e}"))?;
     }
+    if let Some(peers) = flags.get("peers") {
+        let peers: usize = peers.parse().map_err(|e| format!("bad --peers: {e}"))?;
+        if peers == 0 {
+            return Err("--peers must be positive".into());
+        }
+        // Spread the requested total across the configured clusters.
+        cfg.peers_per_cluster = peers.div_ceil(cfg.clusters.max(1));
+    }
+    let telemetry = flags.contains_key("trace") || flags.contains_key("metrics");
     let peers = cfg.num_peers();
     let horizon = cfg.horizon.as_secs_f64();
-    println!("running {peers} peers for {horizon:.0}s of virtual time (seed {})...", cfg.seed);
-    let report = Simulation::new(cfg).run();
+    println!(
+        "running {peers} peers for {horizon:.0}s of virtual time (seed {})...",
+        cfg.seed
+    );
+    let mut sim = Simulation::new(cfg);
+    if telemetry {
+        sim.enable_telemetry(1 << 18);
+    }
+    let (report, recorder) = sim.run_traced();
 
     println!();
     println!("submitted            {}", report.submitted);
@@ -150,6 +188,32 @@ fn simulate(flags: &BTreeMap<String, String>) -> Result<(), String> {
         report.wall_ms, report.events_processed
     );
 
+    if telemetry && !report.trace_counts.is_empty() {
+        println!();
+        println!("trace events ({} kinds):", report.trace_counts.len());
+        for (kind, count) in &report.trace_counts {
+            println!("  {kind:<20} {count}");
+        }
+    }
+
+    if let Some(out) = flags.get("trace") {
+        let mut buf = Vec::new();
+        recorder
+            .trace
+            .write_jsonl(&mut buf)
+            .map_err(|e| format!("serialising trace: {e}"))?;
+        std::fs::write(out, buf).map_err(|e| format!("writing {out}: {e}"))?;
+        let recorded: u64 = recorder.trace.kind_counts().values().sum();
+        println!(
+            "trace written to {out} ({} events retained of {recorded} recorded)",
+            recorder.trace.len()
+        );
+    }
+    if let Some(out) = flags.get("metrics") {
+        let json = serde_json::to_string_pretty(&recorder.snapshot()).map_err(|e| e.to_string())?;
+        std::fs::write(out, json).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("metrics written to {out}");
+    }
     if let Some(out) = flags.get("out") {
         let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
         std::fs::write(out, json).map_err(|e| format!("writing {out}: {e}"))?;
@@ -183,7 +247,10 @@ fn topology(flags: &BTreeMap<String, String>) -> Result<(), String> {
         &mut rng,
         0,
     );
-    println!("{:<6} {:<8} {:<18} {:>10} {:>10} {:>10}", "peer", "cluster", "coord", "capacity", "bw kbps", "stability");
+    println!(
+        "{:<6} {:<8} {:<18} {:>10} {:>10} {:>10}",
+        "peer", "cluster", "coord", "capacity", "bw kbps", "stability"
+    );
     for p in &topo.peers {
         println!(
             "{:<6} {:<8} ({:>6.2},{:>6.2})   {:>10.1} {:>10} {:>9.0}s",
@@ -208,18 +275,50 @@ fn experiment(args: &[String]) -> Result<(), String> {
     let registry: Vec<(&str, &str, Runner)> = vec![
         ("e01", "Figure 1", arm_experiments::e01_figure1::run),
         ("e02", "Figure 2", arm_experiments::e02_figure2::run),
-        ("e03", "Figure 3 / allocation scaling", arm_experiments::e03_alloc_scaling::run),
-        ("e04", "fairness vs baselines", arm_experiments::e04_fairness::run),
+        (
+            "e03",
+            "Figure 3 / allocation scaling",
+            arm_experiments::e03_alloc_scaling::run,
+        ),
+        (
+            "e04",
+            "fairness vs baselines",
+            arm_experiments::e04_fairness::run,
+        ),
         ("e05", "scalability", arm_experiments::e05_scalability::run),
-        ("e06", "heterogeneity", arm_experiments::e06_heterogeneity::run),
+        (
+            "e06",
+            "heterogeneity",
+            arm_experiments::e06_heterogeneity::run,
+        ),
         ("e07", "churn", arm_experiments::e07_churn::run),
-        ("e08", "local scheduling", arm_experiments::e08_scheduling::run),
-        ("e09", "redirection & blooms", arm_experiments::e09_admission::run),
-        ("e10", "report period", arm_experiments::e10_update_period::run),
-        ("e11", "reassignment", arm_experiments::e11_reassignment::run),
+        (
+            "e08",
+            "local scheduling",
+            arm_experiments::e08_scheduling::run,
+        ),
+        (
+            "e09",
+            "redirection & blooms",
+            arm_experiments::e09_admission::run,
+        ),
+        (
+            "e10",
+            "report period",
+            arm_experiments::e10_update_period::run,
+        ),
+        (
+            "e11",
+            "reassignment",
+            arm_experiments::e11_reassignment::run,
+        ),
         ("e12", "gossip", arm_experiments::e12_gossip::run),
         ("e13", "loss resilience", arm_experiments::e13_loss::run),
-        ("e14", "domain granularity", arm_experiments::e14_domain_size::run),
+        (
+            "e14",
+            "domain granularity",
+            arm_experiments::e14_domain_size::run,
+        ),
     ];
     if id == "all" {
         for (eid, title, f) in registry {
@@ -275,6 +374,44 @@ mod tests {
         let report: arm_sim::SimReport =
             serde_json::from_str(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
         assert!(report.events_processed > 0);
+    }
+
+    #[test]
+    fn simulate_writes_trace_and_metrics() {
+        let dir = std::env::temp_dir().join("arm-cli-telemetry-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("events.jsonl");
+        let metrics_path = dir.join("metrics.json");
+        // Shrunk scenario so the test is fast.
+        let cfg_path = dir.join("scenario.json");
+        let mut cfg = ScenarioConfig::default();
+        cfg.horizon = arm_util::SimTime::from_secs(45);
+        std::fs::write(&cfg_path, serde_json::to_string(&cfg).unwrap()).unwrap();
+        let mut flags = BTreeMap::new();
+        flags.insert("config".to_string(), cfg_path.to_str().unwrap().to_string());
+        flags.insert("peers".to_string(), "8".to_string());
+        flags.insert(
+            "trace".to_string(),
+            trace_path.to_str().unwrap().to_string(),
+        );
+        flags.insert(
+            "metrics".to_string(),
+            metrics_path.to_str().unwrap().to_string(),
+        );
+        simulate(&flags).unwrap();
+
+        let jsonl = std::fs::read_to_string(&trace_path).unwrap();
+        let events = arm_telemetry::TraceLog::parse_jsonl(&jsonl).unwrap();
+        assert!(!events.is_empty(), "trace JSONL has events");
+        let snapshot: arm_telemetry::MetricsSnapshot =
+            serde_json::from_str(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
+        assert!(
+            snapshot
+                .histograms
+                .iter()
+                .any(|h| h.key.starts_with("task_phase_seconds")),
+            "metrics snapshot has per-phase latency histograms"
+        );
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use arm_model::task::TaskOutcome;
 use arm_model::TaskSpec;
 use arm_proto::Message;
+use arm_telemetry::TraceEvent;
 use arm_util::{DomainId, NodeId, SessionId, SimDuration, SimTime, TaskId};
 use serde::{Deserialize, Serialize};
 
@@ -135,6 +136,11 @@ pub enum Action {
         /// When.
         at: SimTime,
     },
+    /// Telemetry: a structured trace event (see [`arm_telemetry::trace`]).
+    /// Only emitted when tracing is switched on via
+    /// [`PeerNode::set_tracing`](crate::PeerNode::set_tracing); the driver
+    /// forwards these to its [`arm_telemetry::Recorder`].
+    Trace(TraceEvent),
 }
 
 impl Action {
@@ -181,7 +187,8 @@ mod tests {
 
     #[test]
     fn action_batch_extractors() {
-        let actions = [Action::Send {
+        let actions = [
+            Action::Send {
                 to: NodeId::new(1),
                 msg: Message::Leave {
                     node: NodeId::new(2),
@@ -194,10 +201,14 @@ mod tests {
             Action::Promoted {
                 domain: DomainId::new(1),
                 at: SimTime::ZERO,
-            }];
+            },
+        ];
         assert_eq!(actions.sends().len(), 1);
         assert_eq!(actions.sends()[0].0, NodeId::new(1));
-        assert_eq!(actions.timers(), vec![(TimerKind::Heartbeat, SimDuration::from_secs(1))]);
+        assert_eq!(
+            actions.timers(),
+            vec![(TimerKind::Heartbeat, SimDuration::from_secs(1))]
+        );
         assert_eq!(actions[0].send_to(), Some(NodeId::new(1)));
         assert_eq!(actions[1].send_to(), None);
     }

@@ -18,8 +18,25 @@ use arm_model::{MediaObject, PeerInfo, ServiceSpec, TaskSpec};
 use arm_profiler::Profiler;
 use arm_proto::{Message, RmCandidacy, RmSnapshot, TaskReplyKind};
 use arm_sched::{Job, JobId, LocalScheduler, SchedulerConfig};
+use arm_telemetry::{TaskPhase, TraceEvent, TraceKind};
 use arm_util::{DetRng, DomainId, NodeId, SessionId, SimTime};
 use std::collections::BTreeMap;
+
+/// Appends an [`Action::Trace`] when tracing is on. A free function (not a
+/// method) so callsites can use it while `self.rm_state` is mutably
+/// borrowed.
+fn push_trace(
+    actions: &mut Vec<Action>,
+    tracing: bool,
+    at: SimTime,
+    peer: NodeId,
+    domain: Option<DomainId>,
+    kind: TraceKind,
+) {
+    if tracing {
+        actions.push(Action::Trace(TraceEvent::new(at, peer, domain, kind)));
+    }
+}
 
 /// The node's current overlay role.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,6 +100,12 @@ pub struct PeerNode {
     backup_snapshot: Option<RmSnapshot>,
     rm_state: Option<RmState>,
     rng: DetRng,
+    /// When true, protocol decisions additionally emit [`Action::Trace`]
+    /// events (off by default; see [`PeerNode::set_tracing`]).
+    tracing: bool,
+    /// Last backup choice announced via a `Qualification` trace event, so
+    /// the periodic backup tick only traces *changes*.
+    traced_backup: Option<NodeId>,
 }
 
 impl PeerNode {
@@ -130,8 +153,19 @@ impl PeerNode {
             backup_snapshot: None,
             rm_state: None,
             rng: DetRng::new(seed).stream_idx("peer", id.raw()),
+            tracing: false,
+            traced_backup: None,
             cfg,
         }
+    }
+
+    /// Switches structured trace emission on or off. While on, protocol
+    /// decisions (election, splits, gossip, admission, repair, ...) emit
+    /// [`Action::Trace`] events for the driver's
+    /// [`arm_telemetry::Recorder`]. Off by default: untraced runs produce
+    /// byte-identical action streams to builds without telemetry.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
     }
 
     // ---- accessors -------------------------------------------------------
@@ -200,20 +234,18 @@ impl PeerNode {
             Event::Msg { from, msg } => self.on_msg(now, from, msg, &mut actions),
             Event::Timer(kind) => self.on_timer(now, kind, &mut actions),
             Event::SubmitTask(task) => self.on_submit(now, task, &mut actions),
-            Event::Renegotiate { task, new_qos } => {
-                match self.role {
-                    Role::Rm => self.rm_on_renegotiate(task, new_qos),
-                    Role::Member => {
-                        if let Some(rm) = self.rm {
-                            actions.push(Action::Send {
-                                to: rm,
-                                msg: Message::RenegotiateQos { task, new_qos },
-                            });
-                        }
+            Event::Renegotiate { task, new_qos } => match self.role {
+                Role::Rm => self.rm_on_renegotiate(task, new_qos),
+                Role::Member => {
+                    if let Some(rm) = self.rm {
+                        actions.push(Action::Send {
+                            to: rm,
+                            msg: Message::RenegotiateQos { task, new_qos },
+                        });
                     }
-                    _ => {}
                 }
-            }
+                _ => {}
+            },
             Event::Shutdown { graceful } => self.on_shutdown(graceful, &mut actions),
         }
         actions
@@ -270,7 +302,16 @@ impl PeerNode {
             }
         }
         state.register_inventory(self.id, &self.objects, &self.services);
+        let members = state.domain_size() as u64;
         self.rm_state = Some(state);
+        push_trace(
+            actions,
+            self.tracing,
+            now,
+            self.id,
+            Some(domain),
+            TraceKind::RmElected { members },
+        );
         self.arm_common_timers(actions);
         self.arm_rm_timers(actions);
     }
@@ -353,7 +394,10 @@ impl PeerNode {
                 }
             }
             Message::Leave { node } => self.on_leave(now, node, actions),
-            Message::Heartbeat { from: hb_from, sent_at } => {
+            Message::Heartbeat {
+                from: hb_from,
+                sent_at,
+            } => {
                 actions.push(Action::Send {
                     to: hb_from,
                     msg: Message::HeartbeatAck {
@@ -403,7 +447,10 @@ impl PeerNode {
                     });
                 }
             }
-            Message::TaskRedirect { task, tried_domains } => {
+            Message::TaskRedirect {
+                task,
+                tried_domains,
+            } => {
                 if self.role == Role::Rm {
                     self.rm_handle_task(now, task, tried_domains, actions);
                 }
@@ -421,7 +468,11 @@ impl PeerNode {
                 hop,
                 deadline,
             } => self.on_compose(now, from, session, &graph, hop, deadline, actions),
-            Message::ComposeAck { session, hop, from: acker } => {
+            Message::ComposeAck {
+                session,
+                hop,
+                from: acker,
+            } => {
                 self.rm_on_compose_ack(now, session, hop, acker, actions);
             }
             Message::SessionEnd { session } => self.on_session_end_local(session),
@@ -473,9 +524,12 @@ impl PeerNode {
     }
 
     fn on_join_request(&mut self, now: SimTime, candidacy: RmCandidacy, actions: &mut Vec<Action>) {
+        let tracing = self.tracing;
+        let me = self.id;
         match self.role {
             Role::Rm => {
                 let state = self.rm_state.as_mut().expect("RM role has state");
+                let my_domain = state.domain;
                 let known: Vec<(DomainId, NodeId)> = std::iter::once((state.domain, state.me))
                     .chain(state.known_rms.iter().map(|(d, n)| (*d, *n)))
                     .collect();
@@ -491,6 +545,16 @@ impl PeerNode {
                             known_rms: known,
                         },
                     });
+                    push_trace(
+                        actions,
+                        tracing,
+                        now,
+                        me,
+                        Some(my_domain),
+                        TraceKind::JoinAccepted {
+                            member: candidacy.node,
+                        },
+                    );
                 } else if candidacy.qualifies(&self.cfg.rm_requirements) {
                     // Domain full and the newcomer qualifies: it founds a
                     // new domain (§4.1 splitting).
@@ -506,6 +570,29 @@ impl PeerNode {
                             known_rms: known,
                         },
                     });
+                    push_trace(
+                        actions,
+                        tracing,
+                        now,
+                        me,
+                        Some(my_domain),
+                        TraceKind::Qualification {
+                            candidate: candidacy.node,
+                            score: candidacy.score(),
+                        },
+                    );
+                    push_trace(
+                        actions,
+                        tracing,
+                        now,
+                        me,
+                        Some(my_domain),
+                        TraceKind::DomainSplit {
+                            new_domain,
+                            new_rm: candidacy.node,
+                            moved: 1,
+                        },
+                    );
                 } else if let Some((_, other_rm)) = state
                     .known_rms
                     .iter()
@@ -516,6 +603,17 @@ impl PeerNode {
                         to: candidacy.node,
                         msg: Message::JoinRedirect { to: other_rm },
                     });
+                    push_trace(
+                        actions,
+                        tracing,
+                        now,
+                        me,
+                        Some(my_domain),
+                        TraceKind::JoinRedirected {
+                            member: candidacy.node,
+                            to: other_rm,
+                        },
+                    );
                 } else {
                     // No alternative exists: admit anyway rather than
                     // orphan the peer (pragmatic deviation, documented).
@@ -530,6 +628,16 @@ impl PeerNode {
                             known_rms: known,
                         },
                     });
+                    push_trace(
+                        actions,
+                        tracing,
+                        now,
+                        me,
+                        Some(my_domain),
+                        TraceKind::JoinAccepted {
+                            member: candidacy.node,
+                        },
+                    );
                 }
             }
             Role::Member => {
@@ -538,6 +646,17 @@ impl PeerNode {
                         to: candidacy.node,
                         msg: Message::JoinRedirect { to: rm },
                     });
+                    push_trace(
+                        actions,
+                        tracing,
+                        now,
+                        me,
+                        self.domain,
+                        TraceKind::JoinRedirected {
+                            member: candidacy.node,
+                            to: rm,
+                        },
+                    );
                 }
             }
             Role::Joining | Role::Idle => {}
@@ -631,8 +750,12 @@ impl PeerNode {
         match self.role {
             Role::Rm => {
                 let state = self.rm_state.as_mut().expect("rm state");
-                let members: Vec<NodeId> =
-                    state.members.keys().copied().filter(|m| *m != self.id).collect();
+                let members: Vec<NodeId> = state
+                    .members
+                    .keys()
+                    .copied()
+                    .filter(|m| *m != self.id)
+                    .collect();
                 for m in &members {
                     actions.push(Action::Send {
                         to: *m,
@@ -694,8 +817,7 @@ impl PeerNode {
     }
 
     fn on_report_tick(&mut self, now: SimTime, actions: &mut Vec<Action>) {
-        self.profiler
-            .set_transient(0.0, self.sched.queue_len());
+        self.profiler.set_transient(0.0, self.sched.queue_len());
         let report = self.profiler.make_report(now);
         match self.role {
             Role::Rm => {
@@ -724,7 +846,6 @@ impl PeerNode {
     }
 
     fn on_gossip_tick(&mut self, now: SimTime, actions: &mut Vec<Action>) {
-        let _ = now;
         if self.role != Role::Rm {
             self.rm_timers_armed = false;
             return;
@@ -741,6 +862,20 @@ impl PeerNode {
         if !targets.is_empty() {
             let k = self.cfg.gossip_fanout.min(targets.len());
             let picks = self.rng.sample_indices(targets.len(), k);
+            // Set-bit density of our own Bloom object summary: how much
+            // we are telling the remote RM about.
+            let own = &summaries[0];
+            let bits_set = (own.objects.fill_ratio() * own.objects.num_bits() as f64) as u64;
+            push_trace(
+                actions,
+                self.tracing,
+                now,
+                self.id,
+                self.domain,
+                TraceKind::GossipRound {
+                    fanout: picks.len() as u64,
+                },
+            );
             for i in picks {
                 actions.push(Action::Send {
                     to: targets[i],
@@ -748,6 +883,17 @@ impl PeerNode {
                         summaries: summaries.clone(),
                     },
                 });
+                push_trace(
+                    actions,
+                    self.tracing,
+                    now,
+                    self.id,
+                    self.domain,
+                    TraceKind::BloomExchange {
+                        with: targets[i],
+                        bits_set,
+                    },
+                );
             }
         }
         actions.push(Action::SetTimer {
@@ -760,8 +906,35 @@ impl PeerNode {
         if self.role != Role::Rm {
             return;
         }
+        let tracing = self.tracing;
+        let me = self.id;
         let state = self.rm_state.as_mut().expect("rm state");
+        let my_domain = state.domain;
         let backup = state.choose_backup(&self.cfg, _now);
+        // Trace the qualification outcome only when the choice changes —
+        // the periodic re-election usually re-confirms the incumbent.
+        if tracing && backup != self.traced_backup {
+            if let Some(b) = backup {
+                let score = state
+                    .members
+                    .get(&b)
+                    .map(|m| m.candidacy.score())
+                    .unwrap_or(0.0);
+                push_trace(
+                    actions,
+                    true,
+                    _now,
+                    me,
+                    Some(my_domain),
+                    TraceKind::Qualification {
+                        candidate: b,
+                        score,
+                    },
+                );
+            }
+            self.traced_backup = backup;
+        }
+        let state = self.rm_state.as_mut().expect("rm state");
         if let Some(b) = backup {
             if b != self.id {
                 let snapshot = state.snapshot(&self.cfg, _now);
@@ -931,6 +1104,22 @@ impl PeerNode {
 
     /// Collects finished setup jobs and acks their composition.
     fn harvest_setups(&mut self, _now: SimTime, actions: &mut Vec<Action>) {
+        // Drain the scheduler's dispatch log every harvest (so it cannot
+        // grow unbounded); it only becomes trace events while tracing.
+        let decisions = self.sched.take_decisions();
+        if self.tracing {
+            for d in decisions {
+                actions.push(Action::Trace(TraceEvent::new(
+                    d.at,
+                    self.id,
+                    self.domain,
+                    TraceKind::SchedDecision {
+                        job: d.job.raw(),
+                        laxity_us: d.laxity_us,
+                    },
+                )));
+            }
+        }
         if self.pending_setups.is_empty() {
             // Still drain completion records so history does not grow.
             let _ = self.sched.take_completed();
@@ -992,8 +1181,21 @@ impl PeerNode {
         tried: Vec<DomainId>,
         actions: &mut Vec<Action>,
     ) {
+        let tracing = self.tracing;
+        let me = self.id;
         let state = self.rm_state.as_mut().expect("rm role");
         let my_domain = state.domain;
+        push_trace(
+            actions,
+            tracing,
+            now,
+            me,
+            Some(my_domain),
+            TraceKind::TaskPhase {
+                task: task.id,
+                phase: TaskPhase::Query,
+            },
+        );
 
         let critical = self
             .cfg
@@ -1003,6 +1205,17 @@ impl PeerNode {
         let alloc_result = if overloaded {
             Err(arm_model::alloc::AllocError::NoFeasiblePath { explored: 0 })
         } else {
+            push_trace(
+                actions,
+                tracing,
+                now,
+                me,
+                Some(my_domain),
+                TraceKind::TaskPhase {
+                    task: task.id,
+                    phase: TaskPhase::Allocation,
+                },
+            );
             state.allocate_task(&task, &self.cfg, &mut self.rng)
         };
 
@@ -1016,6 +1229,14 @@ impl PeerNode {
                 state.commit_session(session, task, &alloc, source, now);
                 let rec = state.sessions.get(&session).expect("committed");
                 let graph = rec.graph.clone();
+                push_trace(
+                    actions,
+                    tracing,
+                    now,
+                    me,
+                    Some(my_domain),
+                    TraceKind::AdmissionAccepted { task: task_id },
+                );
 
                 actions.push(Action::Send {
                     to: requester,
@@ -1024,6 +1245,22 @@ impl PeerNode {
                         reply: TaskReplyKind::Allocated(graph.clone()),
                     },
                 });
+                push_trace(
+                    actions,
+                    tracing,
+                    now,
+                    me,
+                    Some(my_domain),
+                    TraceKind::TaskPhase {
+                        task: task_id,
+                        phase: if graph.hops.is_empty() {
+                            // Direct fetch: nothing to compose.
+                            TaskPhase::Stream
+                        } else {
+                            TaskPhase::Composition
+                        },
+                    },
+                );
                 if graph.hops.is_empty() {
                     // Direct fetch: streaming starts immediately.
                     let state = self.rm_state.as_mut().expect("rm role");
@@ -1063,6 +1300,24 @@ impl PeerNode {
                 }
             }
             Err(_) => {
+                // Trace the local refusal even when the task is then
+                // redirected — each domain's admission verdict is its own
+                // observable decision.
+                push_trace(
+                    actions,
+                    tracing,
+                    now,
+                    me,
+                    Some(my_domain),
+                    TraceKind::AdmissionRejected {
+                        task: task.id,
+                        reason: if overloaded {
+                            "domain_overloaded".into()
+                        } else {
+                            "no_feasible_allocation".into()
+                        },
+                    },
+                );
                 // Redirect to another domain (§4.5) or reject.
                 let mut tried = tried;
                 if !tried.contains(&my_domain) {
@@ -1117,6 +1372,9 @@ impl PeerNode {
         _acker: NodeId,
         actions: &mut Vec<Action>,
     ) {
+        let tracing = self.tracing;
+        let me = self.id;
+        let my_domain = self.domain;
         let Some(state) = self.rm_state.as_mut() else {
             return;
         };
@@ -1126,6 +1384,17 @@ impl PeerNode {
         rec.pending_acks.remove(&hop);
         if rec.fully_acked() && rec.composed_at.is_none() {
             rec.composed_at = Some(now);
+            push_trace(
+                actions,
+                tracing,
+                now,
+                me,
+                my_domain,
+                TraceKind::TaskPhase {
+                    task: rec.task.id,
+                    phase: TaskPhase::Stream,
+                },
+            );
             let deadline = rec.task.absolute_deadline();
             if !rec.outcome_reported {
                 rec.outcome_reported = true;
@@ -1180,11 +1449,7 @@ impl PeerNode {
         let Some(state) = self.rm_state.as_mut() else {
             return;
         };
-        if let Some(rec) = state
-            .sessions
-            .values_mut()
-            .find(|rec| rec.task.id == task)
-        {
+        if let Some(rec) = state.sessions.values_mut().find(|rec| rec.task.id == task) {
             rec.task.qos = new_qos;
         }
     }
@@ -1336,6 +1601,14 @@ impl PeerNode {
                     ok: true,
                     at: now,
                 });
+                push_trace(
+                    actions,
+                    self.tracing,
+                    now,
+                    self.id,
+                    self.domain,
+                    TraceKind::SessionRepair { session, ok: true },
+                );
             }
             Err(_) => {
                 let mut peers = old_peers;
@@ -1364,6 +1637,14 @@ impl PeerNode {
                     ok: false,
                     at: now,
                 });
+                push_trace(
+                    actions,
+                    self.tracing,
+                    now,
+                    self.id,
+                    self.domain,
+                    TraceKind::SessionRepair { session, ok: false },
+                );
             }
         }
     }
@@ -1463,6 +1744,17 @@ impl PeerNode {
                 fairness_gain: alloc.fairness - old_fairness,
                 at: now,
             });
+            push_trace(
+                actions,
+                self.tracing,
+                now,
+                self.id,
+                self.domain,
+                TraceKind::SessionReassigned {
+                    session,
+                    fairness_gain: alloc.fairness - old_fairness,
+                },
+            );
         }
     }
 
@@ -1534,15 +1826,24 @@ impl PeerNode {
             return;
         }
         let domain = snapshot.domain;
+        let old_rm = snapshot.rm;
         let mut state = RmState::from_snapshot(snapshot, self.id, now);
         // Carry over whatever this node knows locally.
         state.register_inventory(self.id, &self.objects, &self.services);
-        let members: Vec<NodeId> = state.members.keys().copied().filter(|m| *m != self.id).collect();
+        let members: Vec<NodeId> = state
+            .members
+            .keys()
+            .copied()
+            .filter(|m| *m != self.id)
+            .collect();
         let sessions: Vec<SessionId> = state.sessions.keys().copied().collect();
         self.rm_state = Some(state);
         self.role = Role::Rm;
         self.rm = Some(self.id);
-        self.rm_state.as_mut().unwrap().choose_backup(&self.cfg, now);
+        self.rm_state
+            .as_mut()
+            .unwrap()
+            .choose_backup(&self.cfg, now);
         for m in members {
             actions.push(Action::Send {
                 to: m,
@@ -1562,6 +1863,14 @@ impl PeerNode {
         }
         self.arm_rm_timers(actions);
         actions.push(Action::Promoted { domain, at: now });
+        push_trace(
+            actions,
+            self.tracing,
+            now,
+            self.id,
+            Some(domain),
+            TraceKind::BackupPromoted { old_rm },
+        );
     }
 }
 

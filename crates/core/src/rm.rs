@@ -7,7 +7,9 @@
 
 use crate::config::ProtocolConfig;
 use arm_model::alloc::{AllocError, Allocation, FairnessAllocator};
-use arm_model::{MediaObject, PeerInfo, PeerView, ResourceGraph, ServiceGraph, ServiceSpec, TaskSpec};
+use arm_model::{
+    MediaObject, PeerInfo, PeerView, ResourceGraph, ServiceGraph, ServiceSpec, TaskSpec,
+};
 use arm_profiler::LoadReport;
 use arm_proto::{DomainSummary, RmCandidacy, RmSnapshot};
 use arm_util::{BloomFilter, DetRng, DomainId, NodeId, SessionId, SimTime};
@@ -306,9 +308,7 @@ impl RmState {
     pub fn silent_members(&self, now: SimTime, timeout: arm_util::SimDuration) -> Vec<NodeId> {
         self.members
             .iter()
-            .filter(|(id, meta)| {
-                **id != self.me && now.saturating_since(meta.last_seen) > timeout
-            })
+            .filter(|(id, meta)| **id != self.me && now.saturating_since(meta.last_seen) > timeout)
             .map(|(id, _)| *id)
             .collect()
     }
@@ -402,7 +402,8 @@ impl RmState {
             params: cfg.alloc_params.clone(),
             kind,
         };
-        let alloc = allocator.allocate(&self.graph, &self.view, init, &goals, &task.qos, Some(rng))?;
+        let alloc =
+            allocator.allocate(&self.graph, &self.view, init, &goals, &task.qos, Some(rng))?;
         Ok((alloc, source))
     }
 
@@ -425,7 +426,8 @@ impl RmState {
             self.view.add_bandwidth(peer, bw as i64);
         }
         self.graph.open_sessions(&alloc.path);
-        let graph = ServiceGraph::from_path(task.id, source, task.requester, &self.graph, &alloc.path);
+        let graph =
+            ServiceGraph::from_path(task.id, source, task.requester, &self.graph, &alloc.path);
         let pending: BTreeSet<usize> = (0..graph.hops.len()).collect();
         let composed = pending.is_empty();
         self.sessions.insert(
@@ -507,11 +509,7 @@ impl RmState {
     /// (§4.5): a domain whose object summary claims the content, not yet
     /// tried, preferring the least utilized. Falls back to any untried
     /// known domain.
-    pub fn pick_redirect(
-        &self,
-        task_name: &str,
-        tried: &[DomainId],
-    ) -> Option<(DomainId, NodeId)> {
+    pub fn pick_redirect(&self, task_name: &str, tried: &[DomainId]) -> Option<(DomainId, NodeId)> {
         let candidates: Vec<&DomainSummary> = self
             .summaries
             .values()
@@ -580,10 +578,7 @@ fn synthesize_task_from_graph(graph: &ServiceGraph) -> TaskSpec {
             .first()
             .map(|h| h.input)
             .unwrap_or_else(arm_model::MediaFormat::paper_source),
-        acceptable_formats: graph
-            .delivered_format()
-            .into_iter()
-            .collect(),
+        acceptable_formats: graph.delivered_format().into_iter().collect(),
         qos: QosSpec::default(),
         submitted_at: SimTime::ZERO,
         session_secs: 0.0,
@@ -757,7 +752,10 @@ mod tests {
         s.sessions.remove(&sid);
         for (id, info) in s.view.iter() {
             let orig = before.get(*id).unwrap();
-            assert!((info.load - orig.load).abs() < 1e-9, "load restored for {id}");
+            assert!(
+                (info.load - orig.load).abs() < 1e-9,
+                "load restored for {id}"
+            );
             assert_eq!(info.bandwidth_used_kbps, orig.bandwidth_used_kbps);
         }
         assert!(s.graph.edges().all(|e| e.active_sessions == 0));
@@ -937,7 +935,10 @@ mod tests {
         // Once the only other domain is tried, nothing is left.
         assert_eq!(s.pick_redirect("trailer", &[DomainId::new(2)]), None);
         // And a domain never redirects to itself.
-        assert_eq!(s.pick_redirect("trailer", &[DomainId::new(2), s.domain]), None);
+        assert_eq!(
+            s.pick_redirect("trailer", &[DomainId::new(2), s.domain]),
+            None
+        );
     }
 
     #[test]

@@ -76,8 +76,7 @@ impl Cluster {
 
     fn start(&mut self, id: NodeId, bootstrap: Option<NodeId>, at: SimTime) {
         self.alive.insert(id);
-        self.sim
-            .schedule_at(at, (id, Event::Start { bootstrap }));
+        self.sim.schedule_at(at, (id, Event::Start { bootstrap }));
     }
 
     fn submit(&mut self, id: NodeId, task: TaskSpec, at: SimTime) {
@@ -111,10 +110,16 @@ impl Cluster {
                         self.sim
                             .schedule_at(now + after, (target, Event::Timer(kind)));
                     }
-                    Action::Outcome { task, outcome, at, .. } => {
+                    Action::Outcome {
+                        task, outcome, at, ..
+                    } => {
                         self.outcomes.push((task, outcome, at));
                     }
-                    Action::ReplyReceived { task, allocated, at } => {
+                    Action::ReplyReceived {
+                        task,
+                        allocated,
+                        at,
+                    } => {
                         self.replies.push((task, allocated, at));
                     }
                     Action::Promoted { domain, at } => {
@@ -124,6 +129,7 @@ impl Cluster {
                         self.repairs.push((ok, at));
                     }
                     Action::SessionReassigned { .. } => {}
+                    Action::Trace(_) => {}
                 }
             }
         }
@@ -139,7 +145,12 @@ fn intermediate_format() -> MediaFormat {
 }
 
 fn trailer_object() -> MediaObject {
-    MediaObject::new(ObjectId::new(1), "trailer", MediaFormat::paper_source(), 120.0)
+    MediaObject::new(
+        ObjectId::new(1),
+        "trailer",
+        MediaFormat::paper_source(),
+        120.0,
+    )
 }
 
 fn transcoder_a() -> ServiceSpec {
@@ -277,7 +288,7 @@ fn crashed_member_is_detected_and_removed() {
     c.run_until(SimTime::from_secs(2));
     assert_eq!(c.node(ids[0]).rm_state().unwrap().domain_size(), 6);
     c.crash(ids[4]); // t_b2, idle — no session to repair
-    // Detection needs heartbeat_timeout (4s) of silence + a tick.
+                     // Detection needs heartbeat_timeout (4s) of silence + a tick.
     c.run_until(SimTime::from_secs(9));
     let rm_state = c.node(ids[0]).rm_state().unwrap();
     assert_eq!(rm_state.domain_size(), 5);
@@ -293,12 +304,20 @@ fn session_repaired_after_participant_crash() {
     c.submit(user, task(103, 60.0), SimTime::from_secs(1));
     c.run_until(SimTime::from_secs(3));
     // Find which B transcoder carries it and crash that one.
-    let victim = if c.node(ids[3]).load() > 0.0 { ids[3] } else { ids[4] };
+    let victim = if c.node(ids[3]).load() > 0.0 {
+        ids[3]
+    } else {
+        ids[4]
+    };
     let survivor = if victim == ids[3] { ids[4] } else { ids[3] };
     c.crash(victim);
     c.run_until(SimTime::from_secs(12));
     // Repair succeeded onto the surviving B transcoder.
-    assert!(c.repairs.iter().any(|(ok, _)| *ok), "repair happened: {:?}", c.repairs);
+    assert!(
+        c.repairs.iter().any(|(ok, _)| *ok),
+        "repair happened: {:?}",
+        c.repairs
+    );
     assert!(
         c.node(survivor).load() > 0.0,
         "survivor picked up the repaired session"
@@ -315,7 +334,12 @@ fn rm_failover_promotes_backup() {
     let founder = ids[0];
     c.crash(founder);
     c.run_until(SimTime::from_secs(90));
-    assert_eq!(c.promotions.len(), 1, "exactly one promotion: {:?}", c.promotions);
+    assert_eq!(
+        c.promotions.len(),
+        1,
+        "exactly one promotion: {:?}",
+        c.promotions
+    );
     let (new_rm, domain, _) = c.promotions[0];
     assert_ne!(new_rm, founder);
     assert_eq!(Some(domain), c.node(new_rm).domain());
@@ -382,7 +406,9 @@ fn domain_splits_when_full() {
         .collect();
     let founder_known = &c.node(founder).rm_state().unwrap().known_rms;
     assert!(
-        rms.iter().filter(|r| **r != founder).all(|r| founder_known.values().any(|v| v == r)),
+        rms.iter()
+            .filter(|r| **r != founder)
+            .all(|r| founder_known.values().any(|v| v == r)),
         "founder knows the split RMs"
     );
 }
@@ -406,7 +432,14 @@ fn gossip_exchanges_summaries_and_redirect_finds_remote_object() {
     // bandwidth), so a full domain A redirects them to domain B instead of
     // splitting again (§4.1: "otherwise it redirects it to a Resource
     // Manager of another domain").
-    let src_b = c.add_node_with(5, 100.0, 900, vec![trailer_object()], vec![transcoder_a()], &cfg);
+    let src_b = c.add_node_with(
+        5,
+        100.0,
+        900,
+        vec![trailer_object()],
+        vec![transcoder_a()],
+        &cfg,
+    );
     let t_b = c.add_node_with(6, 100.0, 900, vec![], vec![transcoder_b()], &cfg);
 
     c.start(rm_a, None, SimTime::ZERO);
@@ -434,7 +467,11 @@ fn gossip_exchanges_summaries_and_redirect_finds_remote_object() {
     c.submit(user, task(200, 3.0), SimTime::from_secs(81));
     c.run_until(SimTime::from_secs(90));
     assert_eq!(c.replies.len(), 1);
-    assert!(c.replies[0].1, "redirected task was allocated: {:?}", c.outcomes);
+    assert!(
+        c.replies[0].1,
+        "redirected task was allocated: {:?}",
+        c.outcomes
+    );
     assert!(c
         .outcomes
         .iter()
@@ -614,5 +651,8 @@ fn critical_tasks_bypass_admission_when_overloaded() {
     critical.qos.importance = Importance::CRITICAL;
     c.submit(user, critical, SimTime::from_secs(1));
     c.run_until(SimTime::from_secs(3));
-    assert!(c.replies.iter().any(|(t, ok, _)| *t == TaskId::new(800) && *ok));
+    assert!(c
+        .replies
+        .iter()
+        .any(|(t, ok, _)| *t == TaskId::new(800) && *ok));
 }

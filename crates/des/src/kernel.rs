@@ -69,6 +69,7 @@ pub struct Simulator<E> {
     next_seq: u64,
     processed: u64,
     scheduled_total: u64,
+    max_queue_depth: usize,
 }
 
 impl<E> Default for Simulator<E> {
@@ -87,6 +88,7 @@ impl<E> Simulator<E> {
             next_seq: 0,
             processed: 0,
             scheduled_total: 0,
+            max_queue_depth: 0,
         }
     }
 
@@ -121,6 +123,7 @@ impl<E> Simulator<E> {
             seq,
             event,
         });
+        self.max_queue_depth = self.max_queue_depth.max(self.heap.len());
         EventId(seq)
     }
 
@@ -219,6 +222,12 @@ impl<E> Simulator<E> {
     /// Total events ever scheduled (including cancelled ones).
     pub fn scheduled_total(&self) -> u64 {
         self.scheduled_total
+    }
+
+    /// High-water mark of the event-list depth (including tombstones) —
+    /// the kernel's memory pressure proxy, maintained in O(1) on schedule.
+    pub fn max_queue_depth(&self) -> usize {
+        self.max_queue_depth
     }
 
     /// Drains and delivers every event up to and including `deadline`,
@@ -362,6 +371,21 @@ mod tests {
         while sim.step().is_some() {}
         assert_eq!(sim.scheduled_total(), 2);
         assert_eq!(sim.processed(), 1);
+    }
+
+    #[test]
+    fn queue_depth_high_water_mark() {
+        let mut sim: Simulator<u32> = Simulator::new();
+        assert_eq!(sim.max_queue_depth(), 0);
+        for i in 0..10 {
+            sim.schedule_at(SimTime::from_secs(i as u64 + 1), i);
+        }
+        assert_eq!(sim.max_queue_depth(), 10);
+        while sim.step().is_some() {}
+        // Draining does not lower the high-water mark.
+        assert_eq!(sim.max_queue_depth(), 10);
+        sim.schedule_at(SimTime::from_secs(100), 0);
+        assert_eq!(sim.max_queue_depth(), 10);
     }
 }
 

@@ -9,9 +9,7 @@
 //! (Fig. 1B).
 
 use crate::{f3, Table};
-use arm_model::{
-    allocate, MediaFormat, PeerInfo, PeerView, QosSpec, ResourceGraph, ServiceGraph,
-};
+use arm_model::{allocate, MediaFormat, PeerInfo, PeerView, QosSpec, ResourceGraph, ServiceGraph};
 use arm_util::{NodeId, SimDuration, TaskId};
 
 /// Runs the reproduction; `_quick` has no effect (the figure is fixed).
@@ -96,10 +94,7 @@ pub fn run(_quick: bool) -> Vec<Table> {
     for (i, h) in gs.hops.iter().enumerate() {
         t_gs.row(vec![
             format!("T{}", i + 1),
-            format!(
-                "e{}",
-                edges.iter().position(|x| *x == h.edge).unwrap() + 1
-            ),
+            format!("e{}", edges.iter().position(|x| *x == h.edge).unwrap() + 1),
             h.peer.to_string(),
             h.input.to_string(),
             h.output.to_string(),

@@ -9,9 +9,7 @@
 use crate::Table;
 use arm_core::{Action, Event, PeerNode, ProtocolConfig};
 use arm_des::Simulator;
-use arm_model::{
-    Codec, MediaFormat, MediaObject, QosSpec, Resolution, ServiceSpec, TaskSpec,
-};
+use arm_model::{Codec, MediaFormat, MediaObject, QosSpec, Resolution, ServiceSpec, TaskSpec};
 use arm_proto::Message;
 use arm_util::{NodeId, ObjectId, ServiceId, SimDuration, SimTime, TaskId};
 use std::collections::BTreeMap;
@@ -128,7 +126,10 @@ pub fn run(_quick: bool) -> Vec<Table> {
                 Message::TaskQuery { task } => steps.push(Step {
                     at: now,
                     phase: "A",
-                    what: format!("{target} (RM) receives query for '{}' from {from}", task.name),
+                    what: format!(
+                        "{target} (RM) receives query for '{}' from {from}",
+                        task.name
+                    ),
                 }),
                 Message::Compose { session, hop, .. } => steps.push(Step {
                     at: now,

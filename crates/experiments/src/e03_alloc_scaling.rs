@@ -37,7 +37,11 @@ pub fn layered_graph(
     };
     let mut layer_states: Vec<Vec<StateId>> = Vec::new();
     for li in 0..layers {
-        let w = if li == 0 || li == layers - 1 { 1 } else { width };
+        let w = if li == 0 || li == layers - 1 {
+            1
+        } else {
+            width
+        };
         layer_states.push((0..w).map(|_| fresh(&mut gr)).collect());
     }
     let mut svc = 0u64;
@@ -67,12 +71,7 @@ pub fn layered_graph(
         info.load = rng.uniform(0.0, 30.0);
         view.upsert(NodeId::new(p), info);
     }
-    (
-        gr,
-        view,
-        layer_states[0][0],
-        layer_states[layers - 1][0],
-    )
+    (gr, view, layer_states[0][0], layer_states[layers - 1][0])
 }
 
 /// Runs the scaling sweep.
@@ -153,9 +152,18 @@ pub fn run(quick: bool) -> Vec<Table> {
     let mut t_cap = Table::new(
         "Approximate argmax under an exploration cap (dense 5×6 layered graph, 24 peers, \
          mean fairness over seeds)",
-        &["cap", "truncated BFS", "best-first", "exhaustive (reference)"],
+        &[
+            "cap",
+            "truncated BFS",
+            "best-first",
+            "exhaustive (reference)",
+        ],
     );
-    let caps: Vec<usize> = if quick { vec![60, 500] } else { vec![30, 60, 120, 500, 2_000] };
+    let caps: Vec<usize> = if quick {
+        vec![60, 500]
+    } else {
+        vec![30, 60, 120, 500, 2_000]
+    };
     let seeds = if quick { 5 } else { 15 };
     let qos_dense = QosSpec::with_deadline(SimDuration::from_secs(60));
     for cap in caps {
@@ -230,7 +238,10 @@ mod tests {
             let (best, best_found) = value(t.cell(r, 2));
             let (exact, exact_found) = value(t.cell(r, 3));
             let cap = t.cell(r, 0);
-            assert!(best_found >= bfs_found, "best-first finds at least as often");
+            assert!(
+                best_found >= bfs_found,
+                "best-first finds at least as often"
+            );
             assert!(exact_found > 0);
             if bfs_found > 0 && best_found > 0 {
                 assert!(

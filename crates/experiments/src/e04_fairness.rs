@@ -23,7 +23,11 @@ const KINDS: [(AllocatorKind, &str); 5] = [
 
 /// Sweep allocators × arrival rates.
 pub fn run(quick: bool) -> Vec<Table> {
-    let rates: Vec<f64> = if quick { vec![1.0] } else { vec![0.5, 1.0, 2.0] };
+    let rates: Vec<f64> = if quick {
+        vec![1.0]
+    } else {
+        vec![0.5, 1.0, 2.0]
+    };
     let seeds: Vec<u64> = if quick { vec![1] } else { vec![1, 2, 3] };
 
     // Build the whole grid, then run it in parallel.

@@ -18,7 +18,11 @@ pub fn run(quick: bool) -> Vec<Table> {
     // adds is forwarding the refused query to another domain using the
     // gossiped summaries. That redirection is what we ablate
     // (max_redirects 3 vs 0).
-    let rates: Vec<f64> = if quick { vec![3.0] } else { vec![1.0, 2.0, 3.0, 5.0] };
+    let rates: Vec<f64> = if quick {
+        vec![3.0]
+    } else {
+        vec![1.0, 2.0, 3.0, 5.0]
+    };
     let mut t_adm = Table::new(
         "Inter-domain redirection ablation (arrival sweep; rejected = served nowhere)",
         &[

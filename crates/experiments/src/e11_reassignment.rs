@@ -34,32 +34,32 @@ pub fn run(quick: bool) -> Vec<Table> {
     ];
     for &seed in &seeds {
         for (kind, kind_name) in kinds {
-        for enabled in [true, false] {
-            let mut cfg = base_scenario(seed);
-            cfg.protocol.allocator = kind;
-            cfg.horizon = SimTime::from_secs(240);
-            cfg.workload.object_replicas = 1;
-            cfg.workload.zipf_exponent = 1.2;
-            cfg.workload.arrival_rate = 1.5;
-            cfg.workload.session_mean_secs = 120.0;
-            cfg.protocol.reassignment_enabled = enabled;
-            // Hotspots form quicker against a lower threshold, and with
-            // 32 peers a single migration moves the fairness index by well
-            // under 1% — demand only a measurable improvement.
-            cfg.protocol.overload_threshold = 0.6;
-            cfg.protocol.reassign_margin = 0.002;
-            let r = Simulation::new(cfg).run();
-            t.row(vec![
-                seed.to_string(),
-                kind_name.into(),
-                if enabled { "on" } else { "off" }.into(),
-                r.reassignments.to_string(),
-                f3(r.mean_fairness()),
-                pct(r.outcomes.goodput()),
-                pct(r.outcomes.miss_ratio()),
-                f3(r.mean_utilization()),
-            ]);
-        }
+            for enabled in [true, false] {
+                let mut cfg = base_scenario(seed);
+                cfg.protocol.allocator = kind;
+                cfg.horizon = SimTime::from_secs(240);
+                cfg.workload.object_replicas = 1;
+                cfg.workload.zipf_exponent = 1.2;
+                cfg.workload.arrival_rate = 1.5;
+                cfg.workload.session_mean_secs = 120.0;
+                cfg.protocol.reassignment_enabled = enabled;
+                // Hotspots form quicker against a lower threshold, and with
+                // 32 peers a single migration moves the fairness index by well
+                // under 1% — demand only a measurable improvement.
+                cfg.protocol.overload_threshold = 0.6;
+                cfg.protocol.reassign_margin = 0.002;
+                let r = Simulation::new(cfg).run();
+                t.row(vec![
+                    seed.to_string(),
+                    kind_name.into(),
+                    if enabled { "on" } else { "off" }.into(),
+                    r.reassignments.to_string(),
+                    f3(r.mean_fairness()),
+                    pct(r.outcomes.goodput()),
+                    pct(r.outcomes.miss_ratio()),
+                    f3(r.mean_utilization()),
+                ]);
+            }
         }
     }
     vec![t]

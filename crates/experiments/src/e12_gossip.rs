@@ -5,8 +5,8 @@
 //! measure how long it takes until every RM holds a fresh summary of
 //! every other domain, and what the digests cost; then sweep the fanout.
 
-use crate::{f2, Table};
 use crate::base_scenario;
+use crate::{f2, Table};
 use arm_sim::Simulation;
 use arm_util::SimTime;
 
@@ -82,7 +82,12 @@ mod tests {
         let tables = run(true);
         let t = &tables[0];
         for r in 0..t.len() {
-            assert_ne!(t.cell(r, 2), "never", "domains={} never converged", t.cell(r, 0));
+            assert_ne!(
+                t.cell(r, 2),
+                "never",
+                "domains={} never converged",
+                t.cell(r, 0)
+            );
         }
         let small: u64 = t.cell(0, 3).parse().unwrap();
         let big: u64 = t.cell(t.len() - 1, 3).parse().unwrap();

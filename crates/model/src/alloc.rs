@@ -295,9 +295,7 @@ impl FairnessAllocator {
             }
         }
         let mut queue = match self.params.mode {
-            ExplorationMode::BestFirst => {
-                Frontier::Best(std::collections::BinaryHeap::new(), 0)
-            }
+            ExplorationMode::BestFirst => Frontier::Best(std::collections::BinaryHeap::new(), 0),
             _ => Frontier::Fifo(VecDeque::new()),
         };
         // Scores a prefix for best-first ordering: the fairness of the
@@ -392,16 +390,12 @@ impl FairnessAllocator {
 
             for edge in gr.out_edges(ps.vertex) {
                 // Cycle check (simple paths): `to` must not be on the path.
-                let revisits = edge.to == init
-                    || ps
-                        .edges
-                        .iter()
-                        .any(|&e| gr.edge(e).to == edge.to);
+                let revisits =
+                    edge.to == init || ps.edges.iter().any(|&e| gr.edge(e).to == edge.to);
                 if revisits && self.params.mode != ExplorationMode::GlobalVisited {
                     continue;
                 }
-                if self.params.mode == ExplorationMode::GlobalVisited
-                    && visited[edge.to.0 as usize]
+                if self.params.mode == ExplorationMode::GlobalVisited && visited[edge.to.0 as usize]
                 {
                     continue;
                 }
@@ -492,8 +486,7 @@ impl FairnessAllocator {
             }
             AllocatorKind::FirstFeasible => 0,
             AllocatorKind::Random => {
-                let rng = rng
-                    .expect("AllocatorKind::Random requires an RNG");
+                let rng = rng.expect("AllocatorKind::Random requires an RNG");
                 rng.index(candidates.len())
             }
             AllocatorKind::LeastLoaded => {
@@ -687,7 +680,9 @@ mod tests {
     fn bandwidth_floor_excludes_thin_peers() {
         let (gr, _e, mut view, init, goal) = setup();
         // Peer 2's link too thin for the floor; peer 3 fine.
-        view.get_mut(NodeId::new(2)).unwrap().bandwidth_capacity_kbps = 100;
+        view.get_mut(NodeId::new(2))
+            .unwrap()
+            .bandwidth_capacity_kbps = 100;
         let qos = lenient_qos().min_bandwidth(320);
         let alloc = allocate(&gr, &view, init, &[goal], &qos).unwrap();
         assert!(!alloc.load_deltas.iter().any(|(p, _)| *p == NodeId::new(2)));
@@ -1029,7 +1024,13 @@ mod bestfirst_tests {
         }
         let init = gr.state_of(MediaFormat::paper_source()).unwrap();
         let goal = gr.state_of(MediaFormat::paper_target()).unwrap();
-        (gr, view, init, goal, QosSpec::with_deadline(SimDuration::from_secs(10)))
+        (
+            gr,
+            view,
+            init,
+            goal,
+            QosSpec::with_deadline(SimDuration::from_secs(10)),
+        )
     }
 
     fn with_mode(mode: ExplorationMode, cap: usize) -> FairnessAllocator {
@@ -1061,9 +1062,9 @@ mod bestfirst_tests {
     fn bestfirst_beats_truncated_bfs_on_dense_graphs() {
         // A dense layered graph where a tight cap truncates BFS before it
         // reaches the well-balanced deep paths.
-        use arm_util::ServiceId;
         use crate::media::{Codec, Resolution};
         use crate::service::ServiceCost;
+        use arm_util::ServiceId;
         let mut rng = DetRng::new(3);
         let mut gr = ResourceGraph::new();
         let mut fmt = 0u32;
@@ -1079,7 +1080,11 @@ mod bestfirst_tests {
         let width = 6usize;
         let mut layer_states = Vec::new();
         for li in 0..layers {
-            let w = if li == 0 || li == layers - 1 { 1 } else { width };
+            let w = if li == 0 || li == layers - 1 {
+                1
+            } else {
+                width
+            };
             layer_states.push((0..w).map(|_| fresh(&mut gr)).collect::<Vec<_>>());
         }
         let mut svc = 0u64;
@@ -1123,10 +1128,22 @@ mod bestfirst_tests {
                 v.get_mut(id).unwrap().load = r2.uniform(0.0, 50.0);
             }
             let cap = 60; // far below the full path count
-            let bfs = with_mode(ExplorationMode::AllSimplePaths, cap)
-                .allocate(&gr, &v, init, &[goal], &qos, None);
-            let best = with_mode(ExplorationMode::BestFirst, cap)
-                .allocate(&gr, &v, init, &[goal], &qos, None);
+            let bfs = with_mode(ExplorationMode::AllSimplePaths, cap).allocate(
+                &gr,
+                &v,
+                init,
+                &[goal],
+                &qos,
+                None,
+            );
+            let best = with_mode(ExplorationMode::BestFirst, cap).allocate(
+                &gr,
+                &v,
+                init,
+                &[goal],
+                &qos,
+                None,
+            );
             match (bfs, best) {
                 (Ok(b), Ok(bf)) => {
                     if bf.fairness > b.fairness + 1e-12 {

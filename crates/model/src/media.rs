@@ -180,7 +180,12 @@ pub struct MediaObject {
 impl MediaObject {
     /// Creates an object; the hash is derived deterministically from the
     /// name so that replicas of the same content agree.
-    pub fn new(id: ObjectId, name: impl Into<String>, format: MediaFormat, duration_secs: f64) -> Self {
+    pub fn new(
+        id: ObjectId,
+        name: impl Into<String>,
+        format: MediaFormat,
+        duration_secs: f64,
+    ) -> Self {
         let name = name.into();
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for &b in name.as_bytes() {

@@ -19,15 +19,11 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Index of an application-state vertex in a [`ResourceGraph`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct StateId(pub u32);
 
 /// Index of a service edge in a [`ResourceGraph`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct EdgeId(pub u32);
 
 /// A service instance: one edge of `G_r`.

@@ -272,13 +272,8 @@ mod tests {
     #[test]
     fn empty_graph_is_direct_fetch() {
         let (gr, _) = ResourceGraph::figure1();
-        let gs = ServiceGraph::from_path(
-            TaskId::new(3),
-            NodeId::new(10),
-            NodeId::new(20),
-            &gr,
-            &[],
-        );
+        let gs =
+            ServiceGraph::from_path(TaskId::new(3), NodeId::new(10), NodeId::new(20), &gr, &[]);
         assert_eq!(gs.delivered_format(), None);
         assert!(gs.is_fully_active()); // vacuously
         assert_eq!(gs.participants(), vec![NodeId::new(10), NodeId::new(20)]);

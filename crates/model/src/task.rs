@@ -14,9 +14,7 @@ use serde::{Deserialize, Serialize};
 
 /// Relative importance of a task (`Importance_t`, §3.3). Higher is more
 /// important. Used by benefit-aware shedding and as a scheduler tiebreak.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Importance(u8);
 
 impl Importance {
@@ -103,7 +101,10 @@ pub enum TaskOutcome {
 impl TaskOutcome {
     /// True for outcomes where the user got their content.
     pub fn is_completed(self) -> bool {
-        matches!(self, TaskOutcome::CompletedOnTime | TaskOutcome::CompletedLate)
+        matches!(
+            self,
+            TaskOutcome::CompletedOnTime | TaskOutcome::CompletedLate
+        )
     }
 }
 

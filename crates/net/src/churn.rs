@@ -228,10 +228,7 @@ mod tests {
             SimTime::from_secs(3_600),
             &mut DetRng::new(5),
         );
-        assert!(trace
-            .events()
-            .iter()
-            .all(|e| e.kind != ChurnKind::Leave));
+        assert!(trace.events().iter().all(|e| e.kind != ChurnKind::Leave));
         let leaves_only = ChurnParams {
             crash_fraction: 0.0,
             churning_fraction: 1.0,
@@ -243,10 +240,7 @@ mod tests {
             SimTime::from_secs(3_600),
             &mut DetRng::new(5),
         );
-        assert!(trace
-            .events()
-            .iter()
-            .all(|e| e.kind != ChurnKind::Crash));
+        assert!(trace.events().iter().all(|e| e.kind != ChurnKind::Crash));
     }
 
     #[test]

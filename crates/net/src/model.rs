@@ -61,7 +61,11 @@ impl NetworkModel {
             jitter,
             loss_prob,
             coords: topo.coords().collect(),
-            access_kbps: topo.peers.iter().map(|p| (p.id, p.bandwidth_kbps)).collect(),
+            access_kbps: topo
+                .peers
+                .iter()
+                .map(|p| (p.id, p.bandwidth_kbps))
+                .collect(),
             transmission_delay: false,
         }
     }
@@ -77,8 +81,10 @@ impl NetworkModel {
     /// A loss-free constant-latency model over the given peer ids (handy in
     /// tests).
     pub fn constant(delay: SimDuration, ids: impl IntoIterator<Item = NodeId>) -> Self {
-        let coords: BTreeMap<NodeId, Coord> =
-            ids.into_iter().map(|id| (id, Coord::new(0.0, 0.0))).collect();
+        let coords: BTreeMap<NodeId, Coord> = ids
+            .into_iter()
+            .map(|id| (id, Coord::new(0.0, 0.0)))
+            .collect();
         Self {
             latency: LatencyModel::Constant(delay),
             jitter: 0.0,
@@ -100,8 +106,7 @@ impl NetworkModel {
         match self.latency {
             LatencyModel::Constant(d) => d,
             LatencyModel::Euclidean { base, per_unit } => {
-                let (Some(&a), Some(&b)) = (self.coords.get(&from), self.coords.get(&to))
-                else {
+                let (Some(&a), Some(&b)) = (self.coords.get(&from), self.coords.get(&to)) else {
                     return SimDuration::from_millis(50); // unknown peer: WAN default
                 };
                 base + per_unit.mul_f64(a.distance(b))
@@ -165,22 +170,12 @@ mod tests {
     use crate::topology::Heterogeneity;
 
     fn topo() -> Topology {
-        Topology::clustered(
-            2,
-            3,
-            0.05,
-            Heterogeneity::default(),
-            &mut DetRng::new(1),
-            0,
-        )
+        Topology::clustered(2, 3, 0.05, Heterogeneity::default(), &mut DetRng::new(1), 0)
     }
 
     #[test]
     fn constant_model() {
-        let m = NetworkModel::constant(
-            SimDuration::from_millis(10),
-            (0..4).map(NodeId::new),
-        );
+        let m = NetworkModel::constant(SimDuration::from_millis(10), (0..4).map(NodeId::new));
         assert_eq!(
             m.base_latency(NodeId::new(0), NodeId::new(3)),
             SimDuration::from_millis(10)
@@ -227,9 +222,7 @@ mod tests {
         );
         let mut rng = DetRng::new(3);
         for _ in 0..200 {
-            let d = m
-                .sample(NodeId::new(0), NodeId::new(1), &mut rng)
-                .unwrap();
+            let d = m.sample(NodeId::new(0), NodeId::new(1), &mut rng).unwrap();
             assert!(d >= SimDuration::from_millis(100));
             assert!(d <= SimDuration::from_millis(150));
         }

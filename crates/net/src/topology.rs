@@ -96,7 +96,10 @@ impl Topology {
         base_id: u64,
     ) -> Self {
         assert!(clusters > 0 && per_cluster > 0);
-        assert!((0.0..0.5).contains(&spread), "spread must stay below grid spacing");
+        assert!(
+            (0.0..0.5).contains(&spread),
+            "spread must stay below grid spacing"
+        );
         let side = (clusters as f64).sqrt().ceil() as usize;
         let mut peers = Vec::with_capacity(clusters * per_cluster);
         let mut next = base_id;
@@ -278,22 +281,8 @@ mod tests {
 
     #[test]
     fn deterministic_generation() {
-        let t1 = Topology::clustered(
-            2,
-            5,
-            0.1,
-            Heterogeneity::default(),
-            &mut DetRng::new(7),
-            0,
-        );
-        let t2 = Topology::clustered(
-            2,
-            5,
-            0.1,
-            Heterogeneity::default(),
-            &mut DetRng::new(7),
-            0,
-        );
+        let t1 = Topology::clustered(2, 5, 0.1, Heterogeneity::default(), &mut DetRng::new(7), 0);
+        let t2 = Topology::clustered(2, 5, 0.1, Heterogeneity::default(), &mut DetRng::new(7), 0);
         assert_eq!(t1, t2);
     }
 

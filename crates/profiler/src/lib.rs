@@ -23,10 +23,15 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+use arm_telemetry::{Labels, Recorder};
 use arm_util::ratelimit::Periodic;
 use arm_util::{Ewma, NodeId, ServiceId, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Histogram bucket bounds for peer utilization (fraction of capacity;
+/// the open `+Inf` bucket catches transient overload above 1.0).
+pub const UTILIZATION_BOUNDS: &[f64] = &[0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0];
 
 /// A point-in-time load report propagated to the Resource Manager (§4.4,
 /// intra-domain propagation).
@@ -256,11 +261,50 @@ impl Profiler {
     pub fn set_report_period(&mut self, period: SimDuration) {
         self.report_timer.set_period(period);
     }
+
+    /// Records the profiler's instantaneous state into a telemetry
+    /// recorder: one `peer_utilization` histogram sample (overlay-wide
+    /// load distribution) and a per-peer `peer_load` gauge. A no-op when
+    /// the recorder is disabled.
+    pub fn record_metrics(&self, recorder: &mut Recorder) {
+        recorder.observe(
+            "peer_utilization",
+            Labels::NONE,
+            UTILIZATION_BOUNDS,
+            self.utilization(),
+        );
+        recorder.set_gauge("peer_load", Labels::peer(self.node), self.load());
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn record_metrics_feeds_utilization_histogram_and_load_gauge() {
+        let mut p = Profiler::new(NodeId::new(1), 100.0, 10_000, SimDuration::from_secs(1));
+        p.session_opened(60.0, 500);
+        let mut rec = Recorder::enabled(16);
+        p.record_metrics(&mut rec);
+        let snap = rec.snapshot();
+        let hist = snap
+            .histogram("peer_utilization")
+            .expect("utilization histogram");
+        assert_eq!(hist.total(), 1);
+        // 0.6 utilization lands in the (0.5, 0.75] bucket.
+        assert_eq!(hist.bounds(), UTILIZATION_BOUNDS);
+        let gauge = snap
+            .gauges
+            .iter()
+            .find(|g| g.key.starts_with("peer_load"))
+            .expect("load gauge");
+        assert!((gauge.value - 60.0).abs() < 1e-9);
+        // Disabled recorder: nothing recorded, nothing allocated.
+        let mut off = Recorder::disabled();
+        p.record_metrics(&mut off);
+        assert!(off.snapshot().histograms.is_empty());
+    }
 
     fn profiler() -> Profiler {
         Profiler::new(NodeId::new(7), 100.0, 1_000, SimDuration::from_secs(1))

@@ -306,8 +306,7 @@ impl Message {
             Message::JoinRedirect { .. } => HDR + 8,
             Message::JoinAccept { known_rms, .. } => HDR + 26 + known_rms.len() * 16,
             Message::Advertise { objects, services } => {
-                HDR + objects.iter().map(|o| 40 + o.name.len()).sum::<usize>()
-                    + services.len() * 44
+                HDR + objects.iter().map(|o| 40 + o.name.len()).sum::<usize>() + services.len() * 44
             }
             Message::Leave { .. } => HDR + 8,
             Message::Heartbeat { .. } | Message::HeartbeatAck { .. } => HDR + 16,
@@ -315,7 +314,11 @@ impl Message {
                 HDR + 64
                     + snapshot.view.len() * 40
                     + snapshot.resource_graph.num_edges() * 48
-                    + snapshot.sessions.iter().map(|(_, g)| 24 + g.hops.len() * 56).sum::<usize>()
+                    + snapshot
+                        .sessions
+                        .iter()
+                        .map(|(_, g)| 24 + g.hops.len() * 56)
+                        .sum::<usize>()
                     + snapshot.candidates.len() * 28
             }
             Message::PromoteAnnounce { .. } => HDR + 16,

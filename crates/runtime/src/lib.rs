@@ -23,6 +23,7 @@
 use arm_core::{Action, Event, PeerNode, ProtocolConfig, TimerKind};
 use arm_model::task::TaskOutcome;
 use arm_model::{MediaObject, ServiceSpec, TaskSpec};
+use arm_telemetry::TraceEvent;
 use arm_util::{DomainId, NodeId, SessionId, SimDuration, SimTime, TaskId};
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::{Mutex, RwLock};
@@ -44,6 +45,9 @@ pub struct Telemetry {
     pub repairs: Vec<(SessionId, bool, SimTime)>,
     /// Messages delivered through the registry.
     pub messages: u64,
+    /// Structured trace events (populated when peers have tracing on,
+    /// see [`PeerNode::set_tracing`]).
+    pub traces: Vec<TraceEvent>,
 }
 
 /// A message en route to a peer thread.
@@ -307,7 +311,11 @@ fn apply(
                 allocated,
                 at,
             } => {
-                registry.telemetry.lock().replies.push((task, allocated, at));
+                registry
+                    .telemetry
+                    .lock()
+                    .replies
+                    .push((task, allocated, at));
             }
             Action::Promoted { domain, at } => {
                 registry.telemetry.lock().promotions.push((me, domain, at));
@@ -316,6 +324,9 @@ fn apply(
                 registry.telemetry.lock().repairs.push((session, ok, at));
             }
             Action::SessionReassigned { .. } => {}
+            Action::Trace(ev) => {
+                registry.telemetry.lock().traces.push(ev);
+            }
         }
     }
     true
@@ -427,7 +438,9 @@ mod tests {
         let deadline = Instant::now() + Duration::from_secs(5);
         loop {
             let t = rt.telemetry();
-            if t.replies.iter().any(|(id, ok, _)| *id == TaskId::new(1) && *ok)
+            if t.replies
+                .iter()
+                .any(|(id, ok, _)| *id == TaskId::new(1) && *ok)
                 && t.outcomes
                     .iter()
                     .any(|(id, o, _)| *id == TaskId::new(1) && o.is_completed())

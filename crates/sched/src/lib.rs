@@ -31,4 +31,6 @@ mod policy;
 mod scheduler;
 
 pub use policy::PolicyKind;
-pub use scheduler::{CompletedJob, Job, JobId, LocalScheduler, SchedulerConfig, SchedulerStats};
+pub use scheduler::{
+    CompletedJob, DispatchDecision, Job, JobId, LocalScheduler, SchedulerConfig, SchedulerStats,
+};

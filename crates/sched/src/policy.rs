@@ -57,8 +57,7 @@ impl PolicyKind {
                 PolicyKind::Sjf => (j.remaining, j.job.id.raw()),
                 PolicyKind::ImportanceFirst => (
                     // negative importance (max first), deadline as a fractional part
-                    -(j.job.importance.value() as f64) * 1e15
-                        + j.job.deadline.as_micros() as f64,
+                    -(j.job.importance.value() as f64) * 1e15 + j.job.deadline.as_micros() as f64,
                     j.job.id.raw(),
                 ),
             }
@@ -67,8 +66,7 @@ impl PolicyKind {
         let mut best_key = key(&ready[0]);
         for (i, j) in ready.iter().enumerate().skip(1) {
             let k = key(j);
-            if k.0 < best_key.0 - 1e-12 || ((k.0 - best_key.0).abs() <= 1e-12 && k.1 < best_key.1)
-            {
+            if k.0 < best_key.0 - 1e-12 || ((k.0 - best_key.0).abs() <= 1e-12 && k.1 < best_key.1) {
                 best = i;
                 best_key = k;
             }

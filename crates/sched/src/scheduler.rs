@@ -6,9 +6,7 @@ use arm_util::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Identifies a job within one scheduler (unique per peer).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct JobId(pub u64);
 
 impl JobId {
@@ -54,6 +52,19 @@ impl ReadyJob {
         };
         slack - self.remaining / capacity
     }
+}
+
+/// One dispatch decision: the moment the scheduler switched the CPU to a
+/// different job than it was running before.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DispatchDecision {
+    /// When the switch happened.
+    pub at: SimTime,
+    /// The job granted the CPU.
+    pub job: JobId,
+    /// The job's laxity at decision time, in microseconds (negative means
+    /// it can no longer finish on time even running exclusively).
+    pub laxity_us: i64,
 }
 
 /// A finished (or aborted) job record.
@@ -171,6 +182,8 @@ pub struct LocalScheduler {
     now: SimTime,
     ready: Vec<ReadyJob>,
     completed: Vec<CompletedJob>,
+    decisions: Vec<DispatchDecision>,
+    running: Option<JobId>,
     stats: SchedulerStats,
     next_job_id: u64,
 }
@@ -184,6 +197,8 @@ impl LocalScheduler {
             now: SimTime::ZERO,
             ready: Vec::new(),
             completed: Vec::new(),
+            decisions: Vec::new(),
+            running: None,
             stats: SchedulerStats::default(),
             next_job_id: 0,
         }
@@ -225,7 +240,12 @@ impl LocalScheduler {
     }
 
     /// Convenience: submits a job arriving now with a relative deadline.
-    pub fn submit_now(&mut self, work: f64, relative_deadline: SimDuration, importance: Importance) -> JobId {
+    pub fn submit_now(
+        &mut self,
+        work: f64,
+        relative_deadline: SimDuration,
+        importance: Importance,
+    ) -> JobId {
         let id = self.next_job_id();
         let arrival = self.now;
         self.submit(Job {
@@ -264,6 +284,18 @@ impl LocalScheduler {
         std::mem::take(&mut self.completed)
     }
 
+    /// Dispatch decisions recorded since the last drain. One entry per CPU
+    /// *switch* (not per quantum), so the log stays proportional to
+    /// preemptions rather than simulated time.
+    pub fn decisions(&self) -> &[DispatchDecision] {
+        &self.decisions
+    }
+
+    /// Drains the dispatch-decision log, returning it.
+    pub fn take_decisions(&mut self) -> Vec<DispatchDecision> {
+        std::mem::take(&mut self.decisions)
+    }
+
     /// Aggregate statistics.
     pub fn stats(&self) -> &SchedulerStats {
         &self.stats
@@ -274,6 +306,7 @@ impl LocalScheduler {
         assert!(t >= self.now, "cannot advance backwards");
         while self.now < t {
             if self.ready.is_empty() {
+                self.running = None;
                 self.now = t;
                 return;
             }
@@ -299,6 +332,15 @@ impl LocalScheduler {
                 .config
                 .policy
                 .pick(&self.ready, self.now, self.config.capacity);
+            if self.running != Some(self.ready[idx].job.id) {
+                let laxity = self.ready[idx].laxity(self.now, self.config.capacity);
+                self.decisions.push(DispatchDecision {
+                    at: self.now,
+                    job: self.ready[idx].job.id,
+                    laxity_us: (laxity * 1e6) as i64,
+                });
+                self.running = Some(self.ready[idx].job.id);
+            }
             let to_completion =
                 SimDuration::from_secs_f64(self.ready[idx].remaining / self.config.capacity);
             // Run until: target time, completion, or quantum expiry.
@@ -553,6 +595,31 @@ mod tests {
         s.advance_to(SimTime::from_secs(1));
         assert_eq!(s.take_completed().len(), 1);
         assert!(s.completed().is_empty());
+    }
+
+    #[test]
+    fn decisions_logged_per_switch_not_per_quantum() {
+        let mut s = sched(PolicyKind::LeastLaxity);
+        // One job running alone for many quanta: exactly one dispatch.
+        s.submit(job(1, 0, 10, 5.0)); // 0.5s of work = 50 quanta
+        s.advance_to(SimTime::from_millis(300));
+        assert_eq!(s.decisions().len(), 1);
+        assert_eq!(s.decisions()[0].job, JobId(1));
+        assert!(s.decisions()[0].laxity_us > 0);
+        // A tighter job arrives and preempts: second dispatch; when it
+        // completes the first resumes: third dispatch.
+        s.submit(Job {
+            id: JobId(2),
+            arrival: SimTime::from_millis(300),
+            deadline: SimTime::from_millis(600),
+            work: 2.0,
+            importance: Importance::NORMAL,
+        });
+        s.advance_to(SimTime::from_secs(5));
+        let log = s.take_decisions();
+        let jobs: Vec<u64> = log.iter().map(|d| d.job.raw()).collect();
+        assert_eq!(jobs, vec![1, 2, 1]);
+        assert!(s.decisions().is_empty());
     }
 
     #[test]

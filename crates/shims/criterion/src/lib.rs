@@ -1,0 +1,246 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API surface this workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup::bench_function`, `Bencher::iter` — with a simple
+//! warmup-then-measure wall-clock loop instead of criterion's statistical
+//! machinery.
+//!
+//! Results print as `group/name  time: [<mean> ns/iter]` lines. If the
+//! `ARM_BENCH_JSON` environment variable names a file, every measured
+//! benchmark is also appended to it as a JSON array of
+//! `{"id", "mean_ns", "iters"}` objects (the file is rewritten whole on
+//! each binary's exit, merging earlier entries, so a multi-binary
+//! `cargo bench` run accumulates all results).
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+pub use hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(120);
+const MEASURE: Duration = Duration::from_millis(400);
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `group/name` identifier.
+    pub id: String,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Iterations measured (after warmup).
+    pub iters: u64,
+}
+
+/// The benchmark harness handle passed to bench functions.
+pub struct Criterion {
+    filter: Option<String>,
+    results: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo passes `--bench` plus any user filter strings; the first
+        // non-flag argument is treated as a substring filter.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            filter,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        self.run_one(name.as_ref().to_string(), f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut bencher);
+        println!(
+            "{id:<50} time: [{} /iter] ({} iters)",
+            format_ns(bencher.mean_ns),
+            bencher.iters
+        );
+        self.results.push(Measurement {
+            id,
+            mean_ns: bencher.mean_ns,
+            iters: bencher.iters,
+        });
+    }
+
+    /// Measurements recorded so far, in execution order. Lets a bench
+    /// binary assert relations between its own results (e.g. an overhead
+    /// bound) after running them.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Prints the summary and writes the optional JSON export. Called by
+    /// `criterion_main!` when the binary finishes.
+    pub fn finish(&self) {
+        let Ok(path) = std::env::var("ARM_BENCH_JSON") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        // Merge with any entries written by earlier bench binaries in the
+        // same `cargo bench` invocation.
+        let mut entries: Vec<(String, f64, u64)> = std::fs::read_to_string(&path)
+            .ok()
+            .map(|text| parse_entries(&text))
+            .unwrap_or_default();
+        for m in &self.results {
+            entries.retain(|(id, _, _)| id != &m.id);
+            entries.push((m.id.clone(), m.mean_ns, m.iters));
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out = String::from("[\n");
+        for (i, (id, mean_ns, iters)) in entries.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!(
+                "  {{\"id\": {id:?}, \"mean_ns\": {mean_ns:.1}, \"iters\": {iters}}}"
+            ));
+        }
+        out.push_str("\n]\n");
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("warning: could not write {path}: {e}");
+        }
+    }
+}
+
+/// Minimal extractor for the flat JSON array [`Criterion::finish`] writes.
+fn parse_entries(text: &str) -> Vec<(String, f64, u64)> {
+    let mut entries = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix("{\"id\": \"") else {
+            continue;
+        };
+        let Some((id, rest)) = rest.split_once("\", \"mean_ns\": ") else {
+            continue;
+        };
+        let Some((mean, rest)) = rest.split_once(", \"iters\": ") else {
+            continue;
+        };
+        let iters = rest.trim_end_matches('}');
+        if let (Ok(mean_ns), Ok(iters)) = (mean.parse(), iters.parse()) {
+            entries.push((id.to_string(), mean_ns, iters));
+        }
+    }
+    entries
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, name.as_ref());
+        self.criterion.run_one(id, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure given to `bench_function`; call
+/// [`iter`](Bencher::iter) with the code under test.
+pub struct Bencher {
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `f`: warms up for ~120 ms, then measures for ~400 ms and
+    /// records the mean wall-clock time per iteration.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warmup, also estimating per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP {
+            hint::black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+        // Measure in one timed run of a precomputed iteration count to
+        // amortize clock reads.
+        let target_iters = ((MEASURE.as_nanos() as f64 / per_iter.max(1.0)) as u64).max(1);
+        let start = Instant::now();
+        for _ in 0..target_iters {
+            hint::black_box(f());
+        }
+        let elapsed = start.elapsed();
+        self.mean_ns = elapsed.as_nanos() as f64 / target_iters as f64;
+        self.iters = target_iters;
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $( $group(&mut criterion); )+
+            criterion.finish();
+        }
+    };
+}

@@ -1,0 +1,567 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real `serde` models serialization through visitor traits; this shim
+//! collapses the data model to a JSON-shaped [`Value`] tree, which is all
+//! the consuming workspace needs (every serialized type here ultimately
+//! flows through `serde_json`). The public names (`Serialize`,
+//! `Deserialize`, the `derive` feature) match `serde` so consuming code is
+//! source-compatible with the real crate.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The JSON-shaped data model every serializable type maps to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (negative numbers land here).
+    Int(i64),
+    /// Unsigned integer (non-negative numbers land here).
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+/// A `Value::Null` with a `'static` address, for missing-field lookups.
+pub static NULL: Value = Value::Null;
+
+impl Value {
+    /// The object entries if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `u64`, if an exact non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Int(i) if i >= 0 => Some(i as u64),
+            Value::UInt(u) => Some(u),
+            Value::Float(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
+                Some(f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `i64`, if an exact integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(i) => Some(i),
+            Value::UInt(u) if u <= i64::MAX as u64 => Some(u as i64),
+            Value::Float(f) if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 => {
+                Some(f as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// A short name for the value's kind, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Looks up an object field; missing fields read as `null` so that
+    /// optional fields deserialize to `None`.
+    pub fn field<'v>(&'v self, name: &str) -> &'v Value {
+        match self {
+            Value::Object(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Builds an error from a message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+
+    /// "expected X, found Y" helper.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        Error(format!("expected {what}, found {}", found.kind()))
+    }
+
+    /// Adds location context (outermost first).
+    pub fn context(self, ctx: &str) -> Self {
+        Error(format!("{ctx}: {}", self.0))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be converted into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` to a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`] tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------- primitives
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::expected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let u = v.as_u64().ok_or_else(|| Error::expected("unsigned integer", v))?;
+                <$t>::try_from(u).map_err(|_| Error::msg(format!(
+                    "integer {u} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let i = *self as i64;
+                if i >= 0 { Value::UInt(i as u64) } else { Value::Int(i) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let i = v.as_i64().ok_or_else(|| Error::expected("integer", v))?;
+                <$t>::try_from(i).map_err(|_| Error::msg(format!(
+                    "integer {i} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        match u64::try_from(*self) {
+            Ok(u) => Value::UInt(u),
+            // Out-of-range values fall back to a decimal string; JSON
+            // numbers past 2^64 are not representable in this data model.
+            Err(_) => Value::Str(self.to_string()),
+        }
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        if let Some(u) = v.as_u64() {
+            return Ok(u as u128);
+        }
+        if let Value::Str(s) = v {
+            if let Ok(u) = s.parse::<u128>() {
+                return Ok(u);
+            }
+        }
+        Err(Error::expected("unsigned integer", v))
+    }
+}
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                v.as_f64()
+                    .map(|f| f as $t)
+                    .ok_or_else(|| Error::expected("number", v))
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::expected("single-character string", other)),
+        }
+    }
+}
+
+// ------------------------------------------------------------- containers
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = v.as_array().ok_or_else(|| Error::expected("array", v))?;
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| T::from_value(item).map_err(|e| e.context(&format!("[{i}]"))))
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Vec::<T>::from_value(v).map(VecDeque::from)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_value(v)?;
+        let n = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error::msg(format!("expected array of length {N}, found {n}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($( ($($name:ident : $idx:tt),+) ),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = v.as_array().ok_or_else(|| Error::expected("array", v))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(Error::msg(format!(
+                        "expected {expected}-tuple, found array of {}", items.len()
+                    )));
+                }
+                Ok(($( $name::from_value(&items[$idx])
+                    .map_err(|e| e.context(&format!("[{}]", $idx)))?, )+))
+            }
+        }
+    )+};
+}
+impl_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+);
+
+/// Stringifies a serialized map key, mirroring `serde_json`'s handling of
+/// integer map keys.
+fn key_to_string(v: Value) -> Result<String, Error> {
+    match v {
+        Value::Str(s) => Ok(s),
+        Value::Int(i) => Ok(i.to_string()),
+        Value::UInt(u) => Ok(u.to_string()),
+        Value::Bool(b) => Ok(b.to_string()),
+        other => Err(Error::msg(format!(
+            "map key must serialize to a string or integer, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Re-types an object key for deserialization: integer-looking keys become
+/// integers again so integer-keyed maps round-trip.
+fn key_from_string(s: &str) -> Value {
+    if let Ok(u) = s.parse::<u64>() {
+        return Value::UInt(u);
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return Value::Int(i);
+    }
+    match s {
+        "true" => Value::Bool(true),
+        "false" => Value::Bool(false),
+        _ => Value::Str(s.to_owned()),
+    }
+}
+
+macro_rules! impl_map {
+    ($map:ident, $($bound:tt)+) => {
+        impl<K: Serialize, V: Serialize> Serialize for $map<K, V> {
+            fn to_value(&self) -> Value {
+                let mut entries: Vec<(String, Value)> = self
+                    .iter()
+                    .map(|(k, v)| {
+                        let key = key_to_string(k.to_value())
+                            .expect("unsupported map key type");
+                        (key, v.to_value())
+                    })
+                    .collect();
+                // Hash maps have no deterministic order; sort for stable output.
+                entries.sort_by(|a, b| a.0.cmp(&b.0));
+                Value::Object(entries)
+            }
+        }
+        impl<K: Deserialize + $($bound)+, V: Deserialize> Deserialize for $map<K, V> {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let entries = v.as_object().ok_or_else(|| Error::expected("object", v))?;
+                entries
+                    .iter()
+                    .map(|(k, item)| {
+                        let key = K::from_value(&key_from_string(k))
+                            .map_err(|e| e.context(&format!("key {k:?}")))?;
+                        let val = V::from_value(item)
+                            .map_err(|e| e.context(&format!("[{k:?}]")))?;
+                        Ok((key, val))
+                    })
+                    .collect()
+            }
+        }
+    };
+}
+impl_map!(BTreeMap, Ord);
+impl_map!(HashMap, std::hash::Hash + Eq);
+
+macro_rules! impl_set {
+    ($set:ident, $($bound:tt)+) => {
+        impl<T: Serialize> Serialize for $set<T> {
+            fn to_value(&self) -> Value {
+                let mut items: Vec<Value> = self.iter().map(Serialize::to_value).collect();
+                items.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+                Value::Array(items)
+            }
+        }
+        impl<T: Deserialize + $($bound)+> Deserialize for $set<T> {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = v.as_array().ok_or_else(|| Error::expected("array", v))?;
+                items.iter().map(T::from_value).collect()
+            }
+        }
+    };
+}
+impl_set!(BTreeSet, Ord);
+impl_set!(HashSet, std::hash::Hash + Eq);
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(Error::expected("null", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        let s = String::from("hi");
+        assert_eq!(String::from_value(&s.to_value()).unwrap(), "hi");
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+    }
+
+    #[test]
+    fn option_and_missing_fields() {
+        assert_eq!(Option::<u64>::from_value(&Value::Null).unwrap(), None);
+        let obj = Value::Object(vec![("a".into(), Value::UInt(1))]);
+        assert_eq!(obj.field("missing"), &Value::Null);
+        assert_eq!(obj.field("a"), &Value::UInt(1));
+    }
+
+    #[test]
+    fn integer_keyed_map_round_trips() {
+        let mut m = BTreeMap::new();
+        m.insert(17u64, "x".to_string());
+        m.insert(3u64, "y".to_string());
+        let v = m.to_value();
+        let back = BTreeMap::<u64, String>::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn tuples_round_trip() {
+        let t = (1u64, 2.5f64, "z".to_string());
+        let back = <(u64, f64, String)>::from_value(&t.to_value()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(u8::from_value(&Value::UInt(300)).is_err());
+        assert!(u64::from_value(&Value::Int(-1)).is_err());
+    }
+}

@@ -1,0 +1,403 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! `serde` shim.
+//!
+//! The build environment has no access to `syn`/`quote`, so this macro
+//! hand-parses the derive input token stream. It supports exactly the type
+//! shapes used in this workspace:
+//!
+//! * named-field structs            → JSON objects
+//! * tuple structs with one field   → transparent (the inner value)
+//! * tuple structs with ≥ 2 fields  → JSON arrays
+//! * unit structs                   → `null`
+//! * enums (unit / tuple / struct variants), externally tagged:
+//!   `Unit` → `"Unit"`, `Tuple(a, b)` → `{"Tuple": [a, b]}`,
+//!   `Struct { x }` → `{"Struct": {"x": ...}}`
+//!
+//! Generic types are rejected with a compile error: nothing in this
+//! workspace derives serde traits on generics, and supporting them without
+//! `syn` is not worth the complexity.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum Data {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    data: Data,
+}
+
+fn ident_text(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(i) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Skips any number of `#[...]` attributes starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len()
+        && is_punct(&tokens[i], '#')
+        && matches!(&tokens[i + 1], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+    {
+        i += 2;
+    }
+    i
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...) starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if i < tokens.len() && ident_text(&tokens[i]).as_deref() == Some("pub") {
+        i += 1;
+        if i < tokens.len()
+            && matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Advances past one type (or expression) up to a top-level `,`, tracking
+/// angle-bracket depth. Returns the index just past the `,`, or the end.
+fn skip_past_comma(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parses `{ a: T, b: U }` named-field contents into field names.
+fn parse_named_fields(group: &TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.clone().into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_text(&tokens[i]).expect("expected field name");
+        names.push(name.trim_start_matches("r#").to_string());
+        i += 1;
+        assert!(
+            i < tokens.len() && is_punct(&tokens[i], ':'),
+            "expected ':' after field name"
+        );
+        i = skip_past_comma(&tokens, i + 1);
+    }
+    names
+}
+
+/// Counts the fields of `( T, U, ... )` tuple contents.
+fn count_tuple_fields(group: &TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = group.clone().into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        i = skip_past_comma(&tokens, i);
+    }
+    count
+}
+
+fn parse_variants(group: &TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_text(&tokens[i]).expect("expected variant name");
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(&g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        i = if matches!(tokens.get(i), Some(t) if is_punct(t, '=')) {
+            skip_past_comma(&tokens, i + 1)
+        } else if matches!(tokens.get(i), Some(t) if is_punct(t, ',')) {
+            i + 1
+        } else {
+            i
+        };
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let keyword = ident_text(&tokens[i]).expect("expected `struct` or `enum`");
+    i += 1;
+    let name = ident_text(&tokens[i]).expect("expected type name");
+    i += 1;
+    assert!(
+        !matches!(tokens.get(i), Some(t) if is_punct(t, '<')),
+        "serde shim derive does not support generic types (deriving on `{name}`)"
+    );
+    let data = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(count_tuple_fields(&g.stream()))
+            }
+            _ => Data::UnitStruct,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(&g.stream()))
+            }
+            other => panic!("expected enum body, found {other:?}"),
+        },
+        other => panic!("serde derive supports structs and enums, found `{other}`"),
+    };
+    Input { name, data }
+}
+
+// ------------------------------------------------------------------ codegen
+
+/// `#[derive(Serialize)]` — see the crate docs for the mapping.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let Input { name, data } = parse_input(input);
+    let body = match &data {
+        Data::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Data::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Data::UnitStruct => "::serde::Value::Null".to_string(),
+        Data::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Array(vec![{items}]))]),",
+                                binds = binds.join(", "),
+                                items = items.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(vec![{entries}]))]),",
+                                entries = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// `#[derive(Deserialize)]` — see the crate docs for the mapping.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let Input { name, data } = parse_input(input);
+    let body = match &data {
+        Data::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: <_ as ::serde::Deserialize>::from_value(v.field(\"{f}\"))\
+                             .map_err(|e| e.context(\"{name}.{f}\"))?"
+                    )
+                })
+                .collect();
+            format!(
+                "if v.as_object().is_none() {{ return Err(::serde::Error::expected(\"object ({name})\", v)); }}\n\
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Data::TupleStruct(1) => format!(
+            "Ok({name}(<_ as ::serde::Deserialize>::from_value(v)\
+                 .map_err(|e| e.context(\"{name}\"))?))"
+        ),
+        Data::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "<_ as ::serde::Deserialize>::from_value(&items[{i}])\
+                             .map_err(|e| e.context(\"{name}.{i}\"))?"
+                    )
+                })
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| ::serde::Error::expected(\"array ({name})\", v))?;\n\
+                 if items.len() != {n} {{ return Err(::serde::Error::msg(format!(\"expected {n} elements for {name}, found {{}}\", items.len()))); }}\n\
+                 Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Data::UnitStruct => format!(
+            "match v {{ ::serde::Value::Null => Ok({name}), other => Err(::serde::Error::expected(\"null ({name})\", other)) }}"
+        ),
+        Data::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{vn}\" => return Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            format!("\"{vn}\" => return Ok({name}::{vn}),")
+                        }
+                        VariantKind::Tuple(1) => format!(
+                            "\"{vn}\" => return Ok({name}::{vn}(<_ as ::serde::Deserialize>::from_value(inner).map_err(|e| e.context(\"{name}::{vn}\"))?)),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "<_ as ::serde::Deserialize>::from_value(&items[{i}]).map_err(|e| e.context(\"{name}::{vn}.{i}\"))?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{\n\
+                                     let items = inner.as_array().ok_or_else(|| ::serde::Error::expected(\"array ({name}::{vn})\", inner))?;\n\
+                                     if items.len() != {n} {{ return Err(::serde::Error::msg(format!(\"expected {n} elements for {name}::{vn}, found {{}}\", items.len()))); }}\n\
+                                     return Ok({name}::{vn}({}));\n\
+                                 }}",
+                                inits.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: <_ as ::serde::Deserialize>::from_value(inner.field(\"{f}\")).map_err(|e| e.context(\"{name}::{vn}.{f}\"))?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vn}\" => return Ok({name}::{vn} {{ {} }}),",
+                                inits.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "if let Some(s) = v.as_str() {{\n\
+                     match s {{ {unit_arms} _ => return Err(::serde::Error::msg(format!(\"unknown variant {{s:?}} of {name}\"))) }}\n\
+                 }}\n\
+                 if let Some(entries) = v.as_object() {{\n\
+                     if entries.len() == 1 {{\n\
+                         let tag = entries[0].0.as_str();\n\
+                         let inner = &entries[0].1;\n\
+                         let _ = inner;\n\
+                         match tag {{ {tagged_arms} _ => return Err(::serde::Error::msg(format!(\"unknown variant {{tag:?}} of {name}\"))) }}\n\
+                     }}\n\
+                 }}\n\
+                 Err(::serde::Error::expected(\"variant of {name}\", v))",
+                unit_arms = unit_arms.join(" "),
+                tagged_arms = tagged_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}

@@ -7,6 +7,7 @@ use arm_des::Simulator;
 use arm_model::task::TaskOutcome;
 use arm_net::churn::{ChurnEvent, ChurnKind, ChurnTrace};
 use arm_net::{NetworkModel, Topology};
+use arm_telemetry::{Labels, Recorder, TraceKind};
 use arm_util::{DetRng, NodeId, SimTime};
 use arm_workload::{generate_inventories, generate_tasks, Inventory};
 use std::collections::{BTreeMap, BTreeSet};
@@ -32,6 +33,7 @@ pub struct Simulation {
     leaders: Vec<NodeId>,
     rejoin_counts: BTreeMap<NodeId, u64>,
     report: SimReport,
+    recorder: Recorder,
 }
 
 impl Simulation {
@@ -142,12 +144,7 @@ impl Simulation {
 
         // Churn trace.
         if let Some(params) = cfg.churn {
-            let trace = ChurnTrace::generate(
-                &topo,
-                params,
-                cfg.horizon,
-                &mut root.stream("churn"),
-            );
+            let trace = ChurnTrace::generate(&topo, params, cfg.horizon, &mut root.stream("churn"));
             for ev in trace.events() {
                 // Don't churn before the overlay has formed.
                 let at = if ev.at < SimTime::ZERO + cfg.warmup {
@@ -203,6 +200,7 @@ impl Simulation {
             leaders,
             rejoin_counts: BTreeMap::new(),
             report,
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -211,8 +209,26 @@ impl Simulation {
         &self.topo
     }
 
+    /// Switches on telemetry for this run: every node emits structured
+    /// trace events, the harness drives task-lifecycle spans and kernel
+    /// metrics, and the final report carries a metrics snapshot. The trace
+    /// ring keeps the most recent `trace_capacity` events in memory.
+    pub fn enable_telemetry(&mut self, trace_capacity: usize) {
+        self.recorder = Recorder::enabled(trace_capacity);
+        for node in self.nodes.values_mut() {
+            node.set_tracing(true);
+        }
+    }
+
     /// Runs to the horizon and returns the report.
-    pub fn run(mut self) -> SimReport {
+    pub fn run(self) -> SimReport {
+        self.run_traced().0
+    }
+
+    /// Runs to the horizon, returning the report plus the telemetry
+    /// recorder (trace ring, metrics registry). The recorder is empty
+    /// unless [`enable_telemetry`](Self::enable_telemetry) was called.
+    pub fn run_traced(mut self) -> (SimReport, Recorder) {
         let started = std::time::Instant::now();
         let horizon = self.cfg.horizon;
         while let Some(scheduled) = self.sim.step_until(horizon) {
@@ -233,6 +249,11 @@ impl Simulation {
         let Some(node) = self.nodes.get_mut(&target) else {
             return;
         };
+        if self.recorder.is_enabled() {
+            if let Event::SubmitTask(task) = &event {
+                self.recorder.task_submitted(task.id, now);
+            }
+        }
         let actions = node.on_event(now, event);
         for action in actions {
             self.apply_action(now, target, action);
@@ -257,10 +278,8 @@ impl Simulation {
                             .or_insert((0, 0));
                         entry.0 += 1;
                         entry.1 += msg.size_bytes() as u64;
-                        self.sim.schedule_at(
-                            now + delay,
-                            SimEvent::Node(to, Event::Msg { from, msg }),
-                        );
+                        self.sim
+                            .schedule_at(now + delay, SimEvent::Node(to, Event::Msg { from, msg }));
                     }
                     None => {
                         self.report.messages_lost += 1;
@@ -272,7 +291,10 @@ impl Simulation {
                     .schedule_at(now + after, SimEvent::Node(from, Event::Timer(kind)));
             }
             Action::Outcome {
-                outcome, response, ..
+                task,
+                outcome,
+                response,
+                at,
             } => {
                 match outcome {
                     TaskOutcome::CompletedOnTime => self.report.outcomes.on_time += 1,
@@ -284,6 +306,15 @@ impl Simulation {
                     if outcome.is_completed() {
                         self.report.response_time.observe(r.as_secs_f64());
                     }
+                }
+                if self.recorder.is_enabled() {
+                    let label = match outcome {
+                        TaskOutcome::CompletedOnTime => "on_time",
+                        TaskOutcome::CompletedLate => "late",
+                        TaskOutcome::Rejected => "rejected",
+                        TaskOutcome::Failed => "failed",
+                    };
+                    self.recorder.task_finished(task, label, at);
                 }
             }
             Action::ReplyReceived { at, .. } => {
@@ -303,6 +334,12 @@ impl Simulation {
                 }
             }
             Action::SessionReassigned { .. } => self.report.reassignments += 1,
+            Action::Trace(ev) => {
+                if let TraceKind::TaskPhase { task, phase } = ev.kind {
+                    self.recorder.task_phase(task, phase, ev.at);
+                }
+                self.recorder.record(ev);
+            }
         }
     }
 
@@ -328,7 +365,7 @@ impl Simulation {
                 let inv = &self.inventories[&ev.node];
                 let rejoins = self.rejoin_counts.entry(ev.node).or_insert(0);
                 *rejoins += 1;
-                let node = PeerNode::new(
+                let mut node = PeerNode::new(
                     ev.node,
                     spec.capacity,
                     spec.bandwidth_kbps,
@@ -338,6 +375,7 @@ impl Simulation {
                     self.cfg.seed ^ (*rejoins << 32),
                     now,
                 );
+                node.set_tracing(self.recorder.is_enabled());
                 self.nodes.insert(ev.node, node);
                 self.alive.insert(ev.node);
                 let bootstrap = self.pick_bootstrap(ev.node);
@@ -366,6 +404,15 @@ impl Simulation {
 
     fn sample(&mut self, now: SimTime) {
         self.check_gossip_convergence(now);
+        if self.recorder.is_enabled() {
+            self.recorder
+                .set_gauge("des_queue_depth", Labels::NONE, self.sim.pending() as f64);
+            self.recorder
+                .set_gauge("peers_alive", Labels::NONE, self.alive.len() as f64);
+            for id in &self.alive {
+                self.nodes[id].profiler().record_metrics(&mut self.recorder);
+            }
+        }
         let mut loads = Vec::with_capacity(self.alive.len());
         let mut utils = Vec::with_capacity(self.alive.len());
         for id in &self.alive {
@@ -399,8 +446,7 @@ impl Simulation {
         if rms.len() < 2 {
             return;
         }
-        let domains: Vec<arm_util::DomainId> =
-            rms.iter().filter_map(|n| n.domain()).collect();
+        let domains: Vec<arm_util::DomainId> = rms.iter().filter_map(|n| n.domain()).collect();
         let converged = rms.iter().all(|n| {
             let state = n.rm_state().expect("RM role");
             domains
@@ -413,7 +459,7 @@ impl Simulation {
         }
     }
 
-    fn finalize(mut self, started: std::time::Instant) -> SimReport {
+    fn finalize(mut self, started: std::time::Instant) -> (SimReport, Recorder) {
         self.report.final_peers = self.alive.len();
         self.report.final_domains = self
             .alive
@@ -424,9 +470,22 @@ impl Simulation {
         // additionally includes rejected replies, which we approximate by
         // the response summary (documented).
         self.report.reply_latency = self.report.response_time.clone();
-        self.report.wall_ms = started.elapsed().as_millis();
+        self.report.wall_ms = started.elapsed().as_millis() as u64;
         self.report.events_processed = self.sim.processed();
-        self.report
+        self.report.max_queue_depth = self.sim.max_queue_depth() as u64;
+        if self.recorder.is_enabled() {
+            self.recorder
+                .add("des_events_processed", Labels::NONE, self.sim.processed());
+            self.report.metrics = Some(self.recorder.snapshot());
+            self.report.trace_counts = self
+                .recorder
+                .trace
+                .kind_counts()
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect();
+        }
+        (self.report, self.recorder)
     }
 }
 
@@ -548,6 +607,53 @@ mod tests {
         assert_eq!(r.submitted, 0);
         assert!(r.message_count() > 0);
         assert_eq!(r.outcomes.total(), 0);
+    }
+
+    #[test]
+    fn telemetry_records_protocol_events_and_spans() {
+        let mut sim = Simulation::new(small_scenario(1));
+        sim.enable_telemetry(1 << 16);
+        let (report, recorder) = sim.run_traced();
+        assert!(recorder.is_enabled());
+        // Protocol machinery leaves a trace: the overlay formed (elections,
+        // joins), gossip ran, and tasks moved through their lifecycle.
+        let counts = recorder.trace.kind_counts();
+        assert!(
+            counts.get("rm_elected").copied().unwrap_or(0) >= 2,
+            "{counts:?}"
+        );
+        assert!(counts.get("join_accepted").copied().unwrap_or(0) > 0);
+        assert!(counts.get("gossip_round").copied().unwrap_or(0) > 0);
+        assert!(counts.get("bloom_exchange").copied().unwrap_or(0) > 0);
+        assert!(counts.get("task_phase").copied().unwrap_or(0) > 0);
+        assert!(counts.get("sched_decision").copied().unwrap_or(0) > 0);
+        // The report carries the same tallies plus a metrics snapshot.
+        assert_eq!(
+            report.trace_counts.get("gossip_round").copied(),
+            counts.get("gossip_round").copied()
+        );
+        let metrics = report.metrics.as_ref().expect("telemetry was enabled");
+        let phase_samples: u64 = metrics
+            .histograms
+            .iter()
+            .filter(|h| h.key.starts_with("task_phase_seconds"))
+            .map(|h| h.histogram.total())
+            .sum();
+        assert!(phase_samples > 0, "per-phase latency histograms populated");
+        let total: u64 = metrics
+            .histograms
+            .iter()
+            .filter(|h| h.key.starts_with("task_total_seconds"))
+            .map(|h| h.histogram.total())
+            .sum();
+        assert!(total > 0, "completed tasks close their spans");
+
+        // Telemetry must not perturb the simulation itself.
+        let baseline = Simulation::new(small_scenario(1)).run();
+        assert_eq!(baseline.outcomes, report.outcomes);
+        assert_eq!(baseline.events_processed, report.events_processed);
+        assert!(baseline.metrics.is_none());
+        assert!(baseline.trace_counts.is_empty());
     }
 
     #[test]

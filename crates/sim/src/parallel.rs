@@ -85,7 +85,10 @@ mod tests {
         let par = run_parallel(configs, 4);
         assert_eq!(seq.len(), par.len());
         for (a, b) in seq.iter().zip(&par) {
-            assert_eq!(a.outcomes, b.outcomes, "parallelism must not change results");
+            assert_eq!(
+                a.outcomes, b.outcomes,
+                "parallelism must not change results"
+            );
             assert_eq!(a.events_processed, b.events_processed);
             assert_eq!(a.message_count(), b.message_count());
         }
@@ -96,7 +99,10 @@ mod tests {
         // Seeds map 1:1 to reports; distinct seeds give distinct runs.
         let configs: Vec<ScenarioConfig> = vec![scenario(10), scenario(20), scenario(10)];
         let reports = run_parallel(configs, 3);
-        assert_eq!(reports[0].outcomes, reports[2].outcomes, "same seed, same slot result");
+        assert_eq!(
+            reports[0].outcomes, reports[2].outcomes,
+            "same seed, same slot result"
+        );
         assert_eq!(reports[0].events_processed, reports[2].events_processed);
     }
 

@@ -1,5 +1,6 @@
 //! Run results.
 
+use arm_telemetry::MetricsSnapshot;
 use arm_util::stats::Summary;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -89,13 +90,20 @@ pub struct SimReport {
     /// Number of peers alive at the end.
     pub final_peers: usize,
     /// Wall-clock milliseconds the run took (host time; informational).
-    pub wall_ms: u128,
+    pub wall_ms: u64,
     /// Total events processed by the DES kernel.
     pub events_processed: u64,
+    /// High-water mark of the DES event-list depth.
+    pub max_queue_depth: u64,
     /// First instant (seconds) at which every alive RM held a fresh
     /// (version ≥ 1) summary of every other alive domain — the gossip
     /// convergence point (E12). `None` if never reached.
     pub gossip_converged_at: Option<f64>,
+    /// Metrics snapshot; present when the run had telemetry enabled.
+    pub metrics: Option<MetricsSnapshot>,
+    /// Structured trace events recorded per kind, *including* events the
+    /// in-memory ring buffer evicted. Empty when telemetry was off.
+    pub trace_counts: BTreeMap<String, u64>,
 }
 
 impl SimReport {
@@ -114,8 +122,7 @@ impl SimReport {
         if self.fairness_series.is_empty() {
             return 1.0;
         }
-        self.fairness_series.iter().map(|(_, f)| f).sum::<f64>()
-            / self.fairness_series.len() as f64
+        self.fairness_series.iter().map(|(_, f)| f).sum::<f64>() / self.fairness_series.len() as f64
     }
 
     /// Mean of the utilization samples.
@@ -133,6 +140,53 @@ impl SimReport {
             return 0.0;
         }
         self.message_count() as f64 / peers as f64 / secs
+    }
+
+    /// Folds another run's results into this one, for aggregating sweeps
+    /// or sharded runs: tallies add, latency summaries pool their samples
+    /// (quantiles stay exact), time series concatenate, metric snapshots
+    /// merge, and the queue-depth high-water mark takes the maximum.
+    pub fn merge(&mut self, other: &SimReport) {
+        self.submitted += other.submitted;
+        self.outcomes.on_time += other.outcomes.on_time;
+        self.outcomes.late += other.outcomes.late;
+        self.outcomes.rejected += other.outcomes.rejected;
+        self.outcomes.failed += other.outcomes.failed;
+        self.reply_latency.merge(&other.reply_latency);
+        self.response_time.merge(&other.response_time);
+        self.fairness_series
+            .extend(other.fairness_series.iter().copied());
+        self.utilization_series
+            .extend(other.utilization_series.iter().copied());
+        for (kind, (count, bytes)) in &other.messages {
+            let entry = self.messages.entry(kind.clone()).or_insert((0, 0));
+            entry.0 += count;
+            entry.1 += bytes;
+        }
+        self.messages_lost += other.messages_lost;
+        self.promotions += other.promotions;
+        self.repairs_ok += other.repairs_ok;
+        self.repairs_failed += other.repairs_failed;
+        self.reassignments += other.reassignments;
+        self.redirects += other.redirects;
+        self.final_domains += other.final_domains;
+        self.final_peers += other.final_peers;
+        self.wall_ms += other.wall_ms;
+        self.events_processed += other.events_processed;
+        self.max_queue_depth = self.max_queue_depth.max(other.max_queue_depth);
+        self.gossip_converged_at = match (self.gossip_converged_at, other.gossip_converged_at) {
+            // Merged runs all converged: report the slowest of them.
+            (Some(a), Some(b)) => Some(a.max(b)),
+            _ => None,
+        };
+        match (&mut self.metrics, &other.metrics) {
+            (Some(mine), Some(theirs)) => mine.merge(theirs),
+            (None, Some(theirs)) => self.metrics = Some(theirs.clone()),
+            _ => {}
+        }
+        for (kind, count) in &other.trace_counts {
+            *self.trace_counts.entry(kind.clone()).or_insert(0) += count;
+        }
     }
 }
 
@@ -168,5 +222,62 @@ mod tests {
         assert!((r.mean_fairness() - 0.7).abs() < 1e-12);
         assert!((r.control_msgs_per_peer_sec(4, 3.0) - 1.0).abs() < 1e-12);
         assert_eq!(SimReport::default().mean_fairness(), 1.0);
+    }
+
+    #[test]
+    fn merge_pools_tallies_and_samples() {
+        let mut a = SimReport {
+            submitted: 10,
+            outcomes: OutcomeCounts {
+                on_time: 7,
+                late: 1,
+                rejected: 1,
+                failed: 1,
+            },
+            messages_lost: 2,
+            wall_ms: 5,
+            events_processed: 100,
+            max_queue_depth: 40,
+            gossip_converged_at: Some(3.0),
+            ..SimReport::default()
+        };
+        a.response_time.observe(0.1);
+        a.messages.insert("heartbeat".into(), (10, 560));
+        a.trace_counts.insert("gossip_round".into(), 4);
+
+        let mut b = SimReport {
+            submitted: 5,
+            outcomes: OutcomeCounts {
+                on_time: 5,
+                ..OutcomeCounts::default()
+            },
+            wall_ms: 7,
+            events_processed: 50,
+            max_queue_depth: 60,
+            gossip_converged_at: Some(2.0),
+            ..SimReport::default()
+        };
+        b.response_time.observe(0.3);
+        b.messages.insert("heartbeat".into(), (4, 224));
+        b.messages.insert("task_query".into(), (1, 100));
+        b.trace_counts.insert("gossip_round".into(), 6);
+        b.trace_counts.insert("rm_elected".into(), 1);
+
+        a.merge(&b);
+        assert_eq!(a.submitted, 15);
+        assert_eq!(a.outcomes.on_time, 12);
+        assert_eq!(a.response_time.count(), 2);
+        assert_eq!(a.messages["heartbeat"], (14, 784));
+        assert_eq!(a.messages["task_query"], (1, 100));
+        assert_eq!(a.wall_ms, 12);
+        assert_eq!(a.events_processed, 150);
+        assert_eq!(a.max_queue_depth, 60);
+        assert_eq!(a.gossip_converged_at, Some(3.0));
+        assert_eq!(a.trace_counts["gossip_round"], 10);
+        assert_eq!(a.trace_counts["rm_elected"], 1);
+
+        // A shard that never converged poisons the merged convergence.
+        a.merge(&SimReport::default());
+        assert_eq!(a.gossip_converged_at, None);
     }
 }

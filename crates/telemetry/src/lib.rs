@@ -1,0 +1,199 @@
+//! Deterministic observability for the adaptive P2P resource-management
+//! middleware.
+//!
+//! Three pillars, all driven exclusively by *simulation* time so recordings
+//! are reproducible bit-for-bit from a scenario seed:
+//!
+//! * a metrics registry ([`metrics`]) — counters, gauges and fixed-bucket
+//!   histograms keyed by `(peer, domain, kind)` labels, with mergeable
+//!   serialisable snapshots;
+//! * a structured trace log ([`trace`]) — a bounded ring buffer of typed
+//!   protocol events (election, split, gossip, admission, repair, ...) with
+//!   JSONL export;
+//! * task-lifecycle spans ([`span`]) — submit → query → allocation →
+//!   composition → stream → terminal phase timing feeding per-phase latency
+//!   histograms.
+//!
+//! The [`Recorder`] bundles all three behind one handle. A disabled recorder
+//! ([`Recorder::disabled`], the default) drops everything at the first
+//! branch, so uninstrumented runs pay one predictable-taken branch per
+//! callsite and nothing else.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod metrics;
+pub mod span;
+pub mod trace;
+
+pub use metrics::{
+    FixedHistogram, Labels, MetricKey, MetricsRegistry, MetricsSnapshot, COUNT_BUCKETS,
+    LATENCY_BUCKETS_SECS,
+};
+pub use span::{SpanTracker, TaskPhase, PHASE_METRIC, TOTAL_METRIC};
+pub use trace::{TraceEvent, TraceKind, TraceLog};
+
+use arm_util::SimTime;
+
+/// One handle bundling the metrics registry, trace log and span tracker.
+///
+/// Created disabled by default: every recording method returns immediately.
+/// [`Recorder::enabled`] turns on all three pillars.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    enabled: bool,
+    /// Metric series recorded so far.
+    pub metrics: MetricsRegistry,
+    /// Structured protocol events recorded so far.
+    pub trace: TraceLog,
+    /// Open task-lifecycle spans.
+    pub spans: SpanTracker,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::disabled()
+    }
+}
+
+impl Recorder {
+    /// A recorder that drops everything (the zero-cost default).
+    pub fn disabled() -> Self {
+        Recorder {
+            enabled: false,
+            metrics: MetricsRegistry::new(),
+            trace: TraceLog::new(1),
+            spans: SpanTracker::new(),
+        }
+    }
+
+    /// A recorder that keeps up to `trace_capacity` trace events in memory.
+    pub fn enabled(trace_capacity: usize) -> Self {
+        Recorder {
+            enabled: true,
+            metrics: MetricsRegistry::new(),
+            trace: TraceLog::new(trace_capacity),
+            spans: SpanTracker::new(),
+        }
+    }
+
+    /// Whether this recorder is recording at all.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records a trace event (drops it when disabled).
+    #[inline]
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.enabled {
+            self.trace.push(event);
+        }
+    }
+
+    /// Increments a counter by 1 (no-op when disabled).
+    #[inline]
+    pub fn inc(&mut self, name: &'static str, labels: Labels) {
+        if self.enabled {
+            self.metrics.inc(name, labels);
+        }
+    }
+
+    /// Increments a counter by `delta` (no-op when disabled).
+    #[inline]
+    pub fn add(&mut self, name: &'static str, labels: Labels, delta: u64) {
+        if self.enabled {
+            self.metrics.add(name, labels, delta);
+        }
+    }
+
+    /// Sets a gauge (no-op when disabled).
+    #[inline]
+    pub fn set_gauge(&mut self, name: &'static str, labels: Labels, value: f64) {
+        if self.enabled {
+            self.metrics.set_gauge(name, labels, value);
+        }
+    }
+
+    /// Records a histogram observation (no-op when disabled).
+    #[inline]
+    pub fn observe(&mut self, name: &'static str, labels: Labels, bounds: &[f64], value: f64) {
+        if self.enabled {
+            self.metrics.observe(name, labels, bounds, value);
+        }
+    }
+
+    /// Opens a task span (no-op when disabled).
+    #[inline]
+    pub fn task_submitted(&mut self, task: arm_util::TaskId, now: SimTime) {
+        if self.enabled {
+            self.spans.submit(task, now);
+        }
+    }
+
+    /// Advances a task span to `phase` (no-op when disabled).
+    #[inline]
+    pub fn task_phase(&mut self, task: arm_util::TaskId, phase: TaskPhase, now: SimTime) {
+        if self.enabled {
+            self.spans.advance(&mut self.metrics, task, phase, now);
+        }
+    }
+
+    /// Closes a task span with `outcome` (no-op when disabled).
+    #[inline]
+    pub fn task_finished(&mut self, task: arm_util::TaskId, outcome: &'static str, now: SimTime) {
+        if self.enabled {
+            self.spans.finish(&mut self.metrics, task, outcome, now);
+        }
+    }
+
+    /// Freezes the metric state into a serialisable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arm_util::{NodeId, TaskId};
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let mut r = Recorder::disabled();
+        r.inc("c", Labels::NONE);
+        r.record(TraceEvent::new(
+            SimTime::ZERO,
+            NodeId::new(1),
+            None,
+            TraceKind::GossipRound { fanout: 3 },
+        ));
+        r.task_submitted(TaskId::new(1), SimTime::ZERO);
+        r.task_finished(TaskId::new(1), "on_time", SimTime::from_secs(1));
+        assert_eq!(r.metrics.counter("c", Labels::NONE), 0);
+        assert!(r.trace.is_empty());
+        assert_eq!(r.spans.open_count(), 0);
+        assert!(r.snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn enabled_recorder_records_everything() {
+        let mut r = Recorder::enabled(8);
+        r.inc("c", Labels::NONE);
+        r.record(TraceEvent::new(
+            SimTime::ZERO,
+            NodeId::new(1),
+            None,
+            TraceKind::GossipRound { fanout: 3 },
+        ));
+        r.task_submitted(TaskId::new(1), SimTime::ZERO);
+        r.task_phase(TaskId::new(1), TaskPhase::Stream, SimTime::from_millis(5));
+        r.task_finished(TaskId::new(1), "on_time", SimTime::from_secs(1));
+        assert_eq!(r.metrics.counter("c", Labels::NONE), 1);
+        assert_eq!(r.trace.len(), 1);
+        let snap = r.snapshot();
+        assert!(snap
+            .histogram("task_total_seconds{kind=\"on_time\"}")
+            .is_some());
+    }
+}

@@ -1,0 +1,211 @@
+//! Task-lifecycle spans.
+//!
+//! A task's journey through the middleware decomposes into phases:
+//!
+//! ```text
+//! Submit → Query → Allocation → Composition → Stream → Terminal
+//! ```
+//!
+//! [`SpanTracker`] measures the simulated time spent in each phase and feeds
+//! per-phase latency histograms (`task_phase_seconds{kind=<phase>}`) plus an
+//! end-to-end histogram (`task_total_seconds{kind=<outcome>}`) in a
+//! [`MetricsRegistry`]. Phases may legitimately be skipped (a task rejected
+//! at admission never reaches `Allocation`); the tracker only records phases
+//! actually entered.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use arm_util::{SimTime, TaskId};
+
+use crate::metrics::{Labels, MetricsRegistry, LATENCY_BUCKETS_SECS};
+
+/// Histogram name for time spent inside each phase.
+pub const PHASE_METRIC: &str = "task_phase_seconds";
+/// Histogram name for end-to-end task latency, labelled by outcome.
+pub const TOTAL_METRIC: &str = "task_total_seconds";
+
+/// The lifecycle phases of a task, in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TaskPhase {
+    /// Submitted by the application; waiting to be picked up.
+    Submit,
+    /// The originating peer's RM is being queried for resources.
+    Query,
+    /// Distributed resource allocation (the BFS over domains) is running.
+    Allocation,
+    /// The service path is being composed across the chosen peers.
+    Composition,
+    /// The application session is streaming / executing.
+    Stream,
+    /// Finished: completed, rejected or failed.
+    Terminal,
+}
+
+impl TaskPhase {
+    /// Stable snake_case name, used as the `kind` label.
+    pub fn name(self) -> &'static str {
+        match self {
+            TaskPhase::Submit => "submit",
+            TaskPhase::Query => "query",
+            TaskPhase::Allocation => "allocation",
+            TaskPhase::Composition => "composition",
+            TaskPhase::Stream => "stream",
+            TaskPhase::Terminal => "terminal",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct OpenSpan {
+    started: SimTime,
+    phase: TaskPhase,
+    phase_started: SimTime,
+}
+
+/// Tracks open task spans and records phase/total latencies on transition.
+#[derive(Debug, Clone, Default)]
+pub struct SpanTracker {
+    open: BTreeMap<TaskId, OpenSpan>,
+}
+
+impl SpanTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of tasks currently in flight.
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Opens a span for `task` in the [`TaskPhase::Submit`] phase.
+    /// Re-submitting an in-flight task restarts its span.
+    pub fn submit(&mut self, task: TaskId, now: SimTime) {
+        self.open.insert(
+            task,
+            OpenSpan {
+                started: now,
+                phase: TaskPhase::Submit,
+                phase_started: now,
+            },
+        );
+    }
+
+    /// Moves `task` into `phase`, recording the time spent in the phase it
+    /// is leaving. Unknown tasks and no-op transitions (already in `phase`)
+    /// are ignored, so emitters don't need to dedup.
+    pub fn advance(
+        &mut self,
+        registry: &mut MetricsRegistry,
+        task: TaskId,
+        phase: TaskPhase,
+        now: SimTime,
+    ) {
+        let Some(span) = self.open.get_mut(&task) else {
+            return;
+        };
+        if span.phase == phase {
+            return;
+        }
+        let spent = now.saturating_since(span.phase_started).as_secs_f64();
+        registry.observe(
+            PHASE_METRIC,
+            Labels::kind(span.phase.name()),
+            &LATENCY_BUCKETS_SECS,
+            spent,
+        );
+        span.phase = phase;
+        span.phase_started = now;
+    }
+
+    /// Closes `task`'s span with the given outcome label (`"on_time"`,
+    /// `"late"`, `"rejected"`, `"failed"`, ...): records the final phase's
+    /// residence time and the end-to-end latency. Unknown tasks are ignored.
+    pub fn finish(
+        &mut self,
+        registry: &mut MetricsRegistry,
+        task: TaskId,
+        outcome: &'static str,
+        now: SimTime,
+    ) {
+        let Some(span) = self.open.remove(&task) else {
+            return;
+        };
+        let spent = now.saturating_since(span.phase_started).as_secs_f64();
+        registry.observe(
+            PHASE_METRIC,
+            Labels::kind(span.phase.name()),
+            &LATENCY_BUCKETS_SECS,
+            spent,
+        );
+        let total = now.saturating_since(span.started).as_secs_f64();
+        registry.observe(
+            TOTAL_METRIC,
+            Labels::kind(outcome),
+            &LATENCY_BUCKETS_SECS,
+            total,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn phases_and_total_are_recorded() {
+        let mut reg = MetricsRegistry::new();
+        let mut spans = SpanTracker::new();
+        let task = TaskId::new(1);
+        spans.submit(task, t(0.0));
+        spans.advance(&mut reg, task, TaskPhase::Query, t(0.010));
+        spans.advance(&mut reg, task, TaskPhase::Allocation, t(0.030));
+        spans.advance(&mut reg, task, TaskPhase::Stream, t(0.080));
+        spans.finish(&mut reg, task, "on_time", t(2.080));
+        assert_eq!(spans.open_count(), 0);
+
+        let submit = reg.histogram(PHASE_METRIC, Labels::kind("submit")).unwrap();
+        assert_eq!(submit.total(), 1);
+        assert!((submit.sum() - 0.010).abs() < 1e-9);
+        let alloc = reg
+            .histogram(PHASE_METRIC, Labels::kind("allocation"))
+            .unwrap();
+        assert!((alloc.sum() - 0.050).abs() < 1e-9);
+        let total = reg
+            .histogram(TOTAL_METRIC, Labels::kind("on_time"))
+            .unwrap();
+        assert_eq!(total.total(), 1);
+        assert!((total.sum() - 2.080).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_tasks_and_noop_transitions_ignored() {
+        let mut reg = MetricsRegistry::new();
+        let mut spans = SpanTracker::new();
+        spans.advance(&mut reg, TaskId::new(9), TaskPhase::Query, t(1.0));
+        spans.finish(&mut reg, TaskId::new(9), "failed", t(1.0));
+        assert!(reg
+            .histogram(PHASE_METRIC, Labels::kind("submit"))
+            .is_none());
+
+        let task = TaskId::new(1);
+        spans.submit(task, t(0.0));
+        spans.advance(&mut reg, task, TaskPhase::Submit, t(5.0));
+        // Still in Submit, nothing recorded yet.
+        assert!(reg
+            .histogram(PHASE_METRIC, Labels::kind("submit"))
+            .is_none());
+    }
+
+    #[test]
+    fn phase_names_are_stable() {
+        assert_eq!(TaskPhase::Allocation.name(), "allocation");
+        assert_eq!(TaskPhase::Terminal.name(), "terminal");
+    }
+}

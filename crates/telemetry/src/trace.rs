@@ -1,0 +1,337 @@
+//! Structured trace events: a bounded in-memory ring buffer plus a JSONL
+//! (one JSON object per line) export format.
+//!
+//! Every event carries the *simulation* timestamp it happened at, the peer
+//! that emitted it and (when known) the domain it concerns. The event
+//! vocabulary covers the protocol's observable decisions end to end:
+//! membership (join/redirect), RM election with qualification scores, domain
+//! splits, backup promotion/failover, gossip rounds with Bloom summary
+//! exchange, admission control verdicts, LLF scheduling decisions, session
+//! repair and §4.5 fairness reassignment, and task-lifecycle phase
+//! transitions.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::io::{self, Write};
+
+use arm_util::{DomainId, NodeId, SessionId, SimTime, TaskId};
+
+use crate::span::TaskPhase;
+
+/// What happened. Externally tagged on serialisation, so a JSONL line reads
+/// `{"at":...,"peer":...,"kind":{"GossipRound":{...}}}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A peer's join request was accepted into the emitting RM's domain.
+    JoinAccepted {
+        /// The joining peer.
+        member: NodeId,
+    },
+    /// A join request was redirected towards a better-placed RM.
+    JoinRedirected {
+        /// The joining peer.
+        member: NodeId,
+        /// Where it was sent instead.
+        to: NodeId,
+    },
+    /// A candidate was scored during RM election / backup selection
+    /// (the paper's qualification criteria: capacity, stability, load).
+    Qualification {
+        /// The peer being scored.
+        candidate: NodeId,
+        /// Composite qualification score (higher is better).
+        score: f64,
+    },
+    /// The emitting peer won an election and became its domain's RM.
+    RmElected {
+        /// Number of peers it now manages.
+        members: u64,
+    },
+    /// An overloaded domain split; the emitter spun off a new domain.
+    DomainSplit {
+        /// Identifier of the newly created domain.
+        new_domain: DomainId,
+        /// The RM chosen to lead it.
+        new_rm: NodeId,
+        /// How many members moved over.
+        moved: u64,
+    },
+    /// A backup RM promoted itself after its primary failed (failover).
+    BackupPromoted {
+        /// The failed primary it replaces.
+        old_rm: NodeId,
+    },
+    /// One gossip round fired: state summaries pushed to fan-out peers.
+    GossipRound {
+        /// How many peers were gossiped to this round.
+        fanout: u64,
+    },
+    /// A Bloom-filter object/service summary was exchanged with a peer RM.
+    BloomExchange {
+        /// The remote RM involved.
+        with: NodeId,
+        /// Number of set bits in the summary sent (density proxy).
+        bits_set: u64,
+    },
+    /// Admission control accepted a task.
+    AdmissionAccepted {
+        /// The admitted task.
+        task: TaskId,
+    },
+    /// Admission control rejected a task, with the reason.
+    AdmissionRejected {
+        /// The rejected task.
+        task: TaskId,
+        /// Why it was turned away (e.g. `"no_capacity"`, `"deadline"`).
+        reason: String,
+    },
+    /// The local least-laxity-first scheduler dispatched a new job.
+    SchedDecision {
+        /// The job granted the CPU (peer-local job id).
+        job: u64,
+        /// Its laxity at decision time, microseconds (negative = already
+        /// past the point where it can finish on time).
+        laxity_us: i64,
+    },
+    /// A session-repair attempt completed.
+    SessionRepair {
+        /// The session being repaired.
+        session: SessionId,
+        /// Whether a replacement peer was found.
+        ok: bool,
+    },
+    /// A hot session was reassigned to balance load (the paper's §4.5).
+    SessionReassigned {
+        /// The moved session.
+        session: SessionId,
+        /// Fairness-index improvement the move achieved.
+        fairness_gain: f64,
+    },
+    /// A task crossed into a new lifecycle phase.
+    TaskPhase {
+        /// The task in question.
+        task: TaskId,
+        /// The phase it entered.
+        phase: TaskPhase,
+    },
+}
+
+impl TraceKind {
+    /// Stable snake_case name of this event kind, for counting and display.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceKind::JoinAccepted { .. } => "join_accepted",
+            TraceKind::JoinRedirected { .. } => "join_redirected",
+            TraceKind::Qualification { .. } => "qualification",
+            TraceKind::RmElected { .. } => "rm_elected",
+            TraceKind::DomainSplit { .. } => "domain_split",
+            TraceKind::BackupPromoted { .. } => "backup_promoted",
+            TraceKind::GossipRound { .. } => "gossip_round",
+            TraceKind::BloomExchange { .. } => "bloom_exchange",
+            TraceKind::AdmissionAccepted { .. } => "admission_accepted",
+            TraceKind::AdmissionRejected { .. } => "admission_rejected",
+            TraceKind::SchedDecision { .. } => "sched_decision",
+            TraceKind::SessionRepair { .. } => "session_repair",
+            TraceKind::SessionReassigned { .. } => "session_reassigned",
+            TraceKind::TaskPhase { .. } => "task_phase",
+        }
+    }
+}
+
+/// One structured trace event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Simulation time the event happened at.
+    pub at: SimTime,
+    /// The peer that emitted it.
+    pub peer: NodeId,
+    /// The domain it concerns, when attributable.
+    pub domain: Option<DomainId>,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+impl TraceEvent {
+    /// Convenience constructor.
+    pub fn new(at: SimTime, peer: NodeId, domain: Option<DomainId>, kind: TraceKind) -> Self {
+        TraceEvent {
+            at,
+            peer,
+            domain,
+            kind,
+        }
+    }
+}
+
+/// A bounded ring buffer of trace events.
+///
+/// When full, pushing evicts the *oldest* event and bumps the `dropped`
+/// counter — recent history is always retained, and the loss is visible.
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+    by_kind: BTreeMap<&'static str, u64>,
+}
+
+impl TraceLog {
+    /// Default in-memory capacity (events).
+    pub const DEFAULT_CAPACITY: usize = 65_536;
+
+    /// Creates a log that keeps at most `capacity` events in memory.
+    pub fn new(capacity: usize) -> Self {
+        TraceLog {
+            capacity: capacity.max(1),
+            events: VecDeque::new(),
+            dropped: 0,
+            by_kind: BTreeMap::new(),
+        }
+    }
+
+    /// Appends an event, evicting the oldest if at capacity.
+    pub fn push(&mut self, event: TraceEvent) {
+        *self.by_kind.entry(event.kind.name()).or_insert(0) += 1;
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates over retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Total pushes per event kind, *including* evicted events — eviction
+    /// loses payloads, not the tally.
+    pub fn kind_counts(&self) -> &BTreeMap<&'static str, u64> {
+        &self.by_kind
+    }
+
+    /// Total pushes of one event kind (see [`kind_counts`](Self::kind_counts)).
+    pub fn count_of(&self, kind_name: &str) -> u64 {
+        self.by_kind.get(kind_name).copied().unwrap_or(0)
+    }
+
+    /// Writes every retained event as one JSON object per line.
+    pub fn write_jsonl<W: Write>(&self, out: &mut W) -> io::Result<()> {
+        for event in &self.events {
+            let line = serde_json::to_string(event)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            out.write_all(line.as_bytes())?;
+            out.write_all(b"\n")?;
+        }
+        Ok(())
+    }
+
+    /// Parses events back from JSONL text (the inverse of
+    /// [`write_jsonl`](Self::write_jsonl)); blank lines are skipped.
+    pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
+        text.lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| serde_json::from_str::<TraceEvent>(l).map_err(|e| e.to_string()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, kind: TraceKind) -> TraceEvent {
+        TraceEvent::new(
+            SimTime::from_micros(t),
+            NodeId::new(1),
+            Some(DomainId::new(2)),
+            kind,
+        )
+    }
+
+    #[test]
+    fn ring_overflow_evicts_oldest_and_counts_drops() {
+        let mut log = TraceLog::new(3);
+        for i in 0..5 {
+            log.push(ev(i, TraceKind::GossipRound { fanout: i }));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        let times: Vec<u64> = log.iter().map(|e| e.at.as_micros()).collect();
+        assert_eq!(times, vec![2, 3, 4]);
+        // The tally still covers all five pushes.
+        assert_eq!(log.count_of("gossip_round"), 5);
+    }
+
+    #[test]
+    fn jsonl_roundtrip_preserves_events() {
+        let mut log = TraceLog::new(16);
+        log.push(ev(
+            10,
+            TraceKind::AdmissionRejected {
+                task: TaskId::new(7),
+                reason: "no_capacity".into(),
+            },
+        ));
+        log.push(ev(
+            20,
+            TraceKind::Qualification {
+                candidate: NodeId::new(9),
+                score: 0.75,
+            },
+        ));
+        log.push(ev(
+            30,
+            TraceKind::TaskPhase {
+                task: TaskId::new(7),
+                phase: TaskPhase::Allocation,
+            },
+        ));
+        let mut buf = Vec::new();
+        log.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        let parsed = TraceLog::parse_jsonl(&text).unwrap();
+        assert_eq!(parsed.len(), 3);
+        for (orig, back) in log.iter().zip(&parsed) {
+            assert_eq!(orig, back);
+        }
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(
+            TraceKind::DomainSplit {
+                new_domain: DomainId::new(1),
+                new_rm: NodeId::new(2),
+                moved: 3
+            }
+            .name(),
+            "domain_split"
+        );
+        assert_eq!(
+            TraceKind::SessionRepair {
+                session: SessionId::new(1),
+                ok: true
+            }
+            .name(),
+            "session_repair"
+        );
+    }
+}

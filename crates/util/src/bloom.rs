@@ -55,7 +55,9 @@ impl BloomFilter {
         assert!(false_positive_rate > 0.0 && false_positive_rate < 1.0);
         let n = expected_items as f64;
         let ln2 = std::f64::consts::LN_2;
-        let m = (-n * false_positive_rate.ln() / (ln2 * ln2)).ceil().max(64.0);
+        let m = (-n * false_positive_rate.ln() / (ln2 * ln2))
+            .ceil()
+            .max(64.0);
         let k = ((m / n) * ln2).round().clamp(1.0, 16.0);
         Self::new(m as usize, k as u32)
     }

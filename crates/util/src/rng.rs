@@ -8,9 +8,9 @@
 //! draws seen by existing consumers — a property plain "one shared RNG"
 //! setups lack and which matters when comparing policies on *identical*
 //! workloads (common random numbers).
-
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator is an inline xoshiro256++ seeded via splitmix64 — no
+//! external crates, identical output on every platform.
 
 /// splitmix64 — the standard 64-bit seed-sequencing mix.
 #[inline]
@@ -37,21 +37,26 @@ fn hash_label(label: &str) -> u64 {
 
 /// A deterministic random stream.
 ///
-/// Thin wrapper over [`SmallRng`] that remembers how it was derived and can
+/// An xoshiro256++ generator that remembers how it was derived and can
 /// spawn independent child streams.
 #[derive(Debug, Clone)]
 pub struct DetRng {
     seed: u64,
-    inner: SmallRng,
+    state: [u64; 4],
 }
 
 impl DetRng {
     /// Creates the root stream for a scenario from its master seed.
     pub fn new(seed: u64) -> Self {
-        Self {
-            seed,
-            inner: SmallRng::seed_from_u64(seed),
+        // Expand the 64-bit seed into the 256-bit state with a splitmix64
+        // sequence, the seeding scheme recommended by the xoshiro authors.
+        let mut s = seed;
+        let mut state = [0u64; 4];
+        for slot in &mut state {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            *slot = splitmix64(s);
         }
+        Self { seed, state }
     }
 
     /// Derives an independent child stream identified by a string label.
@@ -76,10 +81,26 @@ impl DetRng {
         self.seed
     }
 
+    /// Next raw 64-bit output (xoshiro256++ step).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
     /// Uniform `f64` in `[0, 1)`.
     #[inline]
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits → the standard dyadic-rational mapping onto [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform `f64` in `[lo, hi)`.
@@ -93,14 +114,22 @@ impl DetRng {
     #[inline]
     pub fn below(&mut self, n: u64) -> u64 {
         assert!(n > 0, "below(0)");
-        self.inner.gen_range(0..n)
+        // Lemire multiply-shift with rejection: unbiased for all n.
+        let mut m = (self.next_u64() as u128) * (n as u128);
+        if (m as u64) < n {
+            let threshold = n.wrapping_neg() % n;
+            while (m as u64) < threshold {
+                m = (self.next_u64() as u128) * (n as u128);
+            }
+        }
+        (m >> 64) as u64
     }
 
     /// Uniform usize index in `[0, n)`. Panics if `n == 0`.
     #[inline]
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index(0)");
-        self.inner.gen_range(0..n)
+        self.below(n as u64) as usize
     }
 
     /// Bernoulli draw with probability `p` of `true`.
@@ -184,25 +213,6 @@ impl DetRng {
     }
 }
 
-impl RngCore for DetRng {
-    #[inline]
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    #[inline]
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    #[inline]
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    #[inline]
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,6 +280,27 @@ mod tests {
             assert!(i < 10);
             let j = r.index(7);
             assert!(j < 7);
+        }
+    }
+
+    #[test]
+    fn unit_in_range() {
+        let mut r = DetRng::new(37);
+        for _ in 0..10_000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = DetRng::new(41);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[r.below(10) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "counts {counts:?}");
         }
     }
 

@@ -336,6 +336,14 @@ impl Summary {
         let m = self.mean();
         (self.values.iter().map(|x| (x - m).powi(2)).sum::<f64>() / n as f64).sqrt()
     }
+
+    /// Pools another summary's samples into this one. Quantiles over the
+    /// merged summary are exact, as if every observation had been fed to
+    /// one summary.
+    pub fn merge(&mut self, other: &Summary) {
+        self.values.extend_from_slice(&other.values);
+        self.sorted = false;
+    }
 }
 
 #[cfg(test)]

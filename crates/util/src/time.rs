@@ -12,15 +12,11 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
 /// An absolute instant of virtual time, in microseconds since run start.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimTime(pub u64);
 
 /// A span of virtual time, in microseconds.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimDuration(pub u64);
 
 impl SimTime {
@@ -289,8 +285,14 @@ mod tests {
         assert_eq!(SimTime::from_secs(2), SimTime::from_millis(2_000));
         assert_eq!(SimTime::from_millis(3), SimTime::from_micros(3_000));
         assert_eq!(SimTime::from_secs_f64(1.5), SimTime::from_millis(1_500));
-        assert_eq!(SimDuration::from_secs(1), SimDuration::from_micros(1_000_000));
-        assert_eq!(SimDuration::from_millis_f64(0.5), SimDuration::from_micros(500));
+        assert_eq!(
+            SimDuration::from_secs(1),
+            SimDuration::from_micros(1_000_000)
+        );
+        assert_eq!(
+            SimDuration::from_millis_f64(0.5),
+            SimDuration::from_micros(500)
+        );
     }
 
     #[test]
@@ -312,7 +314,10 @@ mod tests {
         assert_eq!(early.saturating_since(late), SimDuration::ZERO);
         assert_eq!(late.saturating_since(early), SimDuration::from_secs(4));
         assert_eq!(early.checked_since(late), None);
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
         assert_eq!(
             SimDuration::from_secs(1).saturating_sub(SimDuration::from_secs(2)),
             SimDuration::ZERO

@@ -125,11 +125,12 @@ pub fn generate_inventories(
     rng: &DetRng,
 ) -> BTreeMap<NodeId, Inventory> {
     assert!(!peers.is_empty());
-    assert!(cfg.formats.len() >= 2, "need a ladder of at least 2 formats");
-    let mut inv: BTreeMap<NodeId, Inventory> = peers
-        .iter()
-        .map(|p| (*p, Inventory::default()))
-        .collect();
+    assert!(
+        cfg.formats.len() >= 2,
+        "need a ladder of at least 2 formats"
+    );
+    let mut inv: BTreeMap<NodeId, Inventory> =
+        peers.iter().map(|p| (*p, Inventory::default())).collect();
 
     // Objects: stored at a top-third rung, replicated on distinct peers.
     let mut obj_rng = rng.stream("objects");
@@ -144,7 +145,10 @@ pub fn generate_inventories(
         );
         let replicas = cfg.object_replicas.min(peers.len());
         for &pi in obj_rng.sample_indices(peers.len(), replicas).iter() {
-            inv.get_mut(&peers[pi]).unwrap().objects.push(object.clone());
+            inv.get_mut(&peers[pi])
+                .unwrap()
+                .objects
+                .push(object.clone());
         }
     }
 
@@ -153,11 +157,7 @@ pub fn generate_inventories(
     for (pi, peer) in peers.iter().enumerate() {
         let mut t_rng = rng.stream_idx("transcoders", peer.raw());
         let count = cfg.transcoders_per_peer.min(steps.len());
-        for (si, &step_idx) in t_rng
-            .sample_indices(steps.len(), count)
-            .iter()
-            .enumerate()
-        {
+        for (si, &step_idx) in t_rng.sample_indices(steps.len(), count).iter().enumerate() {
             let (input, output) = steps[step_idx];
             let id = ServiceId::new((pi as u64) * 1_000 + si as u64);
             inv.get_mut(peer)
@@ -312,7 +312,10 @@ mod tests {
         let trace = generate_tasks(&ps, &inv, &cfg, &DetRng::new(3));
         let ladder = &cfg.formats;
         for a in &trace {
-            let src = ladder.iter().position(|f| *f == a.task.initial_format).unwrap();
+            let src = ladder
+                .iter()
+                .position(|f| *f == a.task.initial_format)
+                .unwrap();
             for target in &a.task.acceptable_formats {
                 let dst = ladder.iter().position(|f| f == target).unwrap();
                 assert!(dst > src, "target below source on the ladder");

@@ -5,7 +5,9 @@
 //! Run with: `cargo run --release --example live_overlay`
 
 use adaptive_p2p_rm::core::ProtocolConfig;
-use adaptive_p2p_rm::model::{Codec, MediaFormat, MediaObject, QosSpec, Resolution, ServiceSpec, TaskSpec};
+use adaptive_p2p_rm::model::{
+    Codec, MediaFormat, MediaObject, QosSpec, Resolution, ServiceSpec, TaskSpec,
+};
 use adaptive_p2p_rm::runtime::{PeerSpawn, Runtime, RuntimeConfig};
 use adaptive_p2p_rm::util::{NodeId, ObjectId, ServiceId, SimDuration, SimTime, TaskId};
 use std::time::Duration;
@@ -29,7 +31,10 @@ fn main() {
     });
 
     let intermediate = MediaFormat::new(Codec::Mpeg2, Resolution::VGA, 256);
-    let spawn = |id: u64, objects: Vec<MediaObject>, services: Vec<ServiceSpec>, boot: Option<u64>| PeerSpawn {
+    let spawn = |id: u64,
+                 objects: Vec<MediaObject>,
+                 services: Vec<ServiceSpec>,
+                 boot: Option<u64>| PeerSpawn {
         id: NodeId::new(id),
         capacity: 100.0,
         bandwidth_kbps: 10_000,

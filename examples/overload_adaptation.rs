@@ -39,16 +39,41 @@ fn main() {
         println!("{label:<26} {on:>12} {off:>12}");
     };
     row("", "adaptive".into(), "static".into());
-    row("goodput", format!("{:.1}%", on.outcomes.goodput() * 100.0),
-        format!("{:.1}%", off.outcomes.goodput() * 100.0));
-    row("completed late", on.outcomes.late.to_string(), off.outcomes.late.to_string());
-    row("rejected", on.outcomes.rejected.to_string(), off.outcomes.rejected.to_string());
-    row("mean fairness", format!("{:.3}", on.mean_fairness()),
-        format!("{:.3}", off.mean_fairness()));
-    row("mean utilization", format!("{:.2}", on.mean_utilization()),
-        format!("{:.2}", off.mean_utilization()));
-    row("sessions migrated", on.reassignments.to_string(), off.reassignments.to_string());
-    row("queries redirected", on.redirects.to_string(), off.redirects.to_string());
+    row(
+        "goodput",
+        format!("{:.1}%", on.outcomes.goodput() * 100.0),
+        format!("{:.1}%", off.outcomes.goodput() * 100.0),
+    );
+    row(
+        "completed late",
+        on.outcomes.late.to_string(),
+        off.outcomes.late.to_string(),
+    );
+    row(
+        "rejected",
+        on.outcomes.rejected.to_string(),
+        off.outcomes.rejected.to_string(),
+    );
+    row(
+        "mean fairness",
+        format!("{:.3}", on.mean_fairness()),
+        format!("{:.3}", off.mean_fairness()),
+    );
+    row(
+        "mean utilization",
+        format!("{:.2}", on.mean_utilization()),
+        format!("{:.2}", off.mean_utilization()),
+    );
+    row(
+        "sessions migrated",
+        on.reassignments.to_string(),
+        off.reassignments.to_string(),
+    );
+    row(
+        "queries redirected",
+        on.redirects.to_string(),
+        off.redirects.to_string(),
+    );
 
     println!("\nfairness over time (10s buckets, adaptive run):");
     let series = &on.fairness_series;

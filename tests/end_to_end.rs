@@ -46,10 +46,7 @@ fn fairness_stays_meaningful_under_load() {
     cfg.workload.arrival_rate = 1.5;
     let report = Simulation::new(cfg).run();
     let mf = report.mean_fairness();
-    assert!(
-        (0.2..=1.0).contains(&mf),
-        "fairness out of range: {mf}"
-    );
+    assert!((0.2..=1.0).contains(&mf), "fairness out of range: {mf}");
     // Utilization is non-trivial under this load.
     assert!(report.mean_utilization() > 0.02);
 }

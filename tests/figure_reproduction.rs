@@ -2,9 +2,7 @@
 //! public API (the executable counterpart of EXPERIMENTS.md E1–E3).
 
 use adaptive_p2p_rm::model::alloc::{AllocatorKind, FairnessAllocator};
-use adaptive_p2p_rm::model::{
-    allocate, MediaFormat, PeerInfo, PeerView, QosSpec, ResourceGraph,
-};
+use adaptive_p2p_rm::model::{allocate, MediaFormat, PeerInfo, PeerView, QosSpec, ResourceGraph};
 use adaptive_p2p_rm::util::{fairness_index, NodeId, SimDuration};
 
 fn idle_view() -> PeerView {
