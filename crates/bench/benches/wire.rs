@@ -1,0 +1,91 @@
+//! Wire codec hot paths: frame encode/decode throughput for the smallest
+//! periodic message (Heartbeat) and the largest (a multi-domain
+//! GossipDigest with populated Bloom filters).
+//!
+//! Run with `ARM_BENCH_JSON=BENCH_wire.json cargo bench -p arm-bench
+//! --bench wire` to export machine-readable results.
+
+use arm_proto::{DomainSummary, Envelope, Message};
+use arm_util::{BloomFilter, DomainId, NodeId, SimTime};
+use arm_wire::{encode, FrameDecoder, WirePayload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn heartbeat() -> WirePayload {
+    WirePayload::Envelope(Envelope {
+        from: NodeId::new(1),
+        to: NodeId::new(2),
+        msg: Message::Heartbeat {
+            from: NodeId::new(1),
+            sent_at: SimTime::from_millis(12_345),
+        },
+    })
+}
+
+fn gossip(domains: u64) -> WirePayload {
+    let summaries = (1..=domains)
+        .map(|d| {
+            let mut objects = BloomFilter::with_capacity(512, 0.01);
+            let mut services = BloomFilter::with_capacity(128, 0.01);
+            for k in 0..256u64 {
+                objects.insert_u64(d * 10_000 + k);
+                services.insert_u64(d * 20_000 + k);
+            }
+            DomainSummary {
+                domain: DomainId::new(d),
+                rm: NodeId::new(d),
+                objects,
+                services,
+                mean_utilization: 0.42,
+                version: d,
+            }
+        })
+        .collect();
+    WirePayload::Envelope(Envelope {
+        from: NodeId::new(1),
+        to: NodeId::new(2),
+        msg: Message::GossipDigest { summaries },
+    })
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire");
+    let cases = [
+        ("heartbeat", heartbeat()),
+        ("gossip_digest/8_domains", gossip(8)),
+    ];
+    for (name, payload) in &cases {
+        let frame = encode(payload);
+        g.bench_function(format!("encode/{name}/{}B", frame.len()), |b| {
+            b.iter(|| black_box(encode(black_box(payload))))
+        });
+        g.bench_function(format!("decode/{name}/{}B", frame.len()), |b| {
+            b.iter(|| {
+                let mut dec = FrameDecoder::new();
+                dec.push(black_box(&frame));
+                black_box(dec.next_frame().unwrap().unwrap())
+            })
+        });
+    }
+    // Streaming decode: many small frames arriving in one buffer.
+    let burst: Vec<u8> = (0..64).flat_map(|_| encode(&cases[0].1)).collect();
+    g.bench_function(
+        format!("decode/heartbeat_burst_x64/{}B", burst.len()),
+        |b| {
+            b.iter(|| {
+                let mut dec = FrameDecoder::new();
+                dec.push(black_box(&burst));
+                let mut n = 0u32;
+                while let Ok(Some(p)) = dec.next_frame() {
+                    black_box(p);
+                    n += 1;
+                }
+                assert_eq!(n, 64);
+            })
+        },
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

@@ -1,0 +1,317 @@
+//! `arm node` / `arm cluster`: the middleware as live networked processes.
+//!
+//! Both subcommands drive the same sans-I/O state machines as `simulate`,
+//! but over real TCP sockets via `arm-wire` and the transport-backed
+//! runtime in `arm_runtime::net`. `cluster` spins up N peers on loopback in
+//! one process and runs the demo workload end-to-end; `node` runs a single
+//! peer so a cluster can be assembled by hand across processes.
+
+use arm_core::ProtocolConfig;
+use arm_model::{Codec, MediaFormat, MediaObject, QosSpec, Resolution, ServiceSpec, TaskSpec};
+use arm_runtime::net::{NetClock, NetCluster, NetMailbox, NetPeer, NetPeerConfig};
+use arm_runtime::{PeerSpawn, Telemetry};
+use arm_telemetry::Recorder;
+use arm_util::{NodeId, ObjectId, ServiceId, SimDuration, SimTime, TaskId};
+use arm_wire::{TcpOptions, TcpTransport, Transport, TransportStats};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Millisecond-scale protocol periods so a live demo converges in seconds
+/// (the defaults are tuned for the paper's long simulated horizons).
+fn live_protocol() -> ProtocolConfig {
+    ProtocolConfig {
+        heartbeat_period: SimDuration::from_millis(100),
+        heartbeat_timeout: SimDuration::from_millis(400),
+        report_period: SimDuration::from_millis(100),
+        gossip_period: SimDuration::from_millis(400),
+        backup_period: SimDuration::from_millis(200),
+        adapt_period: SimDuration::from_millis(400),
+        join_timeout: SimDuration::from_millis(400),
+        compose_timeout: SimDuration::from_millis(1000),
+        sched_poll: SimDuration::from_millis(10),
+        ..ProtocolConfig::default()
+    }
+}
+
+fn parse_u64(flags: &BTreeMap<String, String>, name: &str, default: u64) -> Result<u64, String> {
+    flags
+        .get(name)
+        .map(|v| v.parse().map_err(|e| format!("bad --{name}: {e}")))
+        .transpose()
+        .map(|v| v.unwrap_or(default))
+}
+
+fn intermediate_format() -> MediaFormat {
+    MediaFormat::new(Codec::Mpeg2, Resolution::VGA, 256)
+}
+
+/// The demo task: fetch "demo-movie" transcoded to the paper's target
+/// format, deadline a few seconds out.
+fn demo_task(requester: NodeId) -> TaskSpec {
+    TaskSpec {
+        id: TaskId::new(1),
+        name: "demo-movie".into(),
+        requester,
+        initial_format: MediaFormat::paper_source(),
+        acceptable_formats: vec![MediaFormat::paper_target()],
+        qos: QosSpec::with_deadline(SimDuration::from_secs(10)),
+        submitted_at: SimTime::ZERO,
+        session_secs: 1.0,
+    }
+}
+
+fn plain_spawn(id: u64, bootstrap: Option<u64>) -> PeerSpawn {
+    PeerSpawn {
+        id: NodeId::new(id),
+        capacity: 100.0,
+        bandwidth_kbps: 10_000,
+        objects: vec![],
+        services: vec![],
+        bootstrap: bootstrap.map(NodeId::new),
+    }
+}
+
+/// Demo cluster layout: peer 1 founds the overlay, peer 2 hosts the source
+/// object plus the first transcoding stage, peer 3 offers the second stage,
+/// the rest are plain capacity; everyone bootstraps off peer 1.
+fn demo_spawns(peers: u64) -> Vec<PeerSpawn> {
+    let mut spawns = Vec::with_capacity(peers as usize);
+    for i in 1..=peers {
+        let mut spawn = plain_spawn(i, (i > 1).then_some(1));
+        if i == 2 {
+            spawn.objects = vec![MediaObject::new(
+                ObjectId::new(1),
+                "demo-movie",
+                MediaFormat::paper_source(),
+                60.0,
+            )];
+            spawn.services = vec![ServiceSpec::transcoder(
+                ServiceId::new(1),
+                MediaFormat::paper_source(),
+                intermediate_format(),
+                5.0,
+            )];
+        }
+        if i == 3 {
+            spawn.services = vec![ServiceSpec::transcoder(
+                ServiceId::new(2),
+                intermediate_format(),
+                MediaFormat::paper_target(),
+                5.0,
+            )];
+        }
+        spawns.push(spawn);
+    }
+    spawns
+}
+
+/// Prints the same per-kind trace table as `simulate`.
+fn print_trace_summary(telemetry: &Telemetry) {
+    let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for ev in &telemetry.traces {
+        *counts.entry(ev.kind.name()).or_default() += 1;
+    }
+    if counts.is_empty() {
+        println!("no trace events recorded");
+        return;
+    }
+    println!("trace events ({} kinds):", counts.len());
+    for (kind, count) in &counts {
+        println!("  {kind:<20} {count}");
+    }
+}
+
+fn print_transport_summary(stats: &[TransportStats]) {
+    let msgs_out: u64 = stats.iter().map(|s| s.msgs_out()).sum();
+    let bytes_out: u64 = stats.iter().map(|s| s.bytes_out()).sum();
+    let reconnects: u64 = stats.iter().map(|s| s.reconnects()).sum();
+    let dropped: u64 = stats.iter().map(|s| s.dropped()).sum();
+    let decode_errors: u64 = stats.iter().map(|s| s.decode_errors).sum();
+    let links: usize = stats.iter().map(|s| s.links.len()).sum();
+    println!(
+        "wire                 {msgs_out} msgs ({:.1} kB) over {links} links, \
+         {reconnects} reconnects, {dropped} dropped, {decode_errors} decode errors",
+        bytes_out as f64 / 1e3,
+    );
+}
+
+/// Records transport counters into an `arm-telemetry` registry and writes
+/// the snapshot to `path`.
+fn write_metrics(stats: &[TransportStats], path: &str) -> Result<(), String> {
+    let mut rec = Recorder::enabled(1 << 12);
+    for s in stats {
+        s.record_into(&mut rec);
+    }
+    let json = serde_json::to_string_pretty(&rec.snapshot()).map_err(|e| e.to_string())?;
+    std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+    println!("wire metrics written to {path}");
+    Ok(())
+}
+
+/// `arm cluster --peers N`: N live peers over loopback TCP in one process.
+pub fn cluster(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let peers = parse_u64(flags, "peers", 8)?;
+    if peers < 2 {
+        return Err("--peers must be at least 2".into());
+    }
+    let seed = parse_u64(flags, "seed", 7)?;
+    let config = NetPeerConfig {
+        protocol: live_protocol(),
+        seed,
+        tracing: true,
+    };
+    println!("starting {peers} live peers on loopback TCP (seed {seed})...");
+    let cluster = NetCluster::start(demo_spawns(peers), &config, TcpOptions::default())
+        .map_err(|e| format!("starting cluster: {e}"))?;
+
+    // Let the overlay form (joins, heartbeats, first load reports).
+    std::thread::sleep(Duration::from_millis(800));
+    let requester = NodeId::new(peers);
+    println!("overlay warm; submitting demo task at peer {requester}...");
+    cluster.submit(requester, demo_task(requester));
+
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let allocated = loop {
+        let t = cluster.telemetry();
+        if let Some((_, ok, _)) = t.replies.iter().find(|(id, ..)| *id == TaskId::new(1)) {
+            break *ok;
+        }
+        if Instant::now() >= deadline {
+            cluster.shutdown();
+            return Err("demo task saw no reply within 20s".into());
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    // Give the session a moment to start streaming before tearing down.
+    std::thread::sleep(Duration::from_millis(300));
+
+    let telemetry = cluster.telemetry();
+    let virtual_secs = cluster.clock().now().as_secs_f64();
+    let stats = cluster.shutdown();
+
+    println!();
+    println!(
+        "task allocated       {}",
+        if allocated { "yes" } else { "no (rejected)" }
+    );
+    println!("messages             {}", telemetry.messages);
+    println!("ran for              {virtual_secs:.1}s");
+    print_transport_summary(&stats);
+    println!();
+    print_trace_summary(&telemetry);
+    if let Some(path) = flags.get("metrics") {
+        write_metrics(&stats, path)?;
+    }
+
+    let decode_errors: u64 = stats.iter().map(|s| s.decode_errors).sum();
+    if decode_errors > 0 {
+        return Err(format!("{decode_errors} frames failed to decode"));
+    }
+    if !allocated {
+        return Err("demo task was not allocated".into());
+    }
+    Ok(())
+}
+
+/// `arm node --listen ADDR [--bootstrap ADDR]`: one live peer, joined to an
+/// existing overlay if a bootstrap address is given.
+pub fn node(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let listen = flags
+        .get("listen")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:0".into());
+    let id = parse_u64(flags, "id", 1)?;
+    let secs = parse_u64(flags, "secs", 10)?;
+    let seed = parse_u64(flags, "seed", 7)?;
+    let me = NodeId::new(id);
+
+    let clock = NetClock::new();
+    let telemetry = Arc::new(Mutex::new(Telemetry::default()));
+    let mailbox = NetMailbox::new(clock.clone());
+    let transport = Arc::new(
+        TcpTransport::bind(me, &listen, mailbox.sink(), TcpOptions::default())
+            .map_err(|e| e.to_string())?,
+    );
+    println!("peer {me} listening on {}", transport.listen_addr());
+
+    let bootstrap = match flags.get("bootstrap") {
+        Some(addr) => {
+            let remote = transport
+                .connect(addr)
+                .map_err(|e| format!("bootstrap {addr}: {e}"))?;
+            println!("bootstrap {addr} is peer {remote}");
+            Some(remote)
+        }
+        None => {
+            println!("no --bootstrap: founding a new overlay");
+            None
+        }
+    };
+    if bootstrap == Some(me) {
+        transport.shutdown();
+        return Err(format!(
+            "bootstrap peer has our own id ({me}); pick a unique --id"
+        ));
+    }
+
+    let mut spawn = plain_spawn(id, None);
+    spawn.bootstrap = bootstrap;
+    let config = NetPeerConfig {
+        protocol: live_protocol(),
+        seed,
+        tracing: true,
+    };
+    let peer = NetPeer::start(
+        mailbox,
+        spawn,
+        Arc::clone(&transport) as Arc<dyn Transport>,
+        &config,
+        Arc::clone(&telemetry),
+    );
+
+    println!("running for {secs}s...");
+    std::thread::sleep(Duration::from_secs(secs));
+    peer.stop(true);
+    let stats = vec![transport.stats()];
+    transport.shutdown();
+
+    let telemetry = telemetry.lock().clone();
+    println!();
+    println!("messages             {}", telemetry.messages);
+    print_transport_summary(&stats);
+    println!();
+    print_trace_summary(&telemetry);
+    if let Some(path) = flags.get("metrics") {
+        write_metrics(&stats, path)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_demo_completes_over_tcp() {
+        let mut flags = BTreeMap::new();
+        flags.insert("peers".to_string(), "4".to_string());
+        cluster(&flags).unwrap();
+    }
+
+    #[test]
+    fn single_node_founds_overlay() {
+        let mut flags = BTreeMap::new();
+        flags.insert("listen".to_string(), "127.0.0.1:0".to_string());
+        flags.insert("secs".to_string(), "1".to_string());
+        node(&flags).unwrap();
+    }
+
+    #[test]
+    fn cluster_rejects_single_peer() {
+        let mut flags = BTreeMap::new();
+        flags.insert("peers".to_string(), "1".to_string());
+        assert!(cluster(&flags).is_err());
+    }
+}

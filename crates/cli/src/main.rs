@@ -12,6 +12,10 @@
 //! arm topology [--clusters N] [--per-cluster M] [--seed S]
 //!                                           print a generated topology
 //! arm experiment <e01..e14|all> [--quick]   run a reproduction experiment
+//! arm cluster [--peers N] [--seed S]        live loopback TCP cluster running
+//!             [--metrics out.json]          the demo workload end-to-end
+//! arm node --listen ADDR [--id N]           one live peer over TCP
+//!          [--bootstrap ADDR] [--secs S]
 //! ```
 //!
 //! Argument parsing is deliberately dependency-free (no CLI crates in the
@@ -21,6 +25,8 @@ use arm_sim::{ScenarioConfig, Simulation};
 use arm_util::DetRng;
 use std::collections::BTreeMap;
 use std::process::ExitCode;
+
+mod live;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,6 +40,8 @@ fn main() -> ExitCode {
         "simulate" => simulate(&flags),
         "topology" => topology(&flags),
         "experiment" => experiment(&args[1..]),
+        "cluster" => live::cluster(&flags),
+        "node" => live::node(&flags),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -57,7 +65,9 @@ USAGE:
   arm simulate [--config scenario.json] [--peers N] [--out report.json] [--seed N]
                [--trace events.jsonl] [--metrics metrics.json]
   arm topology [--clusters N] [--per-cluster M] [--seed S]
-  arm experiment <e01..e14|all> [--quick]";
+  arm experiment <e01..e14|all> [--quick]
+  arm cluster [--peers N] [--seed S] [--metrics out.json]
+  arm node --listen ADDR [--id N] [--bootstrap ADDR] [--secs S] [--metrics out.json]";
 
 /// `--name value` pairs (a trailing flag without a value maps to "true").
 fn parse_flags(args: &[String]) -> BTreeMap<String, String> {
@@ -107,13 +117,15 @@ fn simulate(flags: &BTreeMap<String, String>) -> Result<(), String> {
             // Without a config, run a demo scenario with mild churn and a
             // hot workload so the whole protocol (failover, repair,
             // admission control, reassignment) is exercised.
-            let mut cfg = ScenarioConfig::default();
-            cfg.churn = Some(arm_net::churn::ChurnParams {
-                mean_uptime_secs: 120.0,
-                mean_downtime_secs: 20.0,
-                crash_fraction: 0.7,
-                churning_fraction: 0.3,
-            });
+            let mut cfg = ScenarioConfig {
+                churn: Some(arm_net::churn::ChurnParams {
+                    mean_uptime_secs: 120.0,
+                    mean_downtime_secs: 20.0,
+                    crash_fraction: 0.7,
+                    churning_fraction: 0.3,
+                }),
+                ..ScenarioConfig::default()
+            };
             cfg.workload.arrival_rate = 3.0;
             cfg.workload.session_mean_secs = 180.0;
             // Low overload threshold: hot peers show up even in a short
@@ -384,8 +396,10 @@ mod tests {
         let metrics_path = dir.join("metrics.json");
         // Shrunk scenario so the test is fast.
         let cfg_path = dir.join("scenario.json");
-        let mut cfg = ScenarioConfig::default();
-        cfg.horizon = arm_util::SimTime::from_secs(45);
+        let cfg = ScenarioConfig {
+            horizon: arm_util::SimTime::from_secs(45),
+            ..ScenarioConfig::default()
+        };
         std::fs::write(&cfg_path, serde_json::to_string(&cfg).unwrap()).unwrap();
         let mut flags = BTreeMap::new();
         flags.insert("config".to_string(), cfg_path.to_str().unwrap().to_string());

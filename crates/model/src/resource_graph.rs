@@ -15,7 +15,7 @@
 use crate::media::{Codec, MediaFormat, Resolution};
 use crate::service::ServiceCost;
 use arm_util::{NodeId, ServiceId};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 use std::collections::BTreeMap;
 
 /// Index of an application-state vertex in a [`ResourceGraph`].
@@ -50,12 +50,61 @@ pub struct ResourceEdge {
 }
 
 /// The resource graph `G_r` of a domain.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Serializes as just `{states, edges}`; the format→vertex index and the
+/// adjacency lists are derived data and are rebuilt on deserialization
+/// (`MediaFormat` also cannot be a JSON map key).
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ResourceGraph {
     states: Vec<MediaFormat>,
     state_index: BTreeMap<MediaFormat, StateId>,
     edges: Vec<ResourceEdge>,
     out: Vec<Vec<EdgeId>>,
+}
+
+impl Serialize for ResourceGraph {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("states".into(), self.states.to_value()),
+            ("edges".into(), self.edges.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for ResourceGraph {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let states = Vec::<MediaFormat>::from_value(v.field("states"))?;
+        let edges = Vec::<ResourceEdge>::from_value(v.field("edges"))?;
+        let mut state_index = BTreeMap::new();
+        for (i, &f) in states.iter().enumerate() {
+            if state_index.insert(f, StateId(i as u32)).is_some() {
+                return Err(Error::msg(format!("duplicate resource-graph state {f}")));
+            }
+        }
+        let mut out: Vec<Vec<EdgeId>> = vec![Vec::new(); states.len()];
+        for (i, e) in edges.iter().enumerate() {
+            if e.id.0 as usize != i {
+                return Err(Error::msg(format!(
+                    "resource-graph edge at index {i} claims id {:?}",
+                    e.id
+                )));
+            }
+            let (from, to) = (e.from.0 as usize, e.to.0 as usize);
+            if from >= states.len() || to >= states.len() {
+                return Err(Error::msg(format!(
+                    "resource-graph edge {i} references missing state ({from} or {to} >= {})",
+                    states.len()
+                )));
+            }
+            out[from].push(e.id);
+        }
+        Ok(Self {
+            states,
+            state_index,
+            edges,
+            out,
+        })
+    }
 }
 
 impl ResourceGraph {

@@ -300,49 +300,58 @@ impl Message {
     /// A deterministic estimate of the on-wire size in bytes, used by the
     /// bandwidth model and the overhead accounting of E5/E10/E12.
     pub fn size_bytes(&self) -> usize {
-        const HDR: usize = 40; // envelope: src, dst, kind, session/task ids
+        // Calibrated against the arm-wire frame codec (header + JSON-shaped
+        // envelope); the wire crate's `size_estimate` test pins every
+        // variant's estimate to within 2x of the real encoded frame.
+        const HDR: usize = 40; // frame header + envelope: src, dst, kind
+        const FORMAT: usize = 60; // one serialized MediaFormat
+        const HOP: usize = 280; // one ServiceHop (two formats + ids + cost)
+        const CANDIDACY: usize = 90; // one RmCandidacy
         match self {
-            Message::JoinRequest { .. } => HDR + 28,
+            Message::JoinRequest { .. } => HDR + CANDIDACY,
             Message::JoinRedirect { .. } => HDR + 8,
-            Message::JoinAccept { known_rms, .. } => HDR + 26 + known_rms.len() * 16,
+            Message::JoinAccept { known_rms, .. } => HDR + 60 + known_rms.len() * 16,
             Message::Advertise { objects, services } => {
-                HDR + objects.iter().map(|o| 40 + o.name.len()).sum::<usize>() + services.len() * 44
+                HDR + objects.iter().map(|o| 110 + o.name.len()).sum::<usize>()
+                    + services.len() * 280
             }
             Message::Leave { .. } => HDR + 8,
-            Message::Heartbeat { .. } | Message::HeartbeatAck { .. } => HDR + 16,
+            Message::Heartbeat { .. } | Message::HeartbeatAck { .. } => HDR + 30,
             Message::BackupUpdate { snapshot } => {
                 HDR + 64
-                    + snapshot.view.len() * 40
-                    + snapshot.resource_graph.num_edges() * 48
+                    + snapshot.view.len() * 120
+                    + snapshot.resource_graph.num_states() * FORMAT
+                    + snapshot.resource_graph.num_edges() * 100
                     + snapshot
                         .sessions
                         .iter()
-                        .map(|(_, g)| 24 + g.hops.len() * 56)
+                        .map(|(_, g)| 24 + g.hops.len() * HOP)
                         .sum::<usize>()
-                    + snapshot.candidates.len() * 28
+                    + snapshot.candidates.len() * CANDIDACY
             }
-            Message::PromoteAnnounce { .. } => HDR + 16,
-            Message::LoadReport(_) => HDR + 44,
+            Message::PromoteAnnounce { .. } => HDR + 24,
+            Message::LoadReport(_) => HDR + 130,
             Message::GossipDigest { summaries } => {
+                // Bloom bits travel hex-encoded: 2 characters per byte.
                 HDR + summaries
                     .iter()
-                    .map(|s| 32 + s.objects.byte_size() + s.services.byte_size())
+                    .map(|s| 130 + 2 * (s.objects.byte_size() + s.services.byte_size()))
                     .sum::<usize>()
             }
             Message::TaskQuery { task } | Message::TaskRedirect { task, .. } => {
-                HDR + 64 + task.acceptable_formats.len() * 12 + task.name.len()
+                HDR + 250 + task.acceptable_formats.len() * FORMAT + task.name.len()
             }
             Message::TaskReply { reply, .. } => match reply {
-                TaskReplyKind::Allocated(g) => HDR + 16 + g.hops.len() * 56,
-                TaskReplyKind::Rejected { reason } => HDR + 16 + reason.len(),
+                TaskReplyKind::Allocated(g) => HDR + 40 + g.hops.len() * HOP,
+                TaskReplyKind::Rejected { reason } => HDR + 40 + reason.len(),
             },
             Message::Compose { graph, .. } | Message::Reassign { graph, .. } => {
-                HDR + 24 + graph.hops.len() * 56
+                HDR + 50 + graph.hops.len() * HOP
             }
-            Message::ComposeAck { .. } => HDR + 20,
-            Message::ComposeNack { .. } => HDR + 24,
-            Message::RenegotiateQos { .. } => HDR + 32,
-            Message::SessionEnd { .. } => HDR + 8,
+            Message::ComposeAck { .. } => HDR + 30,
+            Message::ComposeNack { .. } => HDR + 50,
+            Message::RenegotiateQos { .. } => HDR + 110,
+            Message::SessionEnd { .. } => HDR + 16,
         }
     }
 

@@ -23,6 +23,7 @@
 use arm_core::{Action, Event, PeerNode, ProtocolConfig, TimerKind};
 use arm_model::task::TaskOutcome;
 use arm_model::{MediaObject, ServiceSpec, TaskSpec};
+use arm_proto::Message;
 use arm_telemetry::TraceEvent;
 use arm_util::{DomainId, NodeId, SessionId, SimDuration, SimTime, TaskId};
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
@@ -31,6 +32,8 @@ use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+pub mod net;
 
 /// What happened during a run, shared across peer threads.
 #[derive(Debug, Default, Clone)]
@@ -273,7 +276,8 @@ fn peer_main(
     }
 }
 
-/// Executes actions; returns false if the thread should stop.
+/// Executes actions against the in-process registry; returns false if the
+/// thread should stop.
 fn apply(
     registry: &Arc<Registry>,
     pending: &mut BinaryHeap<TimerEntry>,
@@ -281,55 +285,67 @@ fn apply(
     actions: Vec<Action>,
 ) -> bool {
     let now = registry.now();
+    handle_actions(&registry.telemetry, pending, me, now, actions, |to, msg| {
+        let senders = registry.senders.read();
+        if let Some(tx) = senders.get(&to) {
+            registry.telemetry.lock().messages += 1;
+            let _ = tx.send(Delivery::At(
+                now + registry.latency,
+                Event::Msg { from: me, msg },
+            ));
+        }
+    });
+    true
+}
+
+/// Shared action interpreter for both runtime flavours: records outcomes
+/// into `telemetry`, arms timers in `pending`, and forwards `Send` actions
+/// through the caller's medium (`send` — registry channels for the
+/// in-process runtime, a [`arm_wire::Transport`] for the networked one).
+fn handle_actions<F>(
+    telemetry: &Mutex<Telemetry>,
+    pending: &mut BinaryHeap<TimerEntry>,
+    me: NodeId,
+    now: SimTime,
+    actions: Vec<Action>,
+    mut send: F,
+) where
+    F: FnMut(NodeId, Message),
+{
     for action in actions {
         match action {
-            Action::Send { to, msg } => {
-                let senders = registry.senders.read();
-                if let Some(tx) = senders.get(&to) {
-                    registry.telemetry.lock().messages += 1;
-                    let _ = tx.send(Delivery::At(
-                        now + registry.latency,
-                        Event::Msg { from: me, msg },
-                    ));
-                }
-            }
+            Action::Send { to, msg } => send(to, msg),
             Action::SetTimer { kind, after } => {
+                let _: TimerKind = kind;
                 pending.push(TimerEntry {
                     at: now + after,
                     event: Event::Timer(kind),
                 });
-                let _ = kind; // (kept explicit for readability)
-                let _: TimerKind = kind;
             }
             Action::Outcome {
                 task, outcome, at, ..
             } => {
-                registry.telemetry.lock().outcomes.push((task, outcome, at));
+                telemetry.lock().outcomes.push((task, outcome, at));
             }
             Action::ReplyReceived {
                 task,
                 allocated,
                 at,
             } => {
-                registry
-                    .telemetry
-                    .lock()
-                    .replies
-                    .push((task, allocated, at));
+                telemetry.lock().replies.push((task, allocated, at));
             }
             Action::Promoted { domain, at } => {
-                registry.telemetry.lock().promotions.push((me, domain, at));
+                telemetry.lock().promotions.push((me, domain, at));
             }
             Action::SessionRepaired { session, ok, at } => {
-                registry.telemetry.lock().repairs.push((session, ok, at));
+                telemetry.lock().repairs.push((session, ok, at));
             }
             Action::SessionReassigned { .. } => {}
             Action::Trace(ev) => {
-                registry.telemetry.lock().traces.push(ev);
+                telemetry.lock().traces.push(ev);
             }
         }
     }
-    true
 }
 
 #[cfg(test)]

@@ -1,0 +1,514 @@
+//! Networked runtime: the same sans-I/O `PeerNode` state machines driven by
+//! an [`arm_wire::Transport`] instead of in-process channels.
+//!
+//! The event loop is identical to the channel runtime (`peer_main` in the
+//! crate root): one thread per peer, a min-heap of due timers, wall-clock
+//! virtual time. Only the medium differs —
+//!
+//! * `Action::Send` goes through [`Transport::send`] (frames over TCP, or
+//!   the deterministic in-memory hub in tests);
+//! * inbound frames arrive on transport reader threads and are forwarded
+//!   into the peer's mailbox by the sink from [`NetMailbox::sink`].
+//!
+//! [`NetCluster`] is the convenience harness behind `arm cluster`: it binds
+//! one [`TcpTransport`] per peer on loopback, pre-seeds every routing book
+//! (a stand-in for out-of-band discovery), dials each peer's bootstrap, and
+//! runs all peers against a shared clock and telemetry sink.
+
+use crate::{handle_actions, Delivery, PeerSpawn, Telemetry, TimerEntry};
+use arm_core::{Event, PeerNode, ProtocolConfig};
+use arm_model::TaskSpec;
+use arm_util::{NodeId, SimTime};
+use arm_wire::{InboundSink, TcpOptions, TcpTransport, Transport, TransportStats};
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Shared wall-clock virtual time source (same convention as the channel
+/// runtime: `SimTime` = time elapsed since the clock was created).
+#[derive(Debug, Clone)]
+pub struct NetClock {
+    epoch: Instant,
+}
+
+impl NetClock {
+    /// Starts the clock now.
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Virtual time elapsed since the clock started.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+}
+
+impl Default for NetClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A peer's inbound mailbox, created *before* its transport so the
+/// transport's sink can forward into it.
+pub struct NetMailbox {
+    clock: NetClock,
+    tx: Sender<Delivery>,
+    rx: Receiver<Delivery>,
+}
+
+impl NetMailbox {
+    /// Creates an empty mailbox on the given clock.
+    pub fn new(clock: NetClock) -> Self {
+        let (tx, rx) = unbounded();
+        Self { clock, tx, rx }
+    }
+
+    /// An [`InboundSink`] for transport construction: stamps each inbound
+    /// protocol message with the current virtual time and enqueues it.
+    pub fn sink(&self) -> InboundSink {
+        let tx = self.tx.clone();
+        let clock = self.clock.clone();
+        Box::new(move |from, msg| {
+            let _ = tx.send(Delivery::At(clock.now(), Event::Msg { from, msg }));
+        })
+    }
+}
+
+/// Construction parameters for a [`NetPeer`].
+#[derive(Debug, Clone)]
+pub struct NetPeerConfig {
+    /// Middleware protocol configuration.
+    pub protocol: ProtocolConfig,
+    /// Deterministic seed for the peer's internal randomness.
+    pub seed: u64,
+    /// Whether the peer emits structured trace events into telemetry.
+    pub tracing: bool,
+}
+
+impl Default for NetPeerConfig {
+    fn default() -> Self {
+        Self {
+            protocol: ProtocolConfig::default(),
+            seed: 7,
+            tracing: true,
+        }
+    }
+}
+
+/// One live peer: a `PeerNode` state machine on its own thread, reachable
+/// through (and sending through) a [`Transport`].
+pub struct NetPeer {
+    id: NodeId,
+    clock: NetClock,
+    tx: Sender<Delivery>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl NetPeer {
+    /// Starts the peer thread and queues its `Start` event (which kicks off
+    /// the §4.1 join protocol toward `spawn.bootstrap`, if any). The
+    /// transport must already be able to route to the bootstrap peer — for
+    /// TCP, call [`TcpTransport::connect`] first.
+    pub fn start(
+        mailbox: NetMailbox,
+        spawn: PeerSpawn,
+        transport: Arc<dyn Transport>,
+        config: &NetPeerConfig,
+        telemetry: Arc<Mutex<Telemetry>>,
+    ) -> Self {
+        let NetMailbox { clock, tx, rx } = mailbox;
+        let id = spawn.id;
+        tx.send(Delivery::At(
+            clock.now(),
+            Event::Start {
+                bootstrap: spawn.bootstrap,
+            },
+        ))
+        .expect("own mailbox");
+        let config = config.clone();
+        let thread_clock = clock.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("netpeer-{id}"))
+            .spawn(move || net_peer_main(thread_clock, rx, spawn, config, transport, telemetry))
+            .expect("spawn net peer thread");
+        Self {
+            id,
+            clock,
+            tx,
+            handle: Some(handle),
+        }
+    }
+
+    /// The peer's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Submits a task at this peer.
+    pub fn submit(&self, task: TaskSpec) {
+        let _ = self
+            .tx
+            .send(Delivery::At(self.clock.now(), Event::SubmitTask(task)));
+    }
+
+    /// Stops the peer thread, optionally announcing a graceful departure
+    /// first, and joins it.
+    pub fn stop(mut self, graceful: bool) {
+        if graceful {
+            let _ = self
+                .tx
+                .send(Delivery::At(self.clock.now(), Event::Shutdown { graceful }));
+        }
+        let _ = self.tx.send(Delivery::Stop);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for NetPeer {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Delivery::Stop);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The transport-backed twin of `peer_main`: same loop, different medium.
+fn net_peer_main(
+    clock: NetClock,
+    rx: Receiver<Delivery>,
+    spawn: PeerSpawn,
+    config: NetPeerConfig,
+    transport: Arc<dyn Transport>,
+    telemetry: Arc<Mutex<Telemetry>>,
+) {
+    let mut node = PeerNode::new(
+        spawn.id,
+        spawn.capacity,
+        spawn.bandwidth_kbps,
+        spawn.objects,
+        spawn.services,
+        config.protocol,
+        config.seed,
+        clock.now(),
+    );
+    node.set_tracing(config.tracing);
+    let mut pending: BinaryHeap<TimerEntry> = BinaryHeap::new();
+
+    loop {
+        let now = clock.now();
+        while pending.peek().is_some_and(|t| t.at <= now) {
+            let entry = pending.pop().expect("peeked");
+            let actions = node.on_event(clock.now(), entry.event);
+            let at = clock.now();
+            handle_actions(
+                &telemetry,
+                &mut pending,
+                spawn.id,
+                at,
+                actions,
+                |to, msg| {
+                    if transport.send(to, msg).is_ok() {
+                        telemetry.lock().messages += 1;
+                    }
+                },
+            );
+        }
+        let timeout = pending
+            .peek()
+            .map(|t| {
+                Duration::from_micros(t.at.as_micros().saturating_sub(clock.now().as_micros()))
+            })
+            .unwrap_or(Duration::from_millis(50));
+        match rx.recv_timeout(timeout.max(Duration::from_micros(100))) {
+            Ok(Delivery::At(at, event)) => {
+                pending.push(TimerEntry { at, event });
+            }
+            Ok(Delivery::Stop) => return,
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// A whole overlay of TCP-backed peers in one process: the harness behind
+/// `arm cluster` and the loopback integration tests.
+pub struct NetCluster {
+    clock: NetClock,
+    telemetry: Arc<Mutex<Telemetry>>,
+    peers: Vec<(NetPeer, Arc<TcpTransport>)>,
+}
+
+impl NetCluster {
+    /// Binds one loopback [`TcpTransport`] per spawn spec, seeds all routing
+    /// books with every peer's address (out-of-band discovery), dials each
+    /// peer's bootstrap, and starts all peer threads.
+    pub fn start(
+        spawns: Vec<PeerSpawn>,
+        config: &NetPeerConfig,
+        opts: TcpOptions,
+    ) -> Result<Self, arm_wire::TransportError> {
+        let clock = NetClock::new();
+        let telemetry = Arc::new(Mutex::new(Telemetry::default()));
+        // Bind every transport first so all listen addresses are known.
+        let mut bound = Vec::with_capacity(spawns.len());
+        for spawn in spawns {
+            let mailbox = NetMailbox::new(clock.clone());
+            let transport = Arc::new(TcpTransport::bind(
+                spawn.id,
+                "127.0.0.1:0",
+                mailbox.sink(),
+                opts.clone(),
+            )?);
+            bound.push((spawn, mailbox, transport));
+        }
+        // Full-mesh routing books: in one process we know every address.
+        let routes: Vec<(NodeId, String)> = bound
+            .iter()
+            .map(|(s, _, t)| (s.id, t.listen_addr().to_string()))
+            .collect();
+        for (spawn, _, transport) in &bound {
+            for (node, addr) in &routes {
+                if *node != spawn.id {
+                    transport.add_route(*node, addr)?;
+                }
+            }
+        }
+        // Dial bootstraps (verifies the handshake path), then start peers.
+        let addr_of = |node: NodeId| {
+            routes
+                .iter()
+                .find(|(n, _)| *n == node)
+                .map(|(_, a)| a.clone())
+        };
+        let mut peers = Vec::with_capacity(bound.len());
+        for (spawn, mailbox, transport) in bound {
+            if let Some(addr) = spawn.bootstrap.and_then(addr_of) {
+                let remote = transport.connect(&addr)?;
+                debug_assert_eq!(Some(remote), spawn.bootstrap);
+            }
+            let peer = NetPeer::start(
+                mailbox,
+                spawn,
+                Arc::clone(&transport) as Arc<dyn Transport>,
+                config,
+                Arc::clone(&telemetry),
+            );
+            peers.push((peer, transport));
+        }
+        Ok(Self {
+            clock,
+            telemetry,
+            peers,
+        })
+    }
+
+    /// The cluster's shared clock.
+    pub fn clock(&self) -> &NetClock {
+        &self.clock
+    }
+
+    /// Ids of all peers, in spawn order.
+    pub fn ids(&self) -> Vec<NodeId> {
+        self.peers.iter().map(|(p, _)| p.id()).collect()
+    }
+
+    /// Submits a task at the given peer.
+    pub fn submit(&self, node: NodeId, task: TaskSpec) {
+        if let Some((peer, _)) = self.peers.iter().find(|(p, _)| p.id() == node) {
+            peer.submit(task);
+        }
+    }
+
+    /// Snapshot of the shared telemetry.
+    pub fn telemetry(&self) -> Telemetry {
+        self.telemetry.lock().clone()
+    }
+
+    /// Transport counters for every peer (ordered by spawn order).
+    pub fn transport_stats(&self) -> Vec<TransportStats> {
+        self.peers.iter().map(|(_, t)| t.stats()).collect()
+    }
+
+    /// Kills the live connection from `from` to `to` (fault injection); the
+    /// link reconnects with backoff on the next send.
+    pub fn kill_link(&self, from: NodeId, to: NodeId) {
+        if let Some((_, t)) = self.peers.iter().find(|(p, _)| p.id() == from) {
+            t.kill_link(to);
+        }
+    }
+
+    /// Stops all peers (gracefully), then tears down all transports.
+    pub fn shutdown(self) -> Vec<TransportStats> {
+        let stats = self.transport_stats();
+        for (peer, transport) in self.peers {
+            peer.stop(false);
+            transport.shutdown();
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arm_model::{Codec, MediaFormat, MediaObject, QosSpec, Resolution, ServiceSpec};
+    use arm_util::{ObjectId, ServiceId, SimDuration, TaskId};
+
+    fn fast_protocol() -> ProtocolConfig {
+        ProtocolConfig {
+            heartbeat_period: SimDuration::from_millis(50),
+            heartbeat_timeout: SimDuration::from_millis(200),
+            report_period: SimDuration::from_millis(50),
+            gossip_period: SimDuration::from_millis(200),
+            backup_period: SimDuration::from_millis(100),
+            adapt_period: SimDuration::from_millis(200),
+            join_timeout: SimDuration::from_millis(200),
+            compose_timeout: SimDuration::from_millis(500),
+            sched_poll: SimDuration::from_millis(5),
+            ..ProtocolConfig::default()
+        }
+    }
+
+    fn spawn_spec(id: u64, bootstrap: Option<u64>) -> PeerSpawn {
+        PeerSpawn {
+            id: NodeId::new(id),
+            capacity: 100.0,
+            bandwidth_kbps: 10_000,
+            objects: vec![],
+            services: vec![],
+            bootstrap: bootstrap.map(NodeId::new),
+        }
+    }
+
+    #[test]
+    fn overlay_forms_over_tcp() {
+        let config = NetPeerConfig {
+            protocol: fast_protocol(),
+            ..NetPeerConfig::default()
+        };
+        let spawns = (1..=4u64)
+            .map(|i| spawn_spec(i, (i > 1).then_some(1)))
+            .collect();
+        let cluster = NetCluster::start(spawns, &config, TcpOptions::default()).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let t = cluster.telemetry();
+            if t.messages > 20 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "no TCP chatter: {t:?}");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let stats = cluster.shutdown();
+        assert!(stats.iter().all(|s| s.decode_errors == 0));
+        assert!(stats.iter().map(|s| s.msgs_out()).sum::<u64>() > 20);
+    }
+
+    #[test]
+    fn task_completes_over_tcp() {
+        let intermediate = MediaFormat::new(Codec::Mpeg2, Resolution::VGA, 256);
+        let config = NetPeerConfig {
+            protocol: fast_protocol(),
+            ..NetPeerConfig::default()
+        };
+        let mut source = spawn_spec(2, Some(1));
+        source.objects = vec![MediaObject::new(
+            ObjectId::new(1),
+            "net-movie",
+            MediaFormat::paper_source(),
+            60.0,
+        )];
+        source.services = vec![ServiceSpec::transcoder(
+            ServiceId::new(1),
+            MediaFormat::paper_source(),
+            intermediate,
+            5.0,
+        )];
+        let mut transcoder = spawn_spec(3, Some(1));
+        transcoder.services = vec![ServiceSpec::transcoder(
+            ServiceId::new(2),
+            intermediate,
+            MediaFormat::paper_target(),
+            5.0,
+        )];
+        let spawns = vec![
+            spawn_spec(1, None),
+            source,
+            transcoder,
+            spawn_spec(4, Some(1)),
+        ];
+        let cluster = NetCluster::start(spawns, &config, TcpOptions::default()).unwrap();
+        std::thread::sleep(Duration::from_millis(400));
+        cluster.submit(
+            NodeId::new(4),
+            TaskSpec {
+                id: TaskId::new(1),
+                name: "net-movie".into(),
+                requester: NodeId::new(4),
+                initial_format: MediaFormat::paper_source(),
+                acceptable_formats: vec![MediaFormat::paper_target()],
+                qos: QosSpec::with_deadline(SimDuration::from_secs(5)),
+                submitted_at: SimTime::ZERO,
+                session_secs: 1.0,
+            },
+        );
+        let deadline = Instant::now() + Duration::from_secs(15);
+        loop {
+            let t = cluster.telemetry();
+            if t.replies
+                .iter()
+                .any(|(id, ok, _)| *id == TaskId::new(1) && *ok)
+            {
+                break;
+            }
+            assert!(Instant::now() < deadline, "TCP task timed out: {t:?}");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let stats = cluster.shutdown();
+        assert!(stats.iter().all(|s| s.decode_errors == 0), "{stats:?}");
+    }
+
+    #[test]
+    fn net_peer_over_in_memory_transport() {
+        use arm_wire::MemHub;
+        let config = NetPeerConfig {
+            protocol: fast_protocol(),
+            ..NetPeerConfig::default()
+        };
+        let clock = NetClock::new();
+        let telemetry = Arc::new(Mutex::new(Telemetry::default()));
+        let hub = MemHub::new();
+        let mut peers = Vec::new();
+        for i in 1..=3u64 {
+            let mailbox = NetMailbox::new(clock.clone());
+            let transport = Arc::new(hub.register(NodeId::new(i), mailbox.sink()));
+            peers.push(NetPeer::start(
+                mailbox,
+                spawn_spec(i, (i > 1).then_some(1)),
+                transport as Arc<dyn Transport>,
+                &config,
+                Arc::clone(&telemetry),
+            ));
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            if telemetry.lock().messages > 10 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "no in-memory chatter");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        for p in peers {
+            p.stop(false);
+        }
+    }
+}

@@ -187,6 +187,12 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Sets the number of samples (kept for API compatibility; the shim's
+    /// fixed-duration calibration ignores it).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
     /// Ends the group (kept for API compatibility; no-op).
     pub fn finish(self) {}
 }

@@ -528,7 +528,7 @@ mod tests {
     fn primitives_round_trip() {
         assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
         assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
-        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert!(bool::from_value(&true.to_value()).unwrap());
         let s = String::from("hi");
         assert_eq!(String::from_value(&s.to_value()).unwrap(), "hi");
         assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);

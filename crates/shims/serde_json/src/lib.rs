@@ -409,7 +409,7 @@ mod tests {
         assert_eq!(to_string(&-3i64).unwrap(), "-3");
         assert_eq!(from_str::<i64>("-3").unwrap(), -3);
         assert_eq!(from_str::<f64>("2.5").unwrap(), 2.5);
-        assert_eq!(from_str::<bool>("true").unwrap(), true);
+        assert!(from_str::<bool>("true").unwrap());
         assert_eq!(from_str::<String>("\"a\\nb\"").unwrap(), "a\nb");
     }
 

@@ -13,9 +13,13 @@
 //! crates.
 
 use crate::rng::splitmix64;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 
 /// A fixed-size Bloom filter over arbitrary byte strings.
+///
+/// Serializes as `{"bits": "<hex>", "k": K, "items": N}` — 2 characters per
+/// filter byte — rather than the derived decimal `u64` array, so encoded
+/// gossip digests stay close to [`BloomFilter::byte_size`] on the wire.
 ///
 /// # Examples
 ///
@@ -25,12 +29,61 @@ use serde::{Deserialize, Serialize};
 /// summary.insert(b"movie-trailer");
 /// assert!(summary.contains(b"movie-trailer")); // never a false negative
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BloomFilter {
     bits: Vec<u64>,
     num_bits: usize,
     num_hashes: u32,
     items: usize,
+}
+
+impl Serialize for BloomFilter {
+    fn to_value(&self) -> Value {
+        let mut hex = String::with_capacity(self.bits.len() * 16);
+        for word in &self.bits {
+            hex.push_str(&format!("{word:016x}"));
+        }
+        Value::Object(vec![
+            ("bits".into(), Value::Str(hex)),
+            ("k".into(), Value::UInt(self.num_hashes as u64)),
+            ("items".into(), Value::UInt(self.items as u64)),
+        ])
+    }
+}
+
+impl Deserialize for BloomFilter {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let hex = v
+            .field("bits")
+            .as_str()
+            .ok_or_else(|| Error::msg("bloom filter needs a \"bits\" hex string"))?;
+        if hex.is_empty() || hex.len() % 16 != 0 {
+            return Err(Error::msg(format!(
+                "bloom \"bits\" hex length {} is not a positive multiple of 16",
+                hex.len()
+            )));
+        }
+        let bits = hex
+            .as_bytes()
+            .chunks(16)
+            .map(|chunk| {
+                let s = std::str::from_utf8(chunk).map_err(|_| Error::msg("non-ascii hex"))?;
+                u64::from_str_radix(s, 16)
+                    .map_err(|e| Error::msg(format!("bad bloom hex word {s:?}: {e}")))
+            })
+            .collect::<Result<Vec<u64>, Error>>()?;
+        let num_hashes = u32::from_value(v.field("k"))?;
+        if num_hashes == 0 {
+            return Err(Error::msg("bloom filter needs k >= 1"));
+        }
+        let items = usize::from_value(v.field("items"))?;
+        Ok(Self {
+            num_bits: bits.len() * 64,
+            bits,
+            num_hashes,
+            items,
+        })
+    }
 }
 
 impl BloomFilter {
@@ -251,6 +304,34 @@ mod tests {
         f.clear();
         assert!(!f.contains(b"x"));
         assert_eq!(f.items(), 0);
+    }
+
+    #[test]
+    fn serde_hex_round_trip() {
+        let mut f = BloomFilter::with_capacity(200, 0.01);
+        for i in 0..120u64 {
+            f.insert_u64(i);
+        }
+        let json = serde_json::to_string(&f).unwrap();
+        // Compact: ~2 chars per filter byte plus small fixed overhead.
+        assert!(
+            json.len() < f.byte_size() * 2 + 64,
+            "bloom JSON {} bytes for a {}-byte filter",
+            json.len(),
+            f.byte_size()
+        );
+        let back: BloomFilter = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn serde_rejects_bad_hex() {
+        let bad = Value::Object(vec![
+            ("bits".into(), Value::Str("zzzz".into())),
+            ("k".into(), Value::UInt(4)),
+            ("items".into(), Value::UInt(0)),
+        ]);
+        assert!(BloomFilter::from_value(&bad).is_err());
     }
 
     #[test]

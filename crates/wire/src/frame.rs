@@ -1,0 +1,391 @@
+//! Versioned, length-prefixed, checksummed binary framing.
+//!
+//! Every frame on a wire link has this layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"ARMW"
+//! 4       1     protocol version (currently 1)
+//! 5       1     flags (reserved, must be 0 on send, ignored on receive)
+//! 6       2     reserved (0)
+//! 8       4     payload length N (u32)
+//! 12      4     CRC-32 (IEEE) of the payload bytes
+//! 16      N     payload: JSON-encoded [`WirePayload`]
+//! ```
+//!
+//! The decoder is incremental: feed it arbitrary byte chunks ([`FrameDecoder::push`])
+//! and pop complete frames ([`FrameDecoder::next_frame`]). Partial reads simply
+//! return `Ok(None)`. Corruption is classified:
+//!
+//! * bad magic / unknown version / oversized length mean the byte stream can
+//!   no longer be trusted at all — the decoder poisons itself and every later
+//!   call returns the same error (the connection should be dropped);
+//! * a checksum or payload error is confined to one frame — the frame's bytes
+//!   are consumed, the error is returned once, and decoding can resume at the
+//!   next frame boundary.
+
+use crate::WirePayload;
+use std::fmt;
+
+/// Leading bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"ARMW";
+/// Current protocol version, bumped on incompatible codec changes.
+pub const PROTOCOL_VERSION: u8 = 1;
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 16;
+/// Upper bound on a payload; larger lengths are treated as corruption
+/// (protects the decoder from attacker-controlled allocations).
+pub const MAX_PAYLOAD: usize = 16 << 20;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) lookup table.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Why a byte stream failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The stream does not start with [`MAGIC`] — framing is lost.
+    BadMagic {
+        /// The four bytes found instead.
+        found: [u8; 4],
+    },
+    /// The peer speaks an incompatible protocol version.
+    Version {
+        /// The version byte found.
+        found: u8,
+    },
+    /// The announced payload length exceeds [`MAX_PAYLOAD`].
+    Oversized {
+        /// The announced length.
+        len: usize,
+    },
+    /// The payload checksum did not match (bit corruption in transit).
+    Checksum {
+        /// CRC announced in the header.
+        expected: u32,
+        /// CRC computed over the received payload.
+        found: u32,
+    },
+    /// The checksum matched but the payload did not parse.
+    Payload(String),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadMagic { found } => write!(f, "bad frame magic {found:02x?}"),
+            DecodeError::Version { found } => {
+                write!(
+                    f,
+                    "unsupported protocol version {found} (ours: {PROTOCOL_VERSION})"
+                )
+            }
+            DecodeError::Oversized { len } => {
+                write!(
+                    f,
+                    "frame payload of {len} bytes exceeds the {MAX_PAYLOAD}-byte cap"
+                )
+            }
+            DecodeError::Checksum { expected, found } => {
+                write!(
+                    f,
+                    "payload checksum mismatch (header {expected:08x}, computed {found:08x})"
+                )
+            }
+            DecodeError::Payload(e) => write!(f, "undecodable payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encodes one payload into a complete frame.
+///
+/// # Panics
+///
+/// Panics if the serialized payload exceeds [`MAX_PAYLOAD`] — no message the
+/// middleware produces comes near the cap.
+pub fn encode(payload: &WirePayload) -> Vec<u8> {
+    let body = serde_json::to_string(payload)
+        .expect("wire payloads always serialize")
+        .into_bytes();
+    assert!(
+        body.len() <= MAX_PAYLOAD,
+        "payload of {} bytes exceeds MAX_PAYLOAD",
+        body.len()
+    );
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(PROTOCOL_VERSION);
+    out.push(0); // flags
+    out.extend_from_slice(&[0, 0]); // reserved
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Incremental frame decoder over a byte stream.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    start: usize,
+    poison: Option<DecodeError>,
+}
+
+impl FrameDecoder {
+    /// A decoder with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends received bytes to the internal buffer.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Drops consumed bytes once they dominate the buffer.
+    fn compact(&mut self) {
+        if self.start > 4096 && self.start * 2 >= self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    fn poison(&mut self, e: DecodeError) -> Result<Option<WirePayload>, DecodeError> {
+        self.poison = Some(e.clone());
+        Err(e)
+    }
+
+    /// Pops the next complete frame, `Ok(None)` if more bytes are needed.
+    ///
+    /// Never panics, whatever the input bytes. See the module docs for which
+    /// errors poison the stream versus skip one frame.
+    pub fn next_frame(&mut self) -> Result<Option<WirePayload>, DecodeError> {
+        if let Some(e) = &self.poison {
+            return Err(e.clone());
+        }
+        let avail = &self.buf[self.start..];
+        if avail.len() < HEADER_LEN {
+            self.compact();
+            return Ok(None);
+        }
+        if avail[..4] != MAGIC {
+            let found = [avail[0], avail[1], avail[2], avail[3]];
+            return self.poison(DecodeError::BadMagic { found });
+        }
+        if avail[4] != PROTOCOL_VERSION {
+            let found = avail[4];
+            return self.poison(DecodeError::Version { found });
+        }
+        let len = u32::from_le_bytes([avail[8], avail[9], avail[10], avail[11]]) as usize;
+        if len > MAX_PAYLOAD {
+            return self.poison(DecodeError::Oversized { len });
+        }
+        if avail.len() < HEADER_LEN + len {
+            self.compact();
+            return Ok(None);
+        }
+        let expected = u32::from_le_bytes([avail[12], avail[13], avail[14], avail[15]]);
+        let body = &avail[HEADER_LEN..HEADER_LEN + len];
+        let found = crc32(body);
+        let parsed = if found != expected {
+            Err(DecodeError::Checksum { expected, found })
+        } else {
+            std::str::from_utf8(body)
+                .map_err(|e| DecodeError::Payload(e.to_string()))
+                .and_then(|text| {
+                    serde_json::from_str::<WirePayload>(text)
+                        .map_err(|e| DecodeError::Payload(e.to_string()))
+                })
+        };
+        // The frame boundary held, so consume the frame whether or not its
+        // contents were good: decoding can resume at the next frame.
+        self.start += HEADER_LEN + len;
+        self.compact();
+        parsed.map(Some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Hello;
+    use arm_proto::{Envelope, Message};
+    use arm_util::{NodeId, SimTime};
+
+    fn heartbeat_env() -> WirePayload {
+        WirePayload::Envelope(Envelope {
+            from: NodeId::new(1),
+            to: NodeId::new(2),
+            msg: Message::Heartbeat {
+                from: NodeId::new(1),
+                sent_at: SimTime::from_millis(125),
+            },
+        })
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // Standard check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn round_trip_single_frame() {
+        let payload = heartbeat_env();
+        let bytes = encode(&payload);
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        assert_eq!(dec.next_frame().unwrap(), Some(payload));
+        assert_eq!(dec.next_frame().unwrap(), None);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn partial_reads_reassemble() {
+        let payload = heartbeat_env();
+        let bytes = encode(&payload);
+        let mut dec = FrameDecoder::new();
+        for chunk in bytes.chunks(3) {
+            dec.push(chunk);
+        }
+        assert_eq!(dec.next_frame().unwrap(), Some(payload));
+    }
+
+    #[test]
+    fn byte_at_a_time_never_yields_early() {
+        let payload = heartbeat_env();
+        let bytes = encode(&payload);
+        let mut dec = FrameDecoder::new();
+        for (i, b) in bytes.iter().enumerate() {
+            dec.push(std::slice::from_ref(b));
+            if i + 1 < bytes.len() {
+                assert_eq!(dec.next_frame().unwrap(), None, "early yield at byte {i}");
+            }
+        }
+        assert_eq!(dec.next_frame().unwrap(), Some(payload));
+    }
+
+    #[test]
+    fn back_to_back_frames() {
+        let a = heartbeat_env();
+        let b = WirePayload::Hello(Hello {
+            node: NodeId::new(9),
+            listen: Some("127.0.0.1:19000".into()),
+            peers: vec![(NodeId::new(1), "127.0.0.1:19001".into())],
+        });
+        let mut stream = encode(&a);
+        stream.extend_from_slice(&encode(&b));
+        let mut dec = FrameDecoder::new();
+        dec.push(&stream);
+        assert_eq!(dec.next_frame().unwrap(), Some(a));
+        assert_eq!(dec.next_frame().unwrap(), Some(b));
+        assert_eq!(dec.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn checksum_error_skips_one_frame() {
+        let bad = {
+            let mut bytes = encode(&heartbeat_env());
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0x40; // flip a payload bit
+            bytes
+        };
+        let good = encode(&heartbeat_env());
+        let mut dec = FrameDecoder::new();
+        dec.push(&bad);
+        dec.push(&good);
+        assert!(matches!(
+            dec.next_frame(),
+            Err(DecodeError::Checksum { .. })
+        ));
+        // The stream resyncs at the next frame.
+        assert_eq!(dec.next_frame().unwrap(), Some(heartbeat_env()));
+    }
+
+    #[test]
+    fn bad_magic_poisons() {
+        let mut bytes = encode(&heartbeat_env());
+        bytes[0] = b'X';
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        assert!(matches!(
+            dec.next_frame(),
+            Err(DecodeError::BadMagic { .. })
+        ));
+        // Still poisoned on the next call.
+        assert!(matches!(
+            dec.next_frame(),
+            Err(DecodeError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let mut bytes = encode(&heartbeat_env());
+        bytes[4] = PROTOCOL_VERSION + 1;
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        assert_eq!(
+            dec.next_frame(),
+            Err(DecodeError::Version {
+                found: PROTOCOL_VERSION + 1
+            })
+        );
+    }
+
+    #[test]
+    fn oversized_length_rejected_without_allocating() {
+        let mut bytes = encode(&heartbeat_env());
+        bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        assert!(matches!(
+            dec.next_frame(),
+            Err(DecodeError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_frame_waits_for_more() {
+        let bytes = encode(&heartbeat_env());
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes[..bytes.len() - 1]);
+        assert_eq!(dec.next_frame().unwrap(), None);
+        dec.push(&bytes[bytes.len() - 1..]);
+        assert!(dec.next_frame().unwrap().is_some());
+    }
+}

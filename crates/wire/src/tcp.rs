@@ -1,0 +1,797 @@
+//! [`TcpTransport`]: the wire subsystem over real `std::net` sockets.
+//!
+//! # Threading model
+//!
+//! * one **accept loop** thread per transport;
+//! * one **reader** thread per live socket — reads chunks, runs the
+//!   [`FrameDecoder`], hands decoded messages to the inbound sink;
+//! * one **writer** thread per link (`NodeId` destination) — drains a
+//!   bounded outbound queue, owns the connection lifecycle: it dials (with
+//!   capped exponential backoff), adopts sockets accepted by the listener,
+//!   and redials transparently when a connection dies.
+//!
+//! # Handshake
+//!
+//! The first frame in each direction of a fresh connection is a
+//! [`Hello`](crate::Hello): the dialer introduces itself, the acceptor
+//! replies in kind. Hellos carry the sender's listen address plus a gossip
+//! of its address book, so `NodeId → address` mappings propagate along the
+//! overlay without a central registry — a joining peer only needs its
+//! bootstrap address, exactly like the §4.1 join protocol only needs a
+//! contact peer.
+//!
+//! # Loss semantics
+//!
+//! `send` never blocks: a full outbound queue or an unroutable destination
+//! drops the message and bumps a counter. The middleware is built for lossy
+//! links (heartbeats, load reports and gossip are periodic; joins retry), so
+//! dropping under pressure beats unbounded buffering.
+
+use crate::frame::{encode, FrameDecoder};
+use crate::transport::{InboundSink, LinkCounters, Transport, TransportError, TransportStats};
+use crate::{Hello, WirePayload};
+use arm_proto::{Envelope, Message};
+use arm_util::NodeId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tunables for [`TcpTransport`].
+#[derive(Debug, Clone)]
+pub struct TcpOptions {
+    /// Outbound queue capacity per link (frames). A full queue drops.
+    pub outbound_queue: usize,
+    /// First reconnect delay; doubles per failed attempt.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Dial attempts per reconnect episode before the frame is dropped.
+    pub max_dial_attempts: u32,
+    /// Per-dial TCP connect timeout.
+    pub dial_timeout: Duration,
+    /// Socket read poll interval (bounds shutdown latency).
+    pub read_timeout: Duration,
+    /// How long `connect` waits for the remote `Hello`.
+    pub hello_timeout: Duration,
+}
+
+impl Default for TcpOptions {
+    fn default() -> Self {
+        Self {
+            outbound_queue: 1024,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            max_dial_attempts: 6,
+            dial_timeout: Duration::from_secs(1),
+            read_timeout: Duration::from_millis(100),
+            hello_timeout: Duration::from_secs(3),
+        }
+    }
+}
+
+/// Commands consumed by a link's writer thread.
+enum WriterCmd {
+    /// Write one encoded frame.
+    Frame(Vec<u8>),
+    /// Take ownership of the write half of an accepted socket.
+    Adopt(TcpStream),
+    /// Close the current connection (testing / fault injection). The link
+    /// itself survives: the next frame triggers a reconnect.
+    KillConn,
+    /// Writer thread exits.
+    Shutdown,
+}
+
+struct Link {
+    tx: SyncSender<WriterCmd>,
+    counters: Arc<LinkCounters>,
+}
+
+struct Inner {
+    node: NodeId,
+    listen: SocketAddr,
+    opts: TcpOptions,
+    sink: InboundSink,
+    links: Mutex<HashMap<NodeId, Link>>,
+    book: Mutex<HashMap<NodeId, SocketAddr>>,
+    decode_errors: AtomicU64,
+    shutdown: AtomicBool,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// The wire subsystem over real TCP sockets. See the module docs.
+pub struct TcpTransport {
+    inner: Arc<Inner>,
+}
+
+impl TcpTransport {
+    /// Binds `listen` (e.g. `"127.0.0.1:0"`) and starts the accept loop.
+    pub fn bind(
+        node: NodeId,
+        listen: &str,
+        sink: InboundSink,
+        opts: TcpOptions,
+    ) -> Result<Self, TransportError> {
+        let listener = TcpListener::bind(listen)
+            .map_err(|e| TransportError::Io(format!("binding {listen}: {e}")))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| TransportError::Io(e.to_string()))?;
+        let inner = Arc::new(Inner {
+            node,
+            listen: local,
+            opts,
+            sink,
+            links: Mutex::new(HashMap::new()),
+            book: Mutex::new(HashMap::new()),
+            decode_errors: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            threads: Mutex::new(Vec::new()),
+        });
+        let accept_inner = Arc::clone(&inner);
+        let handle = std::thread::Builder::new()
+            .name(format!("wire-accept-{node}"))
+            .spawn(move || accept_main(accept_inner, listener))
+            .map_err(|e| TransportError::Io(e.to_string()))?;
+        inner.threads.lock().push(handle);
+        Ok(Self { inner })
+    }
+
+    /// The address the transport actually listens on (resolves `:0` ports).
+    pub fn listen_addr(&self) -> SocketAddr {
+        self.inner.listen
+    }
+
+    /// Dials a peer by address, exchanges `Hello`s, registers the link, and
+    /// returns the remote peer's id. This is how a node bootstraps: it knows
+    /// only an address, and learns the `NodeId` from the handshake.
+    pub fn connect(&self, addr: &str) -> Result<NodeId, TransportError> {
+        let inner = &self.inner;
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return Err(TransportError::Shutdown);
+        }
+        let sockaddr = resolve(addr)?;
+        let mut stream = TcpStream::connect_timeout(&sockaddr, inner.opts.dial_timeout)
+            .map_err(|e| TransportError::Io(format!("dialing {addr}: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        stream
+            .write_all(&inner.hello_frame())
+            .map_err(|e| TransportError::Io(format!("handshake write to {addr}: {e}")))?;
+        let _ = stream.set_read_timeout(Some(inner.opts.read_timeout));
+        // Wait for the remote Hello; deliver any envelopes that arrive early.
+        let deadline = std::time::Instant::now() + inner.opts.hello_timeout;
+        let mut dec = FrameDecoder::new();
+        let mut buf = [0u8; 16 * 1024];
+        let hello = 'hello: loop {
+            if std::time::Instant::now() > deadline {
+                return Err(TransportError::Io(format!("no Hello from {addr}")));
+            }
+            match stream.read(&mut buf) {
+                Ok(0) => {
+                    return Err(TransportError::Io(format!(
+                        "{addr} closed during handshake"
+                    )))
+                }
+                Ok(n) => {
+                    dec.push(&buf[..n]);
+                    loop {
+                        match dec.next_frame() {
+                            Ok(None) => break,
+                            Ok(Some(WirePayload::Hello(h))) => break 'hello h,
+                            Ok(Some(WirePayload::Envelope(env))) => {
+                                (inner.sink)(env.from, env.msg);
+                            }
+                            Err(e) => {
+                                inner.decode_errors.fetch_add(1, Ordering::Relaxed);
+                                return Err(TransportError::Io(format!(
+                                    "handshake with {addr}: {e}"
+                                )));
+                            }
+                        }
+                    }
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                Err(e) => {
+                    return Err(TransportError::Io(format!(
+                        "handshake read from {addr}: {e}"
+                    )))
+                }
+            }
+        };
+        // The address we dialed is authoritative for this peer.
+        inner.book.lock().insert(hello.node, sockaddr);
+        inner.learn(&hello);
+        let link = inner.ensure_link(hello.node);
+        if let Ok(clone) = stream.try_clone() {
+            let _ = link.try_send(WriterCmd::Adopt(clone));
+        }
+        inner.spawn_reader(stream, Some(hello.node), false);
+        Ok(hello.node)
+    }
+
+    /// Forcibly closes the current connection to `to` (fault injection for
+    /// tests). The link survives; the next send reconnects with backoff.
+    pub fn kill_link(&self, to: NodeId) {
+        if let Some(link) = self.inner.links.lock().get(&to) {
+            let _ = link.tx.try_send(WriterCmd::KillConn);
+        }
+    }
+
+    /// Registers an address for a peer without connecting yet.
+    pub fn add_route(&self, node: NodeId, addr: &str) -> Result<(), TransportError> {
+        let sockaddr = resolve(addr)?;
+        self.inner.book.lock().insert(node, sockaddr);
+        Ok(())
+    }
+}
+
+impl Transport for TcpTransport {
+    fn node(&self) -> NodeId {
+        self.inner.node
+    }
+
+    fn send(&self, to: NodeId, msg: Message) -> Result<(), TransportError> {
+        let inner = &self.inner;
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return Err(TransportError::Shutdown);
+        }
+        if to == inner.node {
+            // Loopback short-circuit: no frame, no socket.
+            (inner.sink)(inner.node, msg);
+            return Ok(());
+        }
+        let routable = inner.links.lock().contains_key(&to) || inner.book.lock().contains_key(&to);
+        if !routable {
+            return Err(TransportError::Unroutable(to));
+        }
+        let bytes = encode(&WirePayload::Envelope(Envelope {
+            from: inner.node,
+            to,
+            msg,
+        }));
+        let link = inner.ensure_link(to);
+        match link.try_send(WriterCmd::Frame(bytes)) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => {
+                if let Some(l) = inner.links.lock().get(&to) {
+                    l.counters.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(TransportError::QueueFull(to))
+            }
+            Err(TrySendError::Disconnected(_)) => Err(TransportError::Shutdown),
+        }
+    }
+
+    fn stats(&self) -> TransportStats {
+        let mut links: Vec<_> = self
+            .inner
+            .links
+            .lock()
+            .iter()
+            .map(|(peer, link)| link.counters.snapshot(*peer))
+            .collect();
+        links.sort_by_key(|l| l.peer);
+        TransportStats {
+            node: self.inner.node,
+            links,
+            decode_errors: self.inner.decode_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    fn shutdown(&self) {
+        let inner = &self.inner;
+        if inner.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for link in inner.links.lock().values() {
+            let _ = link.tx.try_send(WriterCmd::Shutdown);
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&inner.listen, Duration::from_millis(250));
+        // Two passes: joining the first batch may let spawning threads
+        // finish registering their children.
+        for _ in 0..2 {
+            let handles: Vec<_> = std::mem::take(&mut *inner.threads.lock());
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A handle for enqueueing onto a link without holding the links lock.
+struct LinkHandle {
+    tx: SyncSender<WriterCmd>,
+}
+
+impl LinkHandle {
+    fn try_send(&self, cmd: WriterCmd) -> Result<(), TrySendError<WriterCmd>> {
+        self.tx.try_send(cmd)
+    }
+}
+
+impl Inner {
+    fn hello_frame(&self) -> Vec<u8> {
+        // Gossip a bounded slice of the address book so routes spread along
+        // the overlay without unbounded hello frames.
+        let peers: Vec<(NodeId, String)> = self
+            .book
+            .lock()
+            .iter()
+            .take(64)
+            .map(|(n, a)| (*n, a.to_string()))
+            .collect();
+        encode(&WirePayload::Hello(Hello {
+            node: self.node,
+            listen: Some(self.listen.to_string()),
+            peers,
+        }))
+    }
+
+    /// Merges addressing information from a received `Hello`.
+    fn learn(&self, hello: &Hello) {
+        let mut book = self.book.lock();
+        if let Some(listen) = &hello.listen {
+            if let Ok(addr) = resolve(listen) {
+                // A peer is authoritative about its own listen address.
+                book.insert(hello.node, addr);
+            }
+        }
+        for (node, addr) in &hello.peers {
+            if *node == self.node {
+                continue;
+            }
+            if let Ok(addr) = resolve(addr) {
+                book.entry(*node).or_insert(addr);
+            }
+        }
+    }
+
+    /// Returns a send handle for the link to `to`, creating the link (and
+    /// its writer thread) on first use.
+    fn ensure_link(self: &Arc<Self>, to: NodeId) -> LinkHandle {
+        let mut links = self.links.lock();
+        if let Some(link) = links.get(&to) {
+            return LinkHandle {
+                tx: link.tx.clone(),
+            };
+        }
+        let (tx, rx) = sync_channel::<WriterCmd>(self.opts.outbound_queue);
+        let counters = Arc::new(LinkCounters::default());
+        links.insert(
+            to,
+            Link {
+                tx: tx.clone(),
+                counters: Arc::clone(&counters),
+            },
+        );
+        drop(links);
+        let inner = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(format!("wire-writer-{}-{to}", self.node))
+            .spawn(move || writer_main(inner, to, rx, counters))
+            .expect("spawn writer thread");
+        self.threads.lock().push(handle);
+        LinkHandle { tx }
+    }
+
+    fn counters_of(&self, peer: NodeId) -> Option<Arc<LinkCounters>> {
+        self.links
+            .lock()
+            .get(&peer)
+            .map(|l| Arc::clone(&l.counters))
+    }
+
+    fn spawn_reader(self: &Arc<Self>, stream: TcpStream, peer: Option<NodeId>, accepted: bool) {
+        if self.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let inner = Arc::clone(self);
+        let name = format!("wire-reader-{}", self.node);
+        let handle = std::thread::Builder::new()
+            .name(name)
+            .spawn(move || reader_main(inner, stream, peer, accepted))
+            .expect("spawn reader thread");
+        self.threads.lock().push(handle);
+    }
+}
+
+fn resolve(addr: &str) -> Result<SocketAddr, TransportError> {
+    addr.to_socket_addrs()
+        .map_err(|e| TransportError::Io(format!("resolving {addr}: {e}")))?
+        .next()
+        .ok_or_else(|| TransportError::Io(format!("{addr} resolves to nothing")))
+}
+
+fn accept_main(inner: Arc<Inner>, listener: TcpListener) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let _ = stream.set_nodelay(true);
+                inner.spawn_reader(stream, None, true);
+            }
+            Err(_) => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+/// Reads frames off one socket until EOF, error, or shutdown.
+///
+/// For accepted sockets the first frame must be the dialer's `Hello`; the
+/// reader replies with its own `Hello` and hands the write half to the
+/// link's writer thread.
+fn reader_main(inner: Arc<Inner>, mut stream: TcpStream, peer: Option<NodeId>, accepted: bool) {
+    let _ = stream.set_read_timeout(Some(inner.opts.read_timeout));
+    let mut peer = peer;
+    let mut counters = peer.and_then(|p| inner.counters_of(p));
+    let mut dec = FrameDecoder::new();
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                if let Some(c) = &counters {
+                    c.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+                }
+                dec.push(&buf[..n]);
+                loop {
+                    match dec.next_frame() {
+                        Ok(None) => break,
+                        Ok(Some(WirePayload::Hello(h))) => {
+                            inner.learn(&h);
+                            let first_hello = peer.is_none();
+                            peer = Some(h.node);
+                            if accepted && first_hello {
+                                // Introduce ourselves on the same socket,
+                                // then give its write half to the writer.
+                                if stream.write_all(&inner.hello_frame()).is_err() {
+                                    return;
+                                }
+                                let link = inner.ensure_link(h.node);
+                                if let Ok(clone) = stream.try_clone() {
+                                    let _ = link.try_send(WriterCmd::Adopt(clone));
+                                }
+                            }
+                            counters = inner.counters_of(h.node);
+                        }
+                        Ok(Some(WirePayload::Envelope(env))) => {
+                            if let Some(c) = &counters {
+                                c.msgs_in.fetch_add(1, Ordering::Relaxed);
+                            }
+                            (inner.sink)(env.from, env.msg);
+                        }
+                        Err(_) => {
+                            inner.decode_errors.fetch_add(1, Ordering::Relaxed);
+                            let _ = stream.shutdown(Shutdown::Both);
+                            return;
+                        }
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Drains a link's outbound queue; owns the connection lifecycle.
+fn writer_main(
+    inner: Arc<Inner>,
+    peer: NodeId,
+    rx: Receiver<WriterCmd>,
+    counters: Arc<LinkCounters>,
+) {
+    let mut conn: Option<TcpStream> = None;
+    // How many times this link has had a live connection; establishes past
+    // the first are reconnects.
+    let mut establishes: u64 = 0;
+    loop {
+        let cmd = match rx.recv_timeout(Duration::from_millis(200)) {
+            Ok(cmd) => cmd,
+            Err(RecvTimeoutError::Timeout) => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match cmd {
+            WriterCmd::Shutdown => break,
+            WriterCmd::KillConn => {
+                if let Some(c) = conn.take() {
+                    let _ = c.shutdown(Shutdown::Both);
+                }
+                counters.connected.store(false, Ordering::Relaxed);
+            }
+            WriterCmd::Adopt(stream) => {
+                if conn.is_none() {
+                    conn = Some(stream);
+                    mark_established(&counters, &mut establishes);
+                }
+                // With a live connection already (simultaneous dial-in from
+                // both sides) the extra socket still serves reads on its own
+                // reader thread; writes stay on the existing connection.
+            }
+            WriterCmd::Frame(bytes) => {
+                if write_frame(&inner, peer, &mut conn, &counters, &mut establishes, &bytes) {
+                    counters.msgs_out.fetch_add(1, Ordering::Relaxed);
+                    counters
+                        .bytes_out
+                        .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                } else {
+                    counters.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+    if let Some(c) = conn.take() {
+        let _ = c.shutdown(Shutdown::Both);
+    }
+    counters.connected.store(false, Ordering::Relaxed);
+}
+
+fn mark_established(counters: &LinkCounters, establishes: &mut u64) {
+    if *establishes > 0 {
+        counters.reconnects.fetch_add(1, Ordering::Relaxed);
+    }
+    *establishes += 1;
+    counters.connected.store(true, Ordering::Relaxed);
+}
+
+/// Writes one frame, (re)dialing as needed. Returns false if the frame had
+/// to be dropped.
+fn write_frame(
+    inner: &Arc<Inner>,
+    peer: NodeId,
+    conn: &mut Option<TcpStream>,
+    counters: &Arc<LinkCounters>,
+    establishes: &mut u64,
+    bytes: &[u8],
+) -> bool {
+    // At most two tries: current connection, then one reconnect episode.
+    for _ in 0..2 {
+        if conn.is_none() {
+            *conn = dial(inner, peer, counters, establishes);
+        }
+        let Some(stream) = conn.as_mut() else {
+            return false;
+        };
+        match stream.write_all(bytes) {
+            Ok(()) => return true,
+            Err(_) => {
+                let _ = stream.shutdown(Shutdown::Both);
+                *conn = None;
+                counters.connected.store(false, Ordering::Relaxed);
+            }
+        }
+    }
+    false
+}
+
+/// One reconnect episode: up to `max_dial_attempts` dials with exponential
+/// backoff capped at `max_backoff`.
+fn dial(
+    inner: &Arc<Inner>,
+    peer: NodeId,
+    counters: &Arc<LinkCounters>,
+    establishes: &mut u64,
+) -> Option<TcpStream> {
+    let mut backoff = inner.opts.base_backoff;
+    for attempt in 0..inner.opts.max_dial_attempts {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return None;
+        }
+        let addr = *inner.book.lock().get(&peer)?;
+        match TcpStream::connect_timeout(&addr, inner.opts.dial_timeout) {
+            Ok(mut stream) => {
+                let _ = stream.set_nodelay(true);
+                if stream.write_all(&inner.hello_frame()).is_err() {
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(inner.opts.max_backoff);
+                    continue;
+                }
+                if let Ok(clone) = stream.try_clone() {
+                    inner.spawn_reader(clone, Some(peer), false);
+                }
+                mark_established(counters, establishes);
+                return Some(stream);
+            }
+            Err(_) => {
+                if attempt + 1 < inner.opts.max_dial_attempts {
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(inner.opts.max_backoff);
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arm_util::SimTime;
+    use std::sync::mpsc::channel;
+
+    fn hb(from: u64) -> Message {
+        Message::Heartbeat {
+            from: NodeId::new(from),
+            sent_at: SimTime::from_millis(1),
+        }
+    }
+
+    fn quick_opts() -> TcpOptions {
+        TcpOptions {
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(100),
+            read_timeout: Duration::from_millis(25),
+            ..TcpOptions::default()
+        }
+    }
+
+    #[test]
+    fn two_nodes_exchange_messages() {
+        let (tx_a, rx_a) = channel::<(NodeId, Message)>();
+        let a = TcpTransport::bind(
+            NodeId::new(1),
+            "127.0.0.1:0",
+            Box::new(move |from, msg| {
+                let _ = tx_a.send((from, msg));
+            }),
+            quick_opts(),
+        )
+        .unwrap();
+        let (tx_b, rx_b) = channel::<(NodeId, Message)>();
+        let b = TcpTransport::bind(
+            NodeId::new(2),
+            "127.0.0.1:0",
+            Box::new(move |from, msg| {
+                let _ = tx_b.send((from, msg));
+            }),
+            quick_opts(),
+        )
+        .unwrap();
+
+        let remote = b.connect(&a.listen_addr().to_string()).unwrap();
+        assert_eq!(remote, NodeId::new(1));
+
+        // b → a over the dialed socket.
+        b.send(NodeId::new(1), hb(2)).unwrap();
+        let (from, msg) = rx_a.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(from, NodeId::new(2));
+        assert_eq!(msg, hb(2));
+
+        // a → b over the accepted socket (adopted write half).
+        a.send(NodeId::new(2), hb(1)).unwrap();
+        let (from, msg) = rx_b.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(from, NodeId::new(1));
+        assert_eq!(msg, hb(1));
+
+        let sa = a.stats();
+        assert_eq!(sa.decode_errors, 0);
+        assert_eq!(sa.msgs_out(), 1);
+        assert!(sa.bytes_out() > 0);
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn unroutable_destination_errors() {
+        let a = TcpTransport::bind(
+            NodeId::new(1),
+            "127.0.0.1:0",
+            Box::new(|_, _| {}),
+            quick_opts(),
+        )
+        .unwrap();
+        assert_eq!(
+            a.send(NodeId::new(99), hb(1)),
+            Err(TransportError::Unroutable(NodeId::new(99)))
+        );
+        a.shutdown();
+    }
+
+    #[test]
+    fn killed_connection_reconnects() {
+        let (tx_a, rx_a) = channel::<(NodeId, Message)>();
+        let a = TcpTransport::bind(
+            NodeId::new(1),
+            "127.0.0.1:0",
+            Box::new(move |from, msg| {
+                let _ = tx_a.send((from, msg));
+            }),
+            quick_opts(),
+        )
+        .unwrap();
+        let b = TcpTransport::bind(
+            NodeId::new(2),
+            "127.0.0.1:0",
+            Box::new(|_, _| {}),
+            quick_opts(),
+        )
+        .unwrap();
+        b.connect(&a.listen_addr().to_string()).unwrap();
+        b.send(NodeId::new(1), hb(2)).unwrap();
+        rx_a.recv_timeout(Duration::from_secs(5)).unwrap();
+
+        b.kill_link(NodeId::new(1));
+        // Give the writer a moment to process the kill.
+        std::thread::sleep(Duration::from_millis(100));
+        // The next sends must come through again via a fresh connection.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let mut delivered = false;
+        while std::time::Instant::now() < deadline {
+            let _ = b.send(NodeId::new(1), hb(2));
+            if rx_a.recv_timeout(Duration::from_millis(200)).is_ok() {
+                delivered = true;
+                break;
+            }
+        }
+        assert!(delivered, "no delivery after kill: {:?}", b.stats());
+        assert!(
+            b.stats().reconnects() >= 1,
+            "reconnect not counted: {:?}",
+            b.stats()
+        );
+        assert_eq!(a.stats().decode_errors, 0);
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn loopback_send_short_circuits() {
+        let (tx, rx) = channel::<(NodeId, Message)>();
+        let a = TcpTransport::bind(
+            NodeId::new(1),
+            "127.0.0.1:0",
+            Box::new(move |from, msg| {
+                let _ = tx.send((from, msg));
+            }),
+            quick_opts(),
+        )
+        .unwrap();
+        a.send(NodeId::new(1), hb(1)).unwrap();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(1)).unwrap().0,
+            NodeId::new(1)
+        );
+        a.shutdown();
+    }
+}

@@ -1,0 +1,237 @@
+//! The [`Transport`] abstraction: how a peer's state machine reaches other
+//! peers, independent of the medium.
+//!
+//! The contract every implementation honours:
+//!
+//! * **Identity, not address.** Callers send to a [`NodeId`]; the transport
+//!   owns the `NodeId → link` mapping.
+//! * **Non-blocking sends.** [`Transport::send`] must never block on the
+//!   network. TCP sends enqueue onto a bounded per-link queue; a full queue
+//!   drops the message and reports [`TransportError::QueueFull`] (the
+//!   middleware is loss-tolerant by design — heartbeats, reports and gossip
+//!   are all periodic).
+//! * **Per-link FIFO.** Messages to the same peer that are accepted by
+//!   `send` arrive in order (or not at all); no duplication.
+//! * **Inbound via sink.** Each received protocol message is handed to the
+//!   [`InboundSink`] the transport was built with, on a transport thread.
+//!   Sinks must be cheap and non-blocking (typically a channel send).
+//! * **Counters.** Every implementation tracks per-link message/byte counts
+//!   and connection churn, exposed by [`Transport::stats`] and recordable
+//!   into an `arm-telemetry` registry.
+
+use arm_proto::Message;
+use arm_telemetry::{Labels, Recorder};
+use arm_util::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Callback receiving inbound protocol messages `(from, msg)`.
+pub type InboundSink = Box<dyn Fn(NodeId, Message) + Send + Sync>;
+
+/// Why a send was not accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// No link and no known address for the destination.
+    Unroutable(NodeId),
+    /// The destination link's bounded outbound queue is full.
+    QueueFull(NodeId),
+    /// The transport has been shut down.
+    Shutdown,
+    /// An I/O level failure (dial, handshake, bind).
+    Io(String),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Unroutable(n) => write!(f, "no route to peer {n}"),
+            TransportError::QueueFull(n) => write!(f, "outbound queue to peer {n} is full"),
+            TransportError::Shutdown => write!(f, "transport is shut down"),
+            TransportError::Io(e) => write!(f, "transport I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// How a peer's middleware reaches other peers.
+pub trait Transport: Send + Sync {
+    /// The local peer this transport speaks for.
+    fn node(&self) -> NodeId;
+
+    /// Queues `msg` for delivery to `to`. Never blocks on the network.
+    fn send(&self, to: NodeId, msg: Message) -> Result<(), TransportError>;
+
+    /// Snapshot of per-link and transport-wide counters.
+    fn stats(&self) -> TransportStats;
+
+    /// Tears the transport down: closes links, stops threads. Idempotent.
+    fn shutdown(&self);
+}
+
+/// Live counters for one `NodeId → link` mapping (interior-mutable, shared
+/// between the link's reader, writer and the stats snapshotter).
+#[derive(Debug, Default)]
+pub struct LinkCounters {
+    /// Messages accepted for transmission and written to the medium.
+    pub msgs_out: AtomicU64,
+    /// Messages received and handed to the sink.
+    pub msgs_in: AtomicU64,
+    /// Frame bytes written.
+    pub bytes_out: AtomicU64,
+    /// Frame bytes read.
+    pub bytes_in: AtomicU64,
+    /// Times the link re-established a connection after losing one.
+    pub reconnects: AtomicU64,
+    /// Messages dropped at this link (queue full or no connection).
+    pub dropped: AtomicU64,
+    /// Whether a live connection currently backs the link.
+    pub connected: AtomicBool,
+}
+
+impl LinkCounters {
+    /// Freezes the counters into a serialisable snapshot for `peer`.
+    pub fn snapshot(&self, peer: NodeId) -> LinkStats {
+        LinkStats {
+            peer,
+            msgs_out: self.msgs_out.load(Ordering::Relaxed),
+            msgs_in: self.msgs_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            connected: self.connected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time counters of one link.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// The remote peer.
+    pub peer: NodeId,
+    /// Messages written to the medium.
+    pub msgs_out: u64,
+    /// Messages received and delivered to the sink.
+    pub msgs_in: u64,
+    /// Frame bytes written.
+    pub bytes_out: u64,
+    /// Frame bytes read.
+    pub bytes_in: u64,
+    /// Connection re-establishments.
+    pub reconnects: u64,
+    /// Messages dropped at this link.
+    pub dropped: u64,
+    /// Whether the link currently has a live connection.
+    pub connected: bool,
+}
+
+/// Point-in-time counters of a whole transport.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TransportStats {
+    /// The local peer.
+    pub node: NodeId,
+    /// One entry per known link, sorted by peer id.
+    pub links: Vec<LinkStats>,
+    /// Frames that failed to decode (checksum, version, parse, framing).
+    pub decode_errors: u64,
+}
+
+impl TransportStats {
+    /// Total messages written across links.
+    pub fn msgs_out(&self) -> u64 {
+        self.links.iter().map(|l| l.msgs_out).sum()
+    }
+
+    /// Total messages received across links.
+    pub fn msgs_in(&self) -> u64 {
+        self.links.iter().map(|l| l.msgs_in).sum()
+    }
+
+    /// Total frame bytes written across links.
+    pub fn bytes_out(&self) -> u64 {
+        self.links.iter().map(|l| l.bytes_out).sum()
+    }
+
+    /// Total frame bytes read across links.
+    pub fn bytes_in(&self) -> u64 {
+        self.links.iter().map(|l| l.bytes_in).sum()
+    }
+
+    /// Total reconnects across links.
+    pub fn reconnects(&self) -> u64 {
+        self.links.iter().map(|l| l.reconnects).sum()
+    }
+
+    /// Total messages dropped across links.
+    pub fn dropped(&self) -> u64 {
+        self.links.iter().map(|l| l.dropped).sum()
+    }
+
+    /// Records the snapshot into a telemetry registry: one gauge series per
+    /// link labelled by the remote peer, plus transport-wide series labelled
+    /// by the local peer. Gauges (not counter increments) because the
+    /// snapshot is cumulative.
+    pub fn record_into(&self, rec: &mut Recorder) {
+        for link in &self.links {
+            let labels = Labels::peer(link.peer);
+            rec.set_gauge("wire_link_msgs_out", labels, link.msgs_out as f64);
+            rec.set_gauge("wire_link_msgs_in", labels, link.msgs_in as f64);
+            rec.set_gauge("wire_link_bytes_out", labels, link.bytes_out as f64);
+            rec.set_gauge("wire_link_bytes_in", labels, link.bytes_in as f64);
+            rec.set_gauge("wire_link_reconnects", labels, link.reconnects as f64);
+            rec.set_gauge("wire_link_dropped", labels, link.dropped as f64);
+        }
+        let me = Labels::peer(self.node);
+        rec.set_gauge("wire_links", me, self.links.len() as f64);
+        rec.set_gauge("wire_decode_errors", me, self.decode_errors as f64);
+        rec.set_gauge("wire_bytes_out", me, self.bytes_out() as f64);
+        rec.set_gauge("wire_bytes_in", me, self.bytes_in() as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_totals_sum_links() {
+        let a = LinkCounters::default();
+        a.msgs_out.store(3, Ordering::Relaxed);
+        a.bytes_out.store(300, Ordering::Relaxed);
+        a.reconnects.store(1, Ordering::Relaxed);
+        let b = LinkCounters::default();
+        b.msgs_out.store(4, Ordering::Relaxed);
+        b.bytes_in.store(50, Ordering::Relaxed);
+        let stats = TransportStats {
+            node: NodeId::new(7),
+            links: vec![a.snapshot(NodeId::new(1)), b.snapshot(NodeId::new(2))],
+            decode_errors: 0,
+        };
+        assert_eq!(stats.msgs_out(), 7);
+        assert_eq!(stats.bytes_out(), 300);
+        assert_eq!(stats.bytes_in(), 50);
+        assert_eq!(stats.reconnects(), 1);
+    }
+
+    #[test]
+    fn record_into_registry() {
+        let stats = TransportStats {
+            node: NodeId::new(7),
+            links: vec![LinkCounters::default().snapshot(NodeId::new(1))],
+            decode_errors: 2,
+        };
+        let mut rec = Recorder::enabled(8);
+        stats.record_into(&mut rec);
+        let snap = rec.snapshot();
+        assert!(snap
+            .gauges
+            .iter()
+            .any(|g| g.key.starts_with("wire_decode_errors") && g.value == 2.0));
+        assert!(snap
+            .gauges
+            .iter()
+            .any(|g| g.key.starts_with("wire_link_msgs_out")));
+    }
+}

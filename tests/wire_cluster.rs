@@ -1,0 +1,172 @@
+//! Satellite: 8-peer loopback TCP cluster, end to end.
+//!
+//! Eight peers, each with its own [`TcpTransport`] on `127.0.0.1:0`, run
+//! the unmodified sans-I/O protocol over real sockets: the overlay forms,
+//! an RM is elected, a transcoding task is allocated, and the cluster
+//! survives one killed connection (the link redials and the session keeps
+//! working). Every wait is bounded by a hard deadline so a wedged cluster
+//! fails the test instead of hanging CI.
+
+use adaptive_p2p_rm::core::ProtocolConfig;
+use adaptive_p2p_rm::model::{MediaFormat, MediaObject, QosSpec, ServiceSpec, TaskSpec};
+use adaptive_p2p_rm::runtime::net::{NetCluster, NetPeerConfig};
+use adaptive_p2p_rm::runtime::{PeerSpawn, Telemetry};
+use adaptive_p2p_rm::telemetry::TraceKind;
+use adaptive_p2p_rm::util::{NodeId, ObjectId, ServiceId, SimDuration, SimTime, TaskId};
+use adaptive_p2p_rm::wire::TcpOptions;
+use std::time::{Duration, Instant};
+
+const PEERS: u64 = 8;
+const HARD_TIMEOUT: Duration = Duration::from_secs(30);
+
+fn fast_protocol() -> ProtocolConfig {
+    ProtocolConfig {
+        heartbeat_period: SimDuration::from_millis(100),
+        heartbeat_timeout: SimDuration::from_millis(400),
+        report_period: SimDuration::from_millis(100),
+        gossip_period: SimDuration::from_millis(400),
+        backup_period: SimDuration::from_millis(200),
+        adapt_period: SimDuration::from_millis(400),
+        join_timeout: SimDuration::from_millis(400),
+        compose_timeout: SimDuration::from_millis(1000),
+        sched_poll: SimDuration::from_millis(10),
+        ..ProtocolConfig::default()
+    }
+}
+
+fn intermediate_format() -> MediaFormat {
+    use adaptive_p2p_rm::model::{Codec, Resolution};
+    MediaFormat::new(Codec::Mpeg2, Resolution::VGA, 256)
+}
+
+/// Peer 1 founds; peer 2 hosts the source object plus the stage-1
+/// transcoder; peer 3 offers the stage-2 transcoder; everyone else joins
+/// with spare capacity.
+fn spawns() -> Vec<PeerSpawn> {
+    (1..=PEERS)
+        .map(|i| {
+            let mut spawn = PeerSpawn {
+                id: NodeId::new(i),
+                capacity: 100.0,
+                bandwidth_kbps: 10_000,
+                objects: Vec::new(),
+                services: Vec::new(),
+                bootstrap: (i > 1).then(|| NodeId::new(1)),
+            };
+            if i == 2 {
+                spawn.objects = vec![MediaObject::new(
+                    ObjectId::new(1),
+                    "demo-movie",
+                    MediaFormat::paper_source(),
+                    60.0,
+                )];
+                spawn.services = vec![ServiceSpec::transcoder(
+                    ServiceId::new(1),
+                    MediaFormat::paper_source(),
+                    intermediate_format(),
+                    5.0,
+                )];
+            }
+            if i == 3 {
+                spawn.services = vec![ServiceSpec::transcoder(
+                    ServiceId::new(2),
+                    intermediate_format(),
+                    MediaFormat::paper_target(),
+                    5.0,
+                )];
+            }
+            spawn
+        })
+        .collect()
+}
+
+fn demo_task(requester: NodeId) -> TaskSpec {
+    TaskSpec {
+        id: TaskId::new(1),
+        name: "demo-movie".into(),
+        requester,
+        initial_format: MediaFormat::paper_source(),
+        acceptable_formats: vec![MediaFormat::paper_target()],
+        qos: QosSpec::with_deadline(SimDuration::from_secs(10)),
+        submitted_at: SimTime::ZERO,
+        session_secs: 60.0,
+    }
+}
+
+fn count_kind(telemetry: &Telemetry, want: &str) -> usize {
+    telemetry
+        .traces
+        .iter()
+        .filter(|ev| ev.kind.name() == want)
+        .count()
+}
+
+/// Polls `check` until it returns true or the shared deadline expires.
+fn wait_for(deadline: Instant, what: &str, mut check: impl FnMut() -> bool) {
+    while !check() {
+        assert!(
+            Instant::now() < deadline,
+            "timed out after {HARD_TIMEOUT:?} waiting for {what}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[test]
+fn eight_peer_cluster_allocates_over_tcp_and_survives_a_killed_link() {
+    let deadline = Instant::now() + HARD_TIMEOUT;
+    let config = NetPeerConfig {
+        protocol: fast_protocol(),
+        ..NetPeerConfig::default()
+    };
+    let cluster =
+        NetCluster::start(spawns(), &config, TcpOptions::default()).expect("cluster binds");
+
+    // Overlay forms: all seven joiners accepted, exactly one RM elected.
+    wait_for(deadline, "overlay formation", || {
+        let t = cluster.telemetry();
+        count_kind(&t, "join_accepted") >= (PEERS - 1) as usize
+    });
+    let t = cluster.telemetry();
+    assert!(
+        count_kind(&t, "rm_elected") >= 1,
+        "overlay formed but no RM was elected"
+    );
+    let rm = t
+        .traces
+        .iter()
+        .find_map(|ev| matches!(ev.kind, TraceKind::RmElected { .. }).then_some(ev.peer))
+        .expect("rm_elected trace names the emitting RM");
+
+    // Fault injection: kill a joiner's live connection to the RM. The
+    // writer thread must redial transparently on the next heartbeat.
+    let victim = cluster
+        .ids()
+        .into_iter()
+        .find(|&id| id != rm)
+        .expect("at least one non-RM peer");
+    cluster.kill_link(victim, rm);
+    wait_for(deadline, "link reconnect after kill", || {
+        cluster
+            .transport_stats()
+            .iter()
+            .any(|s| s.node == victim && s.reconnects() >= 1)
+    });
+
+    // The task still allocates end to end over the healed overlay.
+    let requester = NodeId::new(PEERS);
+    cluster.submit(requester, demo_task(requester));
+    wait_for(deadline, "task allocation reply", || {
+        cluster
+            .telemetry()
+            .replies
+            .iter()
+            .any(|&(task, allocated, _)| task == TaskId::new(1) && allocated)
+    });
+
+    let stats = cluster.shutdown();
+    let decode_errors: u64 = stats.iter().map(|s| s.decode_errors).sum();
+    assert_eq!(decode_errors, 0, "wire decode errors over loopback TCP");
+    let total_msgs: u64 = stats.iter().map(|s| s.msgs_out()).sum();
+    assert!(total_msgs > 0, "no messages crossed the transports");
+}
