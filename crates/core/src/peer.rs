@@ -110,6 +110,8 @@ pub struct PeerNode {
 
 impl PeerNode {
     /// Creates a node that has not yet joined any overlay.
+    // lint: the constructor mirrors the paper's peer parameters one-to-one;
+    // a builder would only obscure the correspondence.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         id: NodeId,
@@ -528,7 +530,12 @@ impl PeerNode {
         let me = self.id;
         match self.role {
             Role::Rm => {
-                let state = self.rm_state.as_mut().expect("RM role has state");
+                // Role and rm_state are updated together, but a panic here
+                // would take the whole peer down on a protocol hiccup —
+                // degrade to dropping the request instead.
+                let Some(state) = self.rm_state.as_mut() else {
+                    return;
+                };
                 let my_domain = state.domain;
                 let known: Vec<(DomainId, NodeId)> = std::iter::once((state.domain, state.me))
                     .chain(state.known_rms.iter().map(|(d, n)| (*d, *n)))
@@ -663,6 +670,8 @@ impl PeerNode {
         }
     }
 
+    // lint: the argument list is the JoinAccept wire payload, destructured
+    // by the caller's match; bundling it back up would just re-invent the enum.
     #[allow(clippy::too_many_arguments)]
     fn on_join_accept(
         &mut self,
@@ -749,7 +758,9 @@ impl PeerNode {
     fn on_heartbeat_tick(&mut self, now: SimTime, actions: &mut Vec<Action>) {
         match self.role {
             Role::Rm => {
-                let state = self.rm_state.as_mut().expect("rm state");
+                let Some(state) = self.rm_state.as_mut() else {
+                    return;
+                };
                 let members: Vec<NodeId> = state
                     .members
                     .keys()
@@ -850,7 +861,9 @@ impl PeerNode {
             self.rm_timers_armed = false;
             return;
         }
-        let state = self.rm_state.as_ref().expect("rm state");
+        let Some(state) = self.rm_state.as_ref() else {
+            return;
+        };
         let mut summaries = vec![state.own_summary(&self.cfg)];
         summaries.extend(state.summaries.values().cloned());
         let targets: Vec<NodeId> = state
@@ -864,8 +877,10 @@ impl PeerNode {
             let picks = self.rng.sample_indices(targets.len(), k);
             // Set-bit density of our own Bloom object summary: how much
             // we are telling the remote RM about.
-            let own = &summaries[0];
-            let bits_set = (own.objects.fill_ratio() * own.objects.num_bits() as f64) as u64;
+            let bits_set = summaries
+                .first()
+                .map(|own| (own.objects.fill_ratio() * own.objects.num_bits() as f64) as u64)
+                .unwrap_or(0);
             push_trace(
                 actions,
                 self.tracing,
@@ -908,7 +923,9 @@ impl PeerNode {
         }
         let tracing = self.tracing;
         let me = self.id;
-        let state = self.rm_state.as_mut().expect("rm state");
+        let Some(state) = self.rm_state.as_mut() else {
+            return;
+        };
         let my_domain = state.domain;
         let backup = state.choose_backup(&self.cfg, _now);
         // Trace the qualification outcome only when the choice changes —
@@ -934,7 +951,9 @@ impl PeerNode {
             }
             self.traced_backup = backup;
         }
-        let state = self.rm_state.as_mut().expect("rm state");
+        let Some(state) = self.rm_state.as_mut() else {
+            return;
+        };
         if let Some(b) = backup {
             if b != self.id {
                 let snapshot = state.snapshot(&self.cfg, _now);
@@ -967,6 +986,8 @@ impl PeerNode {
 
     // ---- local sessions (participant side) ----------------------------------
 
+    // lint: the argument list is the Compose wire payload, destructured by
+    // the caller's match; see on_join_accept.
     #[allow(clippy::too_many_arguments)]
     fn on_compose(
         &mut self,
@@ -1183,7 +1204,9 @@ impl PeerNode {
     ) {
         let tracing = self.tracing;
         let me = self.id;
-        let state = self.rm_state.as_mut().expect("rm role");
+        let Some(state) = self.rm_state.as_mut() else {
+            return;
+        };
         let my_domain = state.domain;
         push_trace(
             actions,
@@ -1226,8 +1249,8 @@ impl PeerNode {
                 let requester = task.requester;
                 let task_id = task.id;
                 let session_secs = task.session_secs;
-                state.commit_session(session, task, &alloc, source, now);
-                let rec = state.sessions.get(&session).expect("committed");
+                let submitted_at = task.submitted_at;
+                let rec = state.commit_session(session, task, &alloc, source, now);
                 let graph = rec.graph.clone();
                 push_trace(
                     actions,
@@ -1263,9 +1286,9 @@ impl PeerNode {
                 );
                 if graph.hops.is_empty() {
                     // Direct fetch: streaming starts immediately.
-                    let state = self.rm_state.as_mut().expect("rm role");
-                    let rec = state.sessions.get_mut(&session).expect("committed");
-                    rec.outcome_reported = true;
+                    if let Some(rec) = state.sessions.get_mut(&session) {
+                        rec.outcome_reported = true;
+                    }
                     let on_time = now <= deadline;
                     actions.push(Action::Outcome {
                         task: task_id,
@@ -1275,7 +1298,7 @@ impl PeerNode {
                             TaskOutcome::CompletedLate
                         },
                         at: now,
-                        response: Some(now.saturating_since(rec.task.submitted_at)),
+                        response: Some(now.saturating_since(submitted_at)),
                     });
                     actions.push(Action::SetTimer {
                         kind: TimerKind::SessionEnd(session),
@@ -1462,7 +1485,9 @@ impl PeerNode {
             return;
         }
         state.release_session_resources(session);
-        let rec = state.sessions.remove(&session).expect("checked");
+        let Some(rec) = state.sessions.remove(&session) else {
+            return;
+        };
         let mut peers: Vec<NodeId> = rec.graph.hops.iter().map(|h| h.peer).collect();
         peers.sort_unstable();
         peers.dedup();
@@ -1497,7 +1522,9 @@ impl PeerNode {
     }
 
     fn rm_handle_member_loss(&mut self, now: SimTime, node: NodeId, actions: &mut Vec<Action>) {
-        let state = self.rm_state.as_mut().expect("rm role");
+        let Some(state) = self.rm_state.as_mut() else {
+            return;
+        };
         let was_backup = state.backup == Some(node);
         let affected = state.remove_member(node);
         for session in affected {
@@ -1525,7 +1552,9 @@ impl PeerNode {
     /// composition timed out. The task's QoS deadline is interpreted
     /// relative to the repair instant.
     fn rm_repair_session(&mut self, now: SimTime, session: SessionId, actions: &mut Vec<Action>) {
-        let state = self.rm_state.as_mut().expect("rm role");
+        let Some(state) = self.rm_state.as_mut() else {
+            return;
+        };
         let Some(rec) = state.sessions.get(&session) else {
             return;
         };
@@ -1546,8 +1575,7 @@ impl PeerNode {
         match result {
             Ok((alloc, source)) => {
                 let deadline = now + task.qos.deadline;
-                state.commit_session(session, task, &alloc, source, now);
-                let rec = state.sessions.get_mut(&session).expect("committed");
+                let rec = state.commit_session(session, task, &alloc, source, now);
                 rec.repairs = repairs + 1;
                 rec.outcome_reported = was_reported;
                 let graph = rec.graph.clone();
@@ -1582,14 +1610,13 @@ impl PeerNode {
                     });
                 }
                 if graph.hops.is_empty() {
-                    let rec = self
+                    if let Some(rec) = self
                         .rm_state
                         .as_mut()
-                        .expect("rm role")
-                        .sessions
-                        .get_mut(&session)
-                        .expect("committed");
-                    rec.composed_at = Some(now);
+                        .and_then(|s| s.sessions.get_mut(&session))
+                    {
+                        rec.composed_at = Some(now);
+                    }
                 } else {
                     actions.push(Action::SetTimer {
                         kind: TimerKind::ComposeTimeout(session),
@@ -1652,7 +1679,9 @@ impl PeerNode {
     /// Adaptation loop (§4.5): migrate sessions off hot peers when a
     /// fairer placement exists.
     fn rm_reassign_hot_sessions(&mut self, now: SimTime, actions: &mut Vec<Action>) {
-        let state = self.rm_state.as_mut().expect("rm role");
+        let Some(state) = self.rm_state.as_mut() else {
+            return;
+        };
         let threshold = self.cfg.overload_threshold;
         let hot: Vec<NodeId> = state
             .view
@@ -1674,8 +1703,12 @@ impl PeerNode {
             .collect();
 
         for session in candidates {
-            let state = self.rm_state.as_mut().expect("rm role");
-            let rec = state.sessions.get(&session).expect("listed");
+            let Some(state) = self.rm_state.as_mut() else {
+                return;
+            };
+            let Some(rec) = state.sessions.get(&session) else {
+                continue;
+            };
             let task = rec.task.clone();
             let old_path = rec.graph.path();
             let old_peers: Vec<NodeId> = rec.graph.hops.iter().map(|h| h.peer).collect();
@@ -1698,11 +1731,14 @@ impl PeerNode {
             }
 
             // Commit the migration for real.
-            let state = self.rm_state.as_mut().expect("rm role");
+            let Some(state) = self.rm_state.as_mut() else {
+                return;
+            };
             state.release_session_resources(session);
-            let old_rec = state.sessions.remove(&session).expect("listed");
-            state.commit_session(session, task, &alloc, source, now);
-            let rec = state.sessions.get_mut(&session).expect("committed");
+            let Some(old_rec) = state.sessions.remove(&session) else {
+                continue;
+            };
+            let rec = state.commit_session(session, task, &alloc, source, now);
             rec.repairs = old_rec.repairs;
             rec.outcome_reported = old_rec.outcome_reported;
             rec.composed_at = old_rec.composed_at;
@@ -1781,23 +1817,24 @@ impl PeerNode {
         if graceful {
             match self.role {
                 Role::Rm => {
-                    let state = self.rm_state.as_mut().expect("rm role");
-                    if let Some(b) = state.backup {
-                        if b != self.id {
-                            // Final snapshot before leaving. Time is not
-                            // available in on_shutdown; the stored last
-                            // candidate ranking suffices.
-                            let snapshot = state.snapshot(&self.cfg, SimTime::MAX);
-                            actions.push(Action::Send {
-                                to: b,
-                                msg: Message::BackupUpdate {
-                                    snapshot: Box::new(snapshot),
-                                },
-                            });
-                            actions.push(Action::Send {
-                                to: b,
-                                msg: Message::Leave { node: self.id },
-                            });
+                    if let Some(state) = self.rm_state.as_mut() {
+                        if let Some(b) = state.backup {
+                            if b != self.id {
+                                // Final snapshot before leaving. Time is not
+                                // available in on_shutdown; the stored last
+                                // candidate ranking suffices.
+                                let snapshot = state.snapshot(&self.cfg, SimTime::MAX);
+                                actions.push(Action::Send {
+                                    to: b,
+                                    msg: Message::BackupUpdate {
+                                        snapshot: Box::new(snapshot),
+                                    },
+                                });
+                                actions.push(Action::Send {
+                                    to: b,
+                                    msg: Message::Leave { node: self.id },
+                                });
+                            }
                         }
                     }
                 }
@@ -1837,13 +1874,10 @@ impl PeerNode {
             .filter(|m| *m != self.id)
             .collect();
         let sessions: Vec<SessionId> = state.sessions.keys().copied().collect();
+        state.choose_backup(&self.cfg, now);
         self.rm_state = Some(state);
         self.role = Role::Rm;
         self.rm = Some(self.id);
-        self.rm_state
-            .as_mut()
-            .unwrap()
-            .choose_backup(&self.cfg, now);
         for m in members {
             actions.push(Action::Send {
                 to: m,

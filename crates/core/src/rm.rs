@@ -13,6 +13,7 @@ use arm_model::{
 use arm_profiler::LoadReport;
 use arm_proto::{DomainSummary, RmCandidacy, RmSnapshot};
 use arm_util::{BloomFilter, DetRng, DomainId, NodeId, SessionId, SimTime};
+use std::collections::btree_map::Entry;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A running (or composing) session tracked by the RM.
@@ -322,12 +323,7 @@ impl RmState {
             .map(|m| m.candidacy_at(now))
             .filter(|c| c.node != self.me && c.qualifies(&cfg.rm_requirements))
             .collect();
-        c.sort_by(|a, b| {
-            b.score()
-                .partial_cmp(&a.score())
-                .unwrap()
-                .then(a.node.cmp(&b.node))
-        });
+        c.sort_by(|a, b| b.score().total_cmp(&a.score()).then(a.node.cmp(&b.node)));
         c
     }
 
@@ -352,7 +348,7 @@ impl RmState {
             .min_by(|(a, _), (b, _)| {
                 let ua = self.view.get(*a).map_or(f64::MAX, |i| i.utilization());
                 let ub = self.view.get(*b).map_or(f64::MAX, |i| i.utilization());
-                ua.partial_cmp(&ub).unwrap().then(a.cmp(b))
+                ua.total_cmp(&ub).then(a.cmp(b))
             })
             .map(|(n, o)| (*n, o))
     }
@@ -416,7 +412,7 @@ impl RmState {
         alloc: &Allocation,
         source: NodeId,
         now: SimTime,
-    ) -> &SessionRec {
+    ) -> &mut SessionRec {
         for (peer, w) in &alloc.load_deltas {
             self.view.add_load(*peer, *w);
         }
@@ -430,20 +426,23 @@ impl RmState {
             ServiceGraph::from_path(task.id, source, task.requester, &self.graph, &alloc.path);
         let pending: BTreeSet<usize> = (0..graph.hops.len()).collect();
         let composed = pending.is_empty();
-        self.sessions.insert(
-            session,
-            SessionRec {
-                task,
-                graph,
-                source,
-                pending_acks: pending,
-                composed_at: if composed { Some(now) } else { None },
-                allocated_at: now,
-                repairs: 0,
-                outcome_reported: false,
-            },
-        );
-        self.sessions.get(&session).expect("just inserted")
+        let rec = SessionRec {
+            task,
+            graph,
+            source,
+            pending_acks: pending,
+            composed_at: if composed { Some(now) } else { None },
+            allocated_at: now,
+            repairs: 0,
+            outcome_reported: false,
+        };
+        match self.sessions.entry(session) {
+            Entry::Occupied(mut o) => {
+                o.insert(rec);
+                o.into_mut()
+            }
+            Entry::Vacant(v) => v.insert(rec),
+        }
     }
 
     /// Releases a session's resources from the optimistic view and the
@@ -523,8 +522,7 @@ impl RmState {
             set.iter()
                 .min_by(|a, b| {
                     a.mean_utilization
-                        .partial_cmp(&b.mean_utilization)
-                        .unwrap()
+                        .total_cmp(&b.mean_utilization)
                         .then(a.domain.cmp(&b.domain))
                 })
                 .map(|s| (s.domain, s.rm))

@@ -2,7 +2,7 @@
 
 use arm_util::{SimDuration, SimTime};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 
 /// Opaque handle to a scheduled event, usable for cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -65,7 +65,7 @@ impl<E> Ord for HeapEntry<E> {
 pub struct Simulator<E> {
     now: SimTime,
     heap: BinaryHeap<HeapEntry<E>>,
-    cancelled: HashSet<u64>,
+    cancelled: BTreeSet<u64>,
     next_seq: u64,
     processed: u64,
     scheduled_total: u64,
@@ -84,7 +84,7 @@ impl<E> Simulator<E> {
         Self {
             now: SimTime::ZERO,
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            cancelled: BTreeSet::new(),
             next_seq: 0,
             processed: 0,
             scheduled_total: 0,

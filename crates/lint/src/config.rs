@@ -1,0 +1,113 @@
+//! Rule configuration: which paths each rule covers, the declared lock
+//! order, and the protocol registry sites that must stay exhaustive.
+
+/// A function that must mention every `Message` variant (a "registry
+/// site"): adding a variant without wiring it here is a lint failure.
+#[derive(Debug, Clone)]
+pub struct RegistrySite {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Function name inside that file.
+    pub func: String,
+    /// Human-readable description for diagnostics.
+    pub desc: String,
+}
+
+/// Where the audited enum lives.
+#[derive(Debug, Clone)]
+pub struct EnumSite {
+    pub file: String,
+    pub name: String,
+}
+
+/// Full linter configuration. [`Config::workspace`] is the checked-in
+/// policy for this repository; tests build bespoke configs over fixtures.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Path prefixes where panicking constructs are forbidden.
+    pub no_panic_paths: Vec<String>,
+    /// Path prefixes where nondeterministic constructs are forbidden.
+    pub determinism_paths: Vec<String>,
+    /// Files whose lock acquisitions are ordered-checked.
+    pub lock_files: Vec<String>,
+    /// Declared lock acquisition order, outermost first. Acquiring a lock
+    /// while holding one that appears later in this list is a violation,
+    /// as is re-acquiring a held lock.
+    pub lock_order: Vec<String>,
+    /// The enum whose variants are audited (`None` disables the rule).
+    pub enum_site: Option<EnumSite>,
+    /// Functions that must mention every variant of the audited enum.
+    pub registry_sites: Vec<RegistrySite>,
+    /// Path prefixes excluded from the scan entirely.
+    pub scan_exclude: Vec<String>,
+    /// Directories (relative to the root) to walk for `.rs` files.
+    pub scan_dirs: Vec<String>,
+}
+
+impl Config {
+    /// The policy enforced on this workspace by CI.
+    pub fn workspace() -> Config {
+        let proto = "crates/proto/src/lib.rs";
+        Config {
+            no_panic_paths: vec![
+                "crates/core/src/".into(),
+                "crates/proto/src/".into(),
+                "crates/wire/src/".into(),
+                "crates/runtime/src/".into(),
+                "crates/sched/src/".into(),
+            ],
+            determinism_paths: vec![
+                "crates/des/src/".into(),
+                "crates/sim/src/".into(),
+                "crates/core/src/".into(),
+                "crates/model/src/".into(),
+            ],
+            lock_files: vec![
+                "crates/wire/src/tcp.rs".into(),
+                "crates/runtime/src/net.rs".into(),
+                "crates/runtime/src/lib.rs".into(),
+            ],
+            // Outermost-first. `links` guards routing state and may be held
+            // while consulting the address `book`; worker `threads` and the
+            // shared `senders`/`telemetry` maps are innermost.
+            lock_order: vec![
+                "links".into(),
+                "book".into(),
+                "threads".into(),
+                "senders".into(),
+                "telemetry".into(),
+            ],
+            enum_site: Some(EnumSite {
+                file: proto.into(),
+                name: "Message".into(),
+            }),
+            registry_sites: vec![
+                RegistrySite {
+                    file: "crates/wire/src/frame.rs".into(),
+                    func: "message_tag".into(),
+                    desc: "wire codec frame-tag match (crates/wire/src/frame.rs::message_tag)"
+                        .into(),
+                },
+                RegistrySite {
+                    file: proto.into(),
+                    func: "size_bytes".into(),
+                    desc: "bandwidth model (crates/proto/src/lib.rs::Message::size_bytes)".into(),
+                },
+                RegistrySite {
+                    file: proto.into(),
+                    func: "kind".into(),
+                    desc: "telemetry trace vocabulary (crates/proto/src/lib.rs::Message::kind)"
+                        .into(),
+                },
+                RegistrySite {
+                    file: "crates/wire/tests/size_estimate.rs".into(),
+                    func: "exemplars".into(),
+                    desc: "wire size-estimate exemplar list (crates/wire/tests/size_estimate.rs)"
+                        .into(),
+                },
+            ],
+            scan_exclude: vec!["crates/shims/".into(), "crates/lint/tests/fixtures/".into()],
+            scan_dirs: vec!["crates".into(), "src".into()],
+        }
+    }
+}

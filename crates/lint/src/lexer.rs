@@ -1,0 +1,319 @@
+//! A minimal Rust lexer: just enough to walk token streams with line
+//! numbers while never misreading strings, comments, char literals or
+//! lifetimes as code.
+//!
+//! The rules in this crate operate on token *sequences* (e.g. `Ident(".")
+//! Ident("unwrap") Punct('(')`), so the lexer collapses every multi-char
+//! operator into its constituent single-char puncts — `::` is two `:`
+//! tokens. That loses nothing the rules need and keeps the lexer tiny.
+
+use std::collections::BTreeMap;
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident(String),
+    /// Numeric literal (value not preserved, only the raw text).
+    Num(String),
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char literal (`'a'`, `'\n'`).
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// A single punctuation character.
+    Punct(char),
+}
+
+/// A token with the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// Lexer output: the token stream plus every `//` comment keyed by line
+/// (suppression and justification comments live there).
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: BTreeMap<u32, String>,
+}
+
+/// Lexes `src` into tokens and line comments. Never panics on any input;
+/// unterminated constructs simply run to end of file.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i + 2;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                let text = src[start..i].trim().to_string();
+                let slot = out.comments.entry(line).or_default();
+                if !slot.is_empty() {
+                    slot.push(' ');
+                }
+                slot.push_str(&text);
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Nested block comment.
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                let tok_line = line;
+                i = skip_string(b, i, &mut line);
+                out.tokens.push(Token {
+                    tok: Tok::Str,
+                    line: tok_line,
+                });
+            }
+            b'\'' => {
+                let tok_line = line;
+                // Lifetime vs char literal: a lifetime is `'` + ident run
+                // NOT followed by a closing `'`.
+                let mut j = i + 1;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                let is_lifetime = j > i + 1 && (j >= b.len() || b[j] != b'\'');
+                if is_lifetime {
+                    out.tokens.push(Token {
+                        tok: Tok::Lifetime,
+                        line: tok_line,
+                    });
+                    i = j;
+                } else {
+                    i = skip_char_literal(b, i, &mut line);
+                    out.tokens.push(Token {
+                        tok: Tok::Char,
+                        line: tok_line,
+                    });
+                }
+            }
+            b'0'..=b'9' => {
+                let tok_line = line;
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                // Fractional part, but never eat a `..` range operator.
+                if i + 1 < b.len() && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Num(src[start..i].to_string()),
+                    line: tok_line,
+                });
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let tok_line = line;
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let ident = &src[start..i];
+                // Raw / byte string prefixes: the "ident" glues onto a
+                // string literal (`r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`).
+                if matches!(ident, "r" | "b" | "br" | "rb" | "c" | "cr") && i < b.len() {
+                    if b[i] == b'"' && !ident.contains('r') {
+                        i = skip_string(b, i, &mut line);
+                        out.tokens.push(Token {
+                            tok: Tok::Str,
+                            line: tok_line,
+                        });
+                        continue;
+                    }
+                    if b[i] == b'"' || b[i] == b'#' {
+                        if let Some(end) = skip_raw_string(b, i, &mut line) {
+                            i = end;
+                            out.tokens.push(Token {
+                                tok: Tok::Str,
+                                line: tok_line,
+                            });
+                            continue;
+                        }
+                    }
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Ident(ident.to_string()),
+                    line: tok_line,
+                });
+            }
+            _ => {
+                out.tokens.push(Token {
+                    tok: Tok::Punct(c as char),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Skips a `"…"` literal starting at the opening quote; returns the index
+/// after the closing quote.
+fn skip_string(b: &[u8], open: usize, line: &mut u32) -> usize {
+    let mut i = open + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a raw string starting at `#` or `"` (after the `r`/`br` prefix).
+/// Returns `None` if this is not actually a raw string opener.
+fn skip_raw_string(b: &[u8], at: usize, line: &mut u32) -> Option<usize> {
+    let mut i = at;
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= b.len() || b[i] != b'"' {
+        return None;
+    }
+    i += 1;
+    while i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+            i += 1;
+        } else if b[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while j < b.len() && b[j] == b'#' && seen < hashes {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return Some(j);
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    Some(i)
+}
+
+/// Skips a char literal starting at the opening `'`.
+fn skip_char_literal(b: &[u8], open: usize, line: &mut u32) -> usize {
+    let mut i = open + 1;
+    let mut steps = 0usize;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+        steps += 1;
+        if steps > 16 {
+            // Malformed; bail rather than swallow the file.
+            return i;
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_not_code() {
+        let l = lex("let x = \"unwrap()\"; // has unwrap() too\nfoo();");
+        assert!(idents("let x = \"unwrap()\";")
+            .iter()
+            .all(|i| i != "unwrap"));
+        assert_eq!(
+            l.comments.get(&1).map(String::as_str),
+            Some("has unwrap() too")
+        );
+        assert_eq!(l.tokens.last().map(|t| t.line), Some(2));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let ids = idents("fn f<'a>(x: &'a str) { r#\"panic!()\"#; 'x'; }");
+        assert!(ids.iter().all(|i| i != "panic"));
+        assert!(ids.contains(&"str".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let ids = idents("/* outer /* unwrap() */ still comment */ real");
+        assert_eq!(ids, vec!["real".to_string()]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let l = lex("for i in 0..10 {}");
+        let dots = l.tokens.iter().filter(|t| t.tok == Tok::Punct('.')).count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn line_numbers_advance_through_multiline_strings() {
+        let l = lex("let s = \"a\nb\nc\";\nfoo");
+        let foo = l
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("foo".into()))
+            .map(|t| t.line);
+        assert_eq!(foo, Some(4));
+    }
+}

@@ -1,0 +1,76 @@
+//! The `arm-lint` CLI: scans the workspace, prints `file:line: rule:
+//! message` diagnostics, optionally writes the JSON report and the
+//! BENCH-style summary, and exits non-zero on any unsuppressed finding.
+
+use arm_lint::{default_root, run, Config};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: arm-lint [--root DIR] [--json FILE] [--summary FILE] [--verbose]
+
+Scans the workspace with the checked-in rule policy. Exit code 1 when any
+unsuppressed diagnostic remains. Suppress a finding inline with
+`// arm-lint: allow(<rule>) -- reason`.";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json_out: Option<PathBuf> = None;
+    let mut summary_out: Option<PathBuf> = None;
+    let mut verbose = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--json" => json_out = args.next().map(PathBuf::from),
+            "--summary" => summary_out = args.next().map(PathBuf::from),
+            "--verbose" | "-v" => verbose = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("arm-lint: unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(default_root);
+    let cfg = Config::workspace();
+    let report = run(&root, &cfg);
+
+    for d in report.open() {
+        println!("{}", d.render());
+    }
+    if verbose {
+        for d in report.diags.iter().filter(|d| !d.is_open()) {
+            let reason = d.suppressed.as_deref().unwrap_or("");
+            println!("{} [suppressed: {reason}]", d.render());
+        }
+    }
+
+    if let Some(path) = &json_out {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("arm-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(path) = &summary_out {
+        if let Err(e) = std::fs::write(path, report.summary_json()) {
+            eprintln!("arm-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    let open = report.open_count();
+    println!(
+        "arm-lint: {open} open, {} suppressed across {} files in {} ms",
+        report.suppressed_count(),
+        report.files_scanned,
+        report.duration_ms
+    );
+    if open > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

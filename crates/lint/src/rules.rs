@@ -1,0 +1,564 @@
+//! The five rules. Each walks the token stream of one [`SourceFile`]
+//! (or, for `proto-exhaustive`, the whole file set) and emits
+//! [`Diagnostic`]s; suppression comments downgrade a finding rather than
+//! hide it, so the JSON report still counts it.
+
+use crate::config::Config;
+use crate::lexer::Tok;
+use crate::report::Diagnostic;
+use crate::scan::{FnSpan, SourceFile};
+use std::collections::BTreeMap;
+
+pub const NO_PANIC: &str = "no-panic";
+pub const DETERMINISM: &str = "determinism";
+pub const PROTO_EXHAUSTIVE: &str = "proto-exhaustive";
+pub const LOCK_ORDER: &str = "lock-order";
+pub const ALLOW_AUDIT: &str = "allow-audit";
+
+/// Methods whose presence on the indexed collection counts as a bounds
+/// guard (the enclosing function demonstrably reasons about length).
+const GUARD_METHODS: &[&str] = &[
+    "len",
+    "get",
+    "get_mut",
+    "is_empty",
+    "first",
+    "last",
+    "split_at",
+    "contains_key",
+];
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+fn diag(
+    file: &SourceFile,
+    rule: &'static str,
+    line: u32,
+    message: String,
+    out: &mut Vec<Diagnostic>,
+) {
+    out.push(Diagnostic {
+        rule,
+        file: file.rel.clone(),
+        line,
+        message,
+        suppressed: file.suppression(line, rule),
+    });
+}
+
+fn in_paths(rel: &str, prefixes: &[String]) -> bool {
+    prefixes.iter().any(|p| rel.starts_with(p.as_str()))
+}
+
+fn ident_of(t: &Tok) -> Option<&str> {
+    match t {
+        Tok::Ident(s) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// Rule 1: no `unwrap`/`expect`/panicking macros/unguarded indexing in
+/// protocol-path crates. Errors must flow through `Action`s, `Result`s or
+/// stream poisoning instead of aborting a peer.
+pub fn no_panic(file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    if !in_paths(&file.rel, &cfg.no_panic_paths) {
+        return;
+    }
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if file.test_mask[i] {
+            continue;
+        }
+        let line = toks[i].line;
+        match &toks[i].tok {
+            Tok::Ident(id) if (id == "unwrap" || id == "expect") => {
+                let after_dot = i > 0 && toks[i - 1].tok == Tok::Punct('.');
+                let called = toks.get(i + 1).map(|t| t.tok == Tok::Punct('(')) == Some(true);
+                if after_dot && called {
+                    diag(
+                        file,
+                        NO_PANIC,
+                        line,
+                        format!(".{id}() can panic; return an error or use a graceful fallback"),
+                        out,
+                    );
+                }
+            }
+            Tok::Ident(id)
+                if PANIC_MACROS.contains(&id.as_str())
+                    && toks.get(i + 1).map(|t| t.tok == Tok::Punct('!')) == Some(true) =>
+            {
+                diag(
+                    file,
+                    NO_PANIC,
+                    line,
+                    format!("{id}! aborts the peer; protocol code must degrade instead"),
+                    out,
+                );
+            }
+            Tok::Punct('[') => {
+                if let Some(base) = index_base(toks, i) {
+                    if index_is_benign(toks, i) {
+                        continue;
+                    }
+                    let guarded = file
+                        .enclosing_fn(i)
+                        .is_some_and(|f| file.fn_mentions(f, &base, GUARD_METHODS));
+                    if !guarded {
+                        diag(
+                            file,
+                            NO_PANIC,
+                            line,
+                            format!(
+                                "indexing `{base}[..]` without a visible bounds guard can panic; \
+                                 use .get() or guard with .len()"
+                            ),
+                            out,
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Is `[` at `i` an index expression (vs attribute, array literal, slice
+/// pattern or type)? If so, returns the indexed collection's name.
+fn index_base(toks: &[crate::lexer::Token], i: usize) -> Option<String> {
+    // Keywords preceding `[` mean a type or pattern position
+    // (`impl T for [U]`, `for [a, b] in ..`), never an index expression.
+    const KEYWORDS: &[&str] = &[
+        "for", "in", "impl", "dyn", "as", "return", "break", "if", "else", "match", "where", "mut",
+        "ref", "move", "box", "const", "static", "type",
+    ];
+    let prev = toks.get(i.checked_sub(1)?)?;
+    match &prev.tok {
+        Tok::Ident(id) if KEYWORDS.contains(&id.as_str()) => None,
+        Tok::Ident(id) => Some(id.clone()),
+        Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('?') => {
+            // Walk back over one balanced group / postfix chain to the
+            // nearest identifier, which names the collection well enough
+            // for the guard heuristic.
+            let mut j = i - 1;
+            let mut depth = 0i32;
+            let mut steps = 0;
+            while j > 0 && steps < 64 {
+                match toks[j].tok {
+                    Tok::Punct(')') | Tok::Punct(']') => depth += 1,
+                    Tok::Punct('(') | Tok::Punct('[') => depth -= 1,
+                    Tok::Ident(ref id) if depth <= 0 => return Some(id.clone()),
+                    _ => {}
+                }
+                j -= 1;
+                steps += 1;
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Index expressions that cannot (or are vanishingly unlikely to) panic:
+/// full-range slicing and mask/modulo-bounded subscripts.
+fn index_is_benign(toks: &[crate::lexer::Token], open: usize) -> bool {
+    let mut depth = 0i32;
+    let mut inner = Vec::new();
+    for t in &toks[open..] {
+        match t.tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        if depth >= 1 {
+            inner.push(&t.tok);
+        }
+    }
+    // `[..]`
+    if inner.len() == 3 && inner[1] == &Tok::Punct('.') && inner[2] == &Tok::Punct('.') {
+        return true;
+    }
+    // A `& MASK` or `% n` bound inside the subscript.
+    inner.windows(2).any(|w| {
+        (w[0] == &Tok::Punct('&') && matches!(w[1], Tok::Num(_))) || w[0] == &Tok::Punct('%')
+    })
+}
+
+/// Rule 2: no wall-clock time, sleeping, OS randomness or hash-order
+/// iteration inside the deterministic-replay crates.
+pub fn determinism(file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    if !in_paths(&file.rel, &cfg.determinism_paths) {
+        return;
+    }
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if file.test_mask[i] {
+            continue;
+        }
+        let line = toks[i].line;
+        let id = match ident_of(&toks[i].tok) {
+            Some(id) => id,
+            None => continue,
+        };
+        let path_call = |head: &str, tail: &str| {
+            id == head
+                && toks.get(i + 1).map(|t| t.tok == Tok::Punct(':')) == Some(true)
+                && toks.get(i + 2).map(|t| t.tok == Tok::Punct(':')) == Some(true)
+                && toks.get(i + 3).and_then(|t| ident_of(&t.tok)) == Some(tail)
+        };
+        if path_call("Instant", "now") {
+            diag(
+                file,
+                DETERMINISM,
+                line,
+                "Instant::now() reads the wall clock; deterministic code must use SimTime".into(),
+                out,
+            );
+        } else if path_call("thread", "sleep") {
+            diag(
+                file,
+                DETERMINISM,
+                line,
+                "thread::sleep stalls on wall time; schedule a DES event instead".into(),
+                out,
+            );
+        } else if id == "SystemTime" {
+            diag(
+                file,
+                DETERMINISM,
+                line,
+                "SystemTime is nondeterministic; use SimTime".into(),
+                out,
+            );
+        } else if id == "thread_rng" {
+            diag(
+                file,
+                DETERMINISM,
+                line,
+                "thread_rng() is unseeded; use the seeded arm_util RNG".into(),
+                out,
+            );
+        } else if id == "HashMap" || id == "HashSet" {
+            diag(
+                file,
+                DETERMINISM,
+                line,
+                format!("{id} iterates in hash order; use BTreeMap/BTreeSet for replayable state"),
+                out,
+            );
+        }
+    }
+}
+
+/// Rule 3: every variant of the audited enum must appear in each registry
+/// site (wire codec tag, size model, trace vocabulary, exemplars).
+pub fn proto_exhaustive(
+    files: &BTreeMap<String, SourceFile>,
+    cfg: &Config,
+    out: &mut Vec<Diagnostic>,
+) {
+    let site = match &cfg.enum_site {
+        Some(s) => s,
+        None => return,
+    };
+    let enum_file = match files.get(&site.file) {
+        Some(f) => f,
+        None => {
+            out.push(Diagnostic {
+                rule: PROTO_EXHAUSTIVE,
+                file: site.file.clone(),
+                line: 0,
+                message: format!("enum file {} not found in scan", site.file),
+                suppressed: None,
+            });
+            return;
+        }
+    };
+    let variants = enum_variants(enum_file, &site.name);
+    if variants.is_empty() {
+        out.push(Diagnostic {
+            rule: PROTO_EXHAUSTIVE,
+            file: site.file.clone(),
+            line: 0,
+            message: format!("enum {} not found or has no variants", site.name),
+            suppressed: None,
+        });
+        return;
+    }
+    for reg in &cfg.registry_sites {
+        let file = match files.get(&reg.file) {
+            Some(f) => f,
+            None => {
+                out.push(Diagnostic {
+                    rule: PROTO_EXHAUSTIVE,
+                    file: reg.file.clone(),
+                    line: 0,
+                    message: format!("registry site file missing: {}", reg.desc),
+                    suppressed: None,
+                });
+                continue;
+            }
+        };
+        let f = match file.fn_named(&reg.func) {
+            Some(f) => f,
+            None => {
+                out.push(Diagnostic {
+                    rule: PROTO_EXHAUSTIVE,
+                    file: reg.file.clone(),
+                    line: 0,
+                    message: format!("registry function `{}` missing: {}", reg.func, reg.desc),
+                    suppressed: None,
+                });
+                continue;
+            }
+        };
+        for v in &variants {
+            if !mentions_variant(file, f, &site.name, v) {
+                diag(
+                    file,
+                    PROTO_EXHAUSTIVE,
+                    f.line,
+                    format!("{} variant `{v}` missing from {}", site.name, reg.desc),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+/// Extracts the variant names of `enum <name> { … }`.
+pub fn enum_variants(file: &SourceFile, name: &str) -> Vec<String> {
+    let toks = &file.tokens;
+    let mut at = None;
+    for i in 0..toks.len().saturating_sub(1) {
+        if ident_of(&toks[i].tok) == Some("enum") && ident_of(&toks[i + 1].tok) == Some(name) {
+            at = Some(i + 2);
+            break;
+        }
+    }
+    let mut i = match at {
+        Some(i) => i,
+        None => return Vec::new(),
+    };
+    while i < toks.len() && toks[i].tok != Tok::Punct('{') {
+        i += 1;
+    }
+    let close = match file.close_of(i) {
+        Some(c) => c,
+        None => return Vec::new(),
+    };
+    let mut variants = Vec::new();
+    let mut depth = 0i32;
+    let mut j = i + 1;
+    while j < close {
+        match toks[j].tok {
+            Tok::Punct('{') | Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+            Tok::Punct('}') | Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+            Tok::Ident(ref id) if depth == 0 => {
+                let next = toks.get(j + 1).map(|t| &t.tok);
+                if matches!(
+                    next,
+                    Some(Tok::Punct('{'))
+                        | Some(Tok::Punct('('))
+                        | Some(Tok::Punct(','))
+                        | Some(Tok::Punct('='))
+                        | Some(Tok::Punct('}'))
+                ) {
+                    variants.push(id.clone());
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    variants
+}
+
+/// Does the function body contain `<Enum>::Variant` (or `Self::Variant`)?
+fn mentions_variant(file: &SourceFile, f: &FnSpan, enum_name: &str, variant: &str) -> bool {
+    let toks = &file.tokens[f.open..=f.close.min(file.tokens.len() - 1)];
+    toks.windows(4).any(|w| {
+        matches!(ident_of(&w[0].tok), Some(h) if h == enum_name || h == "Self")
+            && w[1].tok == Tok::Punct(':')
+            && w[2].tok == Tok::Punct(':')
+            && ident_of(&w[3].tok) == Some(variant)
+    })
+}
+
+/// One lock currently held while walking a function body.
+struct Held {
+    lock: String,
+    var: Option<String>,
+    temp: bool,
+    depth: usize,
+    line: u32,
+}
+
+/// Rule 4: nested `Mutex`/`RwLock` acquisitions must respect the declared
+/// order, and a held lock must never be re-acquired.
+///
+/// The tracker is intentionally simple: `let g = x.lock();` pins the guard
+/// until its scope closes (or `drop(g)`); any other `.lock()` expression
+/// is a temporary held to the end of the statement. Cross-function
+/// acquisition chains are out of scope — keep helpers lock-free or
+/// document them.
+pub fn lock_order(file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    if !cfg.lock_files.iter().any(|f| f == &file.rel) {
+        return;
+    }
+    let toks = &file.tokens;
+    for f in &file.fns {
+        if file.test_mask[f.open] {
+            continue;
+        }
+        let mut held: Vec<Held> = Vec::new();
+        let mut depth = 0usize;
+        let mut stmt_let_var: Option<String> = None;
+        let mut i = f.open + 1;
+        while i < f.close {
+            match &toks[i].tok {
+                Tok::Punct('{') => depth += 1,
+                Tok::Punct('}') => {
+                    held.retain(|h| h.depth < depth);
+                    depth = depth.saturating_sub(1);
+                }
+                Tok::Punct(';') => {
+                    held.retain(|h| !(h.temp && h.depth == depth));
+                    stmt_let_var = None;
+                }
+                Tok::Ident(id) if id == "let" => {
+                    // `let [mut] name = …` — only simple bindings count.
+                    let mut j = i + 1;
+                    if toks.get(j).and_then(|t| ident_of(&t.tok)) == Some("mut") {
+                        j += 1;
+                    }
+                    if let (Some(Tok::Ident(name)), Some(Tok::Punct('='))) =
+                        (toks.get(j).map(|t| &t.tok), toks.get(j + 1).map(|t| &t.tok))
+                    {
+                        stmt_let_var = Some(name.clone());
+                    }
+                }
+                Tok::Ident(id) if id == "drop" => {
+                    if let (Some(Tok::Punct('(')), Some(Tok::Ident(v)), Some(Tok::Punct(')'))) = (
+                        toks.get(i + 1).map(|t| &t.tok),
+                        toks.get(i + 2).map(|t| &t.tok),
+                        toks.get(i + 3).map(|t| &t.tok),
+                    ) {
+                        held.retain(|h| h.var.as_deref() != Some(v.as_str()));
+                    }
+                }
+                Tok::Ident(id) if (id == "lock" || id == "read" || id == "write") => {
+                    let is_acq = i >= 2
+                        && toks[i - 1].tok == Tok::Punct('.')
+                        && toks.get(i + 1).map(|t| t.tok == Tok::Punct('(')) == Some(true)
+                        && toks.get(i + 2).map(|t| t.tok == Tok::Punct(')')) == Some(true);
+                    if is_acq {
+                        if let Some(base) = ident_of(&toks[i - 2].tok) {
+                            let line = toks[i].line;
+                            for h in &held {
+                                check_pair(file, cfg, &h.lock, h.line, base, line, out);
+                            }
+                            // Guard lifetime: a direct `let g = ….lock();`
+                            // binding lives until scope end; any longer
+                            // chain is a statement temporary.
+                            let bound = toks.get(i + 3).map(|t| t.tok == Tok::Punct(';'))
+                                == Some(true)
+                                && stmt_let_var.is_some();
+                            held.push(Held {
+                                lock: base.to_string(),
+                                var: if bound { stmt_let_var.clone() } else { None },
+                                temp: !bound,
+                                depth,
+                                line,
+                            });
+                        }
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+}
+
+fn check_pair(
+    file: &SourceFile,
+    cfg: &Config,
+    held: &str,
+    held_line: u32,
+    acq: &str,
+    line: u32,
+    out: &mut Vec<Diagnostic>,
+) {
+    let pos = |l: &str| cfg.lock_order.iter().position(|x| x == l);
+    match (pos(held), pos(acq)) {
+        (_, None) => diag(
+            file,
+            LOCK_ORDER,
+            line,
+            format!("lock `{acq}` is not in the declared lock-order table"),
+            out,
+        ),
+        (None, _) => diag(
+            file,
+            LOCK_ORDER,
+            line,
+            format!("lock `{held}` (held since line {held_line}) is not in the declared lock-order table"),
+            out,
+        ),
+        (Some(h), Some(a)) if a == h => diag(
+            file,
+            LOCK_ORDER,
+            line,
+            format!("re-acquiring `{acq}` while already held (line {held_line}): self-deadlock"),
+            out,
+        ),
+        (Some(h), Some(a)) if a < h => diag(
+            file,
+            LOCK_ORDER,
+            line,
+            format!(
+                "acquiring `{acq}` while holding `{held}` (line {held_line}) inverts the declared \
+                 order {:?}",
+                cfg.lock_order
+            ),
+            out,
+        ),
+        _ => {}
+    }
+}
+
+/// Rule 5: every `#[allow(…)]` needs an adjacent `// lint:` justification.
+pub fn allow_audit(file: &SourceFile, _cfg: &Config, out: &mut Vec<Diagnostic>) {
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if toks[i].tok != Tok::Punct('#') {
+            continue;
+        }
+        let mut j = i + 1;
+        if toks.get(j).map(|t| t.tok == Tok::Punct('!')) == Some(true) {
+            j += 1;
+        }
+        if toks.get(j).map(|t| t.tok == Tok::Punct('[')) != Some(true) {
+            continue;
+        }
+        if toks.get(j + 1).and_then(|t| ident_of(&t.tok)) != Some("allow") {
+            continue;
+        }
+        let line = toks[i].line;
+        if !file.has_lint_justification(line) {
+            diag(
+                file,
+                ALLOW_AUDIT,
+                line,
+                "#[allow(...)] without a `// lint:` justification comment".into(),
+                out,
+            );
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! End-to-end fixture tests: the linter must report every planted
+//! violation at its exact `file:line:rule`, honor inline suppressions,
+//! leave guarded/test code alone — and pass the real workspace cleanly.
+
+use arm_lint::{run, Config, EnumSite, RegistrySite, SourceFile};
+use std::path::{Path, PathBuf};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws1")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root")
+}
+
+fn fixture_config() -> Config {
+    Config {
+        no_panic_paths: vec!["src/np/".into()],
+        determinism_paths: vec!["src/det/".into()],
+        lock_files: vec!["src/locks.rs".into()],
+        lock_order: vec!["links".into(), "book".into()],
+        enum_site: Some(EnumSite {
+            file: "src/proto.rs".into(),
+            name: "Message".into(),
+        }),
+        registry_sites: vec![RegistrySite {
+            file: "src/codec.rs".into(),
+            func: "encode_tag".into(),
+            desc: "fixture codec tag match (src/codec.rs::encode_tag)".into(),
+        }],
+        scan_exclude: vec![],
+        scan_dirs: vec!["src".into()],
+    }
+}
+
+#[test]
+fn fixtures_report_exact_file_line_rule() {
+    let report = run(&fixture_root(), &fixture_config());
+    let open: Vec<(&str, u32, &str)> = report
+        .diags
+        .iter()
+        .filter(|d| d.suppressed.is_none())
+        .map(|d| (d.file.as_str(), d.line, d.rule))
+        .collect();
+    let rendered: Vec<String> = report.diags.iter().map(|d| d.render()).collect();
+    let expected: Vec<(&str, u32, &str)> = vec![
+        ("src/allow.rs", 3, "allow-audit"),
+        ("src/codec.rs", 3, "proto-exhaustive"),
+        ("src/det/clock.rs", 4, "determinism"),
+        ("src/det/clock.rs", 9, "determinism"),
+        ("src/det/clock.rs", 13, "determinism"),
+        ("src/locks.rs", 16, "lock-order"),
+        ("src/locks.rs", 23, "lock-order"),
+        ("src/locks.rs", 30, "lock-order"),
+        ("src/np/panics.rs", 5, "no-panic"),
+        ("src/np/panics.rs", 9, "no-panic"),
+        ("src/np/panics.rs", 13, "no-panic"),
+        ("src/np/panics.rs", 17, "no-panic"),
+    ];
+    assert_eq!(open, expected, "full report:\n{}", rendered.join("\n"));
+}
+
+#[test]
+fn every_rule_fires_in_the_fixture_set() {
+    let report = run(&fixture_root(), &fixture_config());
+    for rule in [
+        "no-panic",
+        "determinism",
+        "proto-exhaustive",
+        "lock-order",
+        "allow-audit",
+    ] {
+        assert!(
+            report
+                .diags
+                .iter()
+                .any(|d| d.rule == rule && d.suppressed.is_none()),
+            "rule {rule} never fired"
+        );
+    }
+}
+
+#[test]
+fn suppressions_downgrade_but_stay_in_the_report() {
+    let report = run(&fixture_root(), &fixture_config());
+    let suppressed: Vec<(&str, u32, &str, &str)> = report
+        .diags
+        .iter()
+        .filter_map(|d| {
+            d.suppressed
+                .as_deref()
+                .map(|r| (d.file.as_str(), d.line, d.rule, r))
+        })
+        .collect();
+    assert_eq!(
+        suppressed,
+        vec![
+            (
+                "src/det/clock.rs",
+                19,
+                "determinism",
+                "fixture: wall clock for reporting only"
+            ),
+            (
+                "src/np/panics.rs",
+                30,
+                "no-panic",
+                "fixture: suppression downgrades, not hides"
+            ),
+        ]
+    );
+}
+
+#[test]
+fn guarded_indexing_and_test_code_are_exempt() {
+    let report = run(&fixture_root(), &fixture_config());
+    // `guarded_index` (lines 20-26) reasons about v.len(); the #[cfg(test)]
+    // module (lines 33+) is masked entirely.
+    assert!(
+        !report
+            .diags
+            .iter()
+            .any(|d| d.file == "src/np/panics.rs" && (20..=26).contains(&d.line)),
+        "guarded index flagged"
+    );
+    assert!(
+        !report
+            .diags
+            .iter()
+            .any(|d| d.file == "src/np/panics.rs" && d.line >= 33),
+        "test code flagged"
+    );
+}
+
+#[test]
+fn missing_codec_arm_names_the_variant() {
+    let report = run(&fixture_root(), &fixture_config());
+    let d = report
+        .diags
+        .iter()
+        .find(|d| d.rule == "proto-exhaustive")
+        .expect("proto-exhaustive diagnostic");
+    assert!(d.message.contains("`Gamma`"), "message: {}", d.message);
+    assert!(
+        d.message.contains("fixture codec tag match"),
+        "message: {}",
+        d.message
+    );
+    assert_eq!(
+        d.render(),
+        format!("src/codec.rs:3: proto-exhaustive: {}", d.message)
+    );
+}
+
+/// The acceptance gate: the linter's own workspace policy finds nothing
+/// unsuppressed in the real repository.
+#[test]
+fn real_workspace_is_clean() {
+    let report = run(&workspace_root(), &Config::workspace());
+    let open: Vec<String> = report
+        .diags
+        .iter()
+        .filter(|d| d.suppressed.is_none())
+        .map(|d| d.render())
+        .collect();
+    assert!(
+        open.is_empty(),
+        "workspace violations:\n{}",
+        open.join("\n")
+    );
+    assert!(
+        report.files_scanned > 50,
+        "scan saw {}",
+        report.files_scanned
+    );
+}
+
+/// Removing a `Message` variant arm from the wire codec's tag match must
+/// fail the lint: simulate the edit in memory against the real workspace.
+#[test]
+fn removing_a_wire_codec_arm_fails_lint() {
+    let root = workspace_root();
+    let cfg = Config::workspace();
+    let mut files = arm_lint::collect_files(&root, &cfg);
+
+    // Baseline sanity: the real registry sites are exhaustive.
+    let mut before = Vec::new();
+    arm_lint::rules::proto_exhaustive(&files, &cfg, &mut before);
+    assert!(before.is_empty(), "baseline not clean: {before:?}");
+
+    let frame_rel = "crates/wire/src/frame.rs";
+    let src = std::fs::read_to_string(root.join(frame_rel)).expect("frame.rs");
+    assert!(src.contains("RenegotiateQos"), "fixture premise broken");
+    let cut = src.replace("RenegotiateQos", "JoinRequest");
+    files.insert(frame_rel.into(), SourceFile::parse(frame_rel, &cut));
+
+    let mut after = Vec::new();
+    arm_lint::rules::proto_exhaustive(&files, &cfg, &mut after);
+    assert!(
+        after.iter().any(|d| d.file == frame_rel
+            && d.rule == "proto-exhaustive"
+            && d.message.contains("`RenegotiateQos`")
+            && d.suppressed.is_none()),
+        "dropped codec arm not detected: {after:?}"
+    );
+}

@@ -1,0 +1,8 @@
+//! allow-audit fixtures. Never compiled.
+
+#[allow(dead_code)] // VIOLATION allow-audit: no justification
+fn unjustified() {}
+
+// lint: fixture justification for the audit rule
+#[allow(dead_code)]
+fn justified() {}

@@ -1,0 +1,9 @@
+//! Registry site fixture: `encode_tag` deliberately omits `Message::Gamma`.
+
+pub fn encode_tag(m: &Message) -> u8 {
+    match m {
+        Message::Alpha => 1,
+        Message::Beta => 2,
+        _ => 0,
+    }
+}

@@ -1,0 +1,20 @@
+//! determinism rule fixtures. This file is never compiled.
+
+pub fn reads_wall_clock() -> u64 {
+    let t = std::time::Instant::now(); // VIOLATION determinism
+    t.elapsed().as_micros() as u64
+}
+
+pub fn sleeps() {
+    std::thread::sleep(std::time::Duration::from_millis(1)); // VIOLATION determinism
+}
+
+pub fn hash_order() {
+    let mut m = std::collections::HashMap::new(); // VIOLATION determinism
+    m.insert(1u32, 2u32);
+}
+
+pub fn suppressed_clock() {
+    // arm-lint: allow(determinism) -- fixture: wall clock for reporting only
+    let _ = std::time::SystemTime::now();
+}

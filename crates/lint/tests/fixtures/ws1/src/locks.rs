@@ -1,0 +1,34 @@
+//! lock-order rule fixtures; declared order is `links` < `book`.
+//! This file is never compiled, so the fields need not exist.
+
+pub struct S;
+
+impl S {
+    pub fn ordered(&self) {
+        let a = self.links.lock();
+        let b = self.book.lock();
+        drop(b);
+        drop(a);
+    }
+
+    pub fn inverted(&self) {
+        let b = self.book.lock();
+        let a = self.links.lock(); // VIOLATION lock-order: inversion
+        drop(a);
+        drop(b);
+    }
+
+    pub fn reentrant(&self) {
+        let a = self.links.lock();
+        let b = self.links.lock(); // VIOLATION lock-order: re-acquire
+        drop(b);
+        drop(a);
+    }
+
+    pub fn unknown_lock(&self) {
+        let a = self.links.lock();
+        let z = self.mystery.lock(); // VIOLATION lock-order: not in table
+        drop(z);
+        drop(a);
+    }
+}

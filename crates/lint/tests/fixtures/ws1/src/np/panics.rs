@@ -1,0 +1,40 @@
+//! no-panic rule fixtures: each VIOLATION line below is asserted with its
+//! exact line number by `tests/fixtures.rs`. This file is never compiled.
+
+pub fn uses_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap() // VIOLATION no-panic
+}
+
+pub fn uses_expect(x: Option<u32>) -> u32 {
+    x.expect("boom") // VIOLATION no-panic
+}
+
+pub fn uses_panic_macro() {
+    panic!("no") // VIOLATION no-panic
+}
+
+pub fn unguarded_index(v: &[u32]) -> u32 {
+    v[3] // VIOLATION no-panic
+}
+
+pub fn guarded_index(v: &[u32]) -> u32 {
+    if v.len() > 3 {
+        v[3]
+    } else {
+        0
+    }
+}
+
+pub fn suppressed_unwrap(x: Option<u32>) -> u32 {
+    // arm-lint: allow(no-panic) -- fixture: suppression downgrades, not hides
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let v = [1u32, 2];
+        assert_eq!(v[0] + Some(1).unwrap(), 2);
+    }
+}

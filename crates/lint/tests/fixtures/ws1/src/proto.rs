@@ -1,0 +1,7 @@
+//! proto-exhaustive fixtures: the audited enum. Never compiled.
+
+pub enum Message {
+    Alpha,
+    Beta,
+    Gamma,
+}

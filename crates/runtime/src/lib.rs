@@ -168,12 +168,20 @@ impl Runtime {
                 bootstrap: spawn.bootstrap,
             },
         ))
+        // arm-lint: allow(no-panic) -- rx is alive in this scope, so the send
+        // cannot observe a disconnected channel.
         .expect("own channel");
-        let handle = std::thread::Builder::new()
+        let spawned = std::thread::Builder::new()
             .name(format!("peer-{id}"))
-            .spawn(move || peer_main(registry, rx, spawn, protocol, seed))
-            .expect("spawn peer thread");
-        self.handles.push((id, handle));
+            .spawn(move || peer_main(registry, rx, spawn, protocol, seed));
+        match spawned {
+            Ok(handle) => self.handles.push((id, handle)),
+            // Thread exhaustion at startup: withdraw the peer's mailbox so
+            // the rest of the runtime sees it as never having joined.
+            Err(_) => {
+                self.registry.senders.write().remove(&id);
+            }
+        }
     }
 
     /// Submits a task at the given peer.
@@ -252,7 +260,7 @@ fn peer_main(
         // Fire everything due.
         let now = registry.now();
         while pending.peek().is_some_and(|t| t.at <= now) {
-            let entry = pending.pop().expect("peeked");
+            let Some(entry) = pending.pop() else { break };
             let actions = node.on_event(registry.now(), entry.event);
             if !apply(&registry, &mut pending, spawn.id, actions) {
                 return;

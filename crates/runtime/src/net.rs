@@ -130,18 +130,23 @@ impl NetPeer {
                 bootstrap: spawn.bootstrap,
             },
         ))
+        // arm-lint: allow(no-panic) -- rx is alive in this scope, so the send
+        // cannot observe a disconnected channel.
         .expect("own mailbox");
         let config = config.clone();
         let thread_clock = clock.clone();
+        // Thread exhaustion at startup: the closure (and with it `rx`) is
+        // dropped, every later send on `tx` fails silently, and `stop`/`Drop`
+        // have nothing to join — the peer behaves as if it never started.
         let handle = std::thread::Builder::new()
             .name(format!("netpeer-{id}"))
             .spawn(move || net_peer_main(thread_clock, rx, spawn, config, transport, telemetry))
-            .expect("spawn net peer thread");
+            .ok();
         Self {
             id,
             clock,
             tx,
-            handle: Some(handle),
+            handle,
         }
     }
 
@@ -206,7 +211,7 @@ fn net_peer_main(
     loop {
         let now = clock.now();
         while pending.peek().is_some_and(|t| t.at <= now) {
-            let entry = pending.pop().expect("peeked");
+            let Some(entry) = pending.pop() else { break };
             let actions = node.on_event(clock.now(), entry.event);
             let at = clock.now();
             handle_actions(

@@ -229,6 +229,8 @@ impl Simulation {
     /// recorder (trace ring, metrics registry). The recorder is empty
     /// unless [`enable_telemetry`](Self::enable_telemetry) was called.
     pub fn run_traced(mut self) -> (SimReport, Recorder) {
+        // arm-lint: allow(determinism) -- wall-clock is only reported as the
+        // run's elapsed_ms; nothing in the simulation reads it.
         let started = std::time::Instant::now();
         let horizon = self.cfg.horizon;
         while let Some(scheduled) = self.sim.step_until(horizon) {
@@ -404,6 +406,8 @@ impl Simulation {
 
     fn sample(&mut self, now: SimTime) {
         self.check_gossip_convergence(now);
+        #[cfg(feature = "check-invariants")]
+        self.check_invariants(now);
         if self.recorder.is_enabled() {
             self.recorder
                 .set_gauge("des_queue_depth", Labels::NONE, self.sim.pending() as f64);
@@ -459,7 +463,75 @@ impl Simulation {
         }
     }
 
+    /// Structural invariants of the live overlay, re-checked at every
+    /// sample tick when the `check-invariants` feature is on. These are
+    /// properties no reachable protocol state should violate; a panic here
+    /// means a state-machine bug, not a bad scenario.
+    #[cfg(feature = "check-invariants")]
+    fn check_invariants(&self, now: SimTime) {
+        use std::collections::BTreeMap as Map;
+        let mut rm_of_domain: Map<arm_util::DomainId, NodeId> = Map::new();
+        for id in &self.alive {
+            let node = &self.nodes[id];
+            // Loads are finite and non-negative for every alive peer.
+            let load = node.load();
+            assert!(
+                load.is_finite() && load >= 0.0,
+                "t={now}: peer {id} has invalid load {load}"
+            );
+            // Role::Rm and rm_state are set and cleared together, and an
+            // RM's own domain id agrees with its state.
+            let state = node.rm_state();
+            assert_eq!(
+                node.role() == Role::Rm,
+                state.is_some(),
+                "t={now}: peer {id} role/rm_state mismatch (role {:?})",
+                node.role()
+            );
+            let Some(state) = state else { continue };
+            assert_eq!(
+                node.domain(),
+                Some(state.domain),
+                "t={now}: RM {id} domain disagrees with its rm_state"
+            );
+            if let Some(prev) = rm_of_domain.insert(state.domain, *id) {
+                panic!(
+                    "t={now}: domain {:?} claimed by two alive RMs: {prev} and {id}",
+                    state.domain
+                );
+            }
+            // Resource-graph index consistency: the format→vertex index
+            // round-trips every interned state, and every edge references
+            // existing states under its own id.
+            let graph = &state.graph;
+            for (sid, format) in graph.states() {
+                assert_eq!(
+                    graph.state_of(format),
+                    Some(sid),
+                    "t={now}: RM {id} graph index lost state {sid:?} ({format})"
+                );
+                assert_eq!(graph.format(sid), format);
+            }
+            let num_states = graph.num_states() as u32;
+            for edge in graph.edges() {
+                assert_eq!(
+                    graph.edge(edge.id),
+                    edge,
+                    "t={now}: RM {id} graph edge id does not index its own slot"
+                );
+                assert!(
+                    edge.from.0 < num_states && edge.to.0 < num_states,
+                    "t={now}: RM {id} graph edge {:?} references a missing state",
+                    edge.id
+                );
+            }
+        }
+    }
+
     fn finalize(mut self, started: std::time::Instant) -> (SimReport, Recorder) {
+        // The horizon may fall between sample ticks; check the final state.
+        #[cfg(feature = "check-invariants")]
+        self.check_invariants(self.sim.now());
         self.report.final_peers = self.alive.len();
         self.report.final_domains = self
             .alive
@@ -573,6 +645,28 @@ mod tests {
             report.promotions > 0 || report.repairs_ok + report.repairs_failed > 0,
             "failover machinery exercised: {report:?}"
         );
+    }
+
+    /// With `--features check-invariants` every sample tick of the churn
+    /// scenario above re-runs the structural checks; this test exists so
+    /// the feature build has an explicitly-named invariant workout (the
+    /// assertions themselves live in `check_invariants` and panic on
+    /// violation).
+    #[cfg(feature = "check-invariants")]
+    #[test]
+    fn invariants_hold_under_churn() {
+        let mut cfg = small_scenario(11);
+        cfg.horizon = SimTime::from_secs(120);
+        cfg.churn = Some(ChurnParams {
+            mean_uptime_secs: 30.0,
+            mean_downtime_secs: 10.0,
+            crash_fraction: 1.0,
+            churning_fraction: 0.7,
+        });
+        let report = Simulation::new(cfg).run();
+        // The run sampled (so the checks actually fired) and survived.
+        assert!(!report.fairness_series.is_empty());
+        assert!(report.final_peers > 0);
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! offset  size  field
 //! 0       4     magic  b"ARMW"
 //! 4       1     protocol version (currently 1)
-//! 5       1     flags (reserved, must be 0 on send, ignored on receive)
+//! 5       1     message tag ([`message_tag`]; 0 = untagged, accepted for
+//!               frames from peers predating the tag)
 //! 6       2     reserved (0)
 //! 8       4     payload length N (u32)
 //! 12      4     CRC-32 (IEEE) of the payload bytes
@@ -25,6 +26,7 @@
 //!   next frame boundary.
 
 use crate::WirePayload;
+use arm_proto::Message;
 use std::fmt;
 
 /// Leading bytes of every frame.
@@ -52,6 +54,7 @@ const CRC_TABLE: [u32; 256] = {
             };
             bit += 1;
         }
+        // arm-lint: allow(no-panic) -- const-evaluated; i < 256 is the loop bound
         table[i] = crc;
         i += 1;
     }
@@ -94,6 +97,15 @@ pub enum DecodeError {
     },
     /// The checksum matched but the payload did not parse.
     Payload(String),
+    /// The header's message tag disagrees with the decoded payload —
+    /// framing metadata and content are out of sync (frame-local, like
+    /// [`DecodeError::Checksum`]).
+    TagMismatch {
+        /// Tag carried in the frame header.
+        header: u8,
+        /// Tag computed from the decoded payload.
+        payload: u8,
+    },
 }
 
 impl fmt::Display for DecodeError {
@@ -119,11 +131,56 @@ impl fmt::Display for DecodeError {
                 )
             }
             DecodeError::Payload(e) => write!(f, "undecodable payload: {e}"),
+            DecodeError::TagMismatch { header, payload } => {
+                write!(
+                    f,
+                    "header message tag {header} disagrees with payload tag {payload}"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for DecodeError {}
+
+/// The per-variant message tag carried in every frame header (offset 5).
+///
+/// The tag makes the wire format self-describing one byte in: a receiver
+/// can classify (and meter) a frame before parsing its payload, and the
+/// decoder cross-checks it against the decoded payload so a codec that
+/// serializes one variant but labels another is caught on the first
+/// frame. Tag 0 is reserved for untagged frames from older peers.
+///
+/// Every [`Message`] variant must have its own arm here — `arm-lint`'s
+/// `proto-exhaustive` rule audits this match, so a new variant that is
+/// not wired into the codec fails CI.
+pub fn message_tag(payload: &WirePayload) -> u8 {
+    match payload {
+        WirePayload::Hello(_) => 1,
+        WirePayload::Envelope(env) => match env.msg {
+            Message::JoinRequest { .. } => 2,
+            Message::JoinRedirect { .. } => 3,
+            Message::JoinAccept { .. } => 4,
+            Message::Advertise { .. } => 5,
+            Message::Leave { .. } => 6,
+            Message::Heartbeat { .. } => 7,
+            Message::HeartbeatAck { .. } => 8,
+            Message::BackupUpdate { .. } => 9,
+            Message::PromoteAnnounce { .. } => 10,
+            Message::LoadReport(_) => 11,
+            Message::GossipDigest { .. } => 12,
+            Message::TaskQuery { .. } => 13,
+            Message::TaskRedirect { .. } => 14,
+            Message::TaskReply { .. } => 15,
+            Message::Compose { .. } => 16,
+            Message::ComposeAck { .. } => 17,
+            Message::SessionEnd { .. } => 18,
+            Message::Reassign { .. } => 19,
+            Message::ComposeNack { .. } => 20,
+            Message::RenegotiateQos { .. } => 21,
+        },
+    }
+}
 
 /// Encodes one payload into a complete frame.
 ///
@@ -133,6 +190,7 @@ impl std::error::Error for DecodeError {}
 /// middleware produces comes near the cap.
 pub fn encode(payload: &WirePayload) -> Vec<u8> {
     let body = serde_json::to_string(payload)
+        // arm-lint: allow(no-panic) -- our own payload types always serialize; documented "# Panics"
         .expect("wire payloads always serialize")
         .into_bytes();
     assert!(
@@ -143,7 +201,7 @@ pub fn encode(payload: &WirePayload) -> Vec<u8> {
     let mut out = Vec::with_capacity(HEADER_LEN + body.len());
     out.extend_from_slice(&MAGIC);
     out.push(PROTOCOL_VERSION);
-    out.push(0); // flags
+    out.push(message_tag(payload));
     out.extend_from_slice(&[0, 0]); // reserved
     out.extend_from_slice(&(body.len() as u32).to_le_bytes());
     out.extend_from_slice(&crc32(&body).to_le_bytes());
@@ -175,6 +233,13 @@ impl FrameDecoder {
         self.buf.len() - self.start
     }
 
+    /// True once the stream has hit a poison-class error (bad magic,
+    /// unknown version, oversized length): every later [`Self::next_frame`]
+    /// returns the same error and the connection should be dropped.
+    pub fn is_poisoned(&self) -> bool {
+        self.poison.is_some()
+    }
+
     /// Drops consumed bytes once they dominate the buffer.
     fn compact(&mut self) {
         if self.start > 4096 && self.start * 2 >= self.buf.len() {
@@ -196,6 +261,8 @@ impl FrameDecoder {
         if let Some(e) = &self.poison {
             return Err(e.clone());
         }
+        // arm-lint: allow(no-panic) -- start <= buf.len() is a struct invariant
+        // (only ever advanced past decoded frames, reset by compact()).
         let avail = &self.buf[self.start..];
         if avail.len() < HEADER_LEN {
             self.compact();
@@ -218,6 +285,7 @@ impl FrameDecoder {
             return Ok(None);
         }
         let expected = u32::from_le_bytes([avail[12], avail[13], avail[14], avail[15]]);
+        let tag = avail[5];
         let body = &avail[HEADER_LEN..HEADER_LEN + len];
         let found = crc32(body);
         let parsed = if found != expected {
@@ -228,6 +296,19 @@ impl FrameDecoder {
                 .and_then(|text| {
                     serde_json::from_str::<WirePayload>(text)
                         .map_err(|e| DecodeError::Payload(e.to_string()))
+                })
+                .and_then(|payload| {
+                    let actual = message_tag(&payload);
+                    // Tag 0 = untagged sender; anything else must agree
+                    // with the payload.
+                    if tag != 0 && tag != actual {
+                        Err(DecodeError::TagMismatch {
+                            header: tag,
+                            payload: actual,
+                        })
+                    } else {
+                        Ok(payload)
+                    }
                 })
         };
         // The frame boundary held, so consume the frame whether or not its
@@ -333,6 +414,47 @@ mod tests {
             Err(DecodeError::Checksum { .. })
         ));
         // The stream resyncs at the next frame.
+        assert_eq!(dec.next_frame().unwrap(), Some(heartbeat_env()));
+    }
+
+    #[test]
+    fn header_carries_the_message_tag() {
+        let env = heartbeat_env();
+        let bytes = encode(&env);
+        assert_eq!(bytes[5], message_tag(&env));
+        assert_ne!(bytes[5], 0);
+        let hello = WirePayload::Hello(Hello {
+            node: NodeId::new(9),
+            listen: None,
+            peers: Vec::new(),
+        });
+        assert_eq!(encode(&hello)[5], message_tag(&hello));
+        assert_ne!(message_tag(&hello), message_tag(&env));
+    }
+
+    #[test]
+    fn tag_mismatch_is_frame_local() {
+        let mut bad = encode(&heartbeat_env());
+        bad[5] = bad[5].wrapping_add(1); // lie about the variant
+        let good = encode(&heartbeat_env());
+        let mut dec = FrameDecoder::new();
+        dec.push(&bad);
+        dec.push(&good);
+        assert!(matches!(
+            dec.next_frame(),
+            Err(DecodeError::TagMismatch { .. })
+        ));
+        assert!(!dec.is_poisoned());
+        // The stream resyncs at the next frame.
+        assert_eq!(dec.next_frame().unwrap(), Some(heartbeat_env()));
+    }
+
+    #[test]
+    fn untagged_frames_still_decode() {
+        let mut bytes = encode(&heartbeat_env());
+        bytes[5] = 0; // pre-tag sender
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
         assert_eq!(dec.next_frame().unwrap(), Some(heartbeat_env()));
     }
 

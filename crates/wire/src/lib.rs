@@ -26,7 +26,8 @@ pub mod tcp;
 pub mod transport;
 
 pub use frame::{
-    crc32, encode, DecodeError, FrameDecoder, HEADER_LEN, MAX_PAYLOAD, PROTOCOL_VERSION,
+    crc32, encode, message_tag, DecodeError, FrameDecoder, HEADER_LEN, MAX_PAYLOAD,
+    PROTOCOL_VERSION,
 };
 pub use mem::{InMemoryTransport, MemHub};
 pub use tcp::{TcpOptions, TcpTransport};

@@ -169,6 +169,10 @@ impl Transport for InMemoryTransport {
             node: self.node,
             links,
             decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            // The in-memory hub has no byte streams to poison and no
+            // kill_link fault injection.
+            poisoned_streams: 0,
+            killed_links: 0,
         }
     }
 

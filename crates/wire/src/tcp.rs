@@ -101,6 +101,8 @@ struct Inner {
     links: Mutex<HashMap<NodeId, Link>>,
     book: Mutex<HashMap<NodeId, SocketAddr>>,
     decode_errors: AtomicU64,
+    poisoned_streams: AtomicU64,
+    killed_links: AtomicU64,
     shutdown: AtomicBool,
     threads: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -131,6 +133,8 @@ impl TcpTransport {
             links: Mutex::new(HashMap::new()),
             book: Mutex::new(HashMap::new()),
             decode_errors: AtomicU64::new(0),
+            poisoned_streams: AtomicU64::new(0),
+            killed_links: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             threads: Mutex::new(Vec::new()),
         });
@@ -179,6 +183,7 @@ impl TcpTransport {
                     )))
                 }
                 Ok(n) => {
+                    // arm-lint: allow(no-panic) -- n is read()'s return, <= buf.len()
                     dec.push(&buf[..n]);
                     loop {
                         match dec.next_frame() {
@@ -189,6 +194,9 @@ impl TcpTransport {
                             }
                             Err(e) => {
                                 inner.decode_errors.fetch_add(1, Ordering::Relaxed);
+                                if dec.is_poisoned() {
+                                    inner.poisoned_streams.fetch_add(1, Ordering::Relaxed);
+                                }
                                 return Err(TransportError::Io(format!(
                                     "handshake with {addr}: {e}"
                                 )));
@@ -224,7 +232,9 @@ impl TcpTransport {
     /// tests). The link survives; the next send reconnects with backoff.
     pub fn kill_link(&self, to: NodeId) {
         if let Some(link) = self.inner.links.lock().get(&to) {
-            let _ = link.tx.try_send(WriterCmd::KillConn);
+            if link.tx.try_send(WriterCmd::KillConn).is_ok() {
+                self.inner.killed_links.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -286,6 +296,8 @@ impl Transport for TcpTransport {
             node: self.inner.node,
             links,
             decode_errors: self.inner.decode_errors.load(Ordering::Relaxed),
+            poisoned_streams: self.inner.poisoned_streams.load(Ordering::Relaxed),
+            killed_links: self.inner.killed_links.load(Ordering::Relaxed),
         }
     }
 
@@ -384,11 +396,17 @@ impl Inner {
         );
         drop(links);
         let inner = Arc::clone(self);
-        let handle = std::thread::Builder::new()
+        let spawned = std::thread::Builder::new()
             .name(format!("wire-writer-{}-{to}", self.node))
-            .spawn(move || writer_main(inner, to, rx, counters))
-            .expect("spawn writer thread");
-        self.threads.lock().push(handle);
+            .spawn(move || writer_main(inner, to, rx, counters));
+        if let Ok(handle) = spawned {
+            self.threads.lock().push(handle);
+        } else {
+            // Thread exhaustion: unregister the stillborn link. The closure
+            // (and `rx`) was dropped, so sends on this handle fail cleanly
+            // and the next send re-attempts the spawn.
+            self.links.lock().remove(&to);
+        }
         LinkHandle { tx }
     }
 
@@ -405,11 +423,14 @@ impl Inner {
         }
         let inner = Arc::clone(self);
         let name = format!("wire-reader-{}", self.node);
-        let handle = std::thread::Builder::new()
+        // On spawn failure (thread exhaustion) the closure — and the stream —
+        // is dropped, closing the socket; the remote sees a plain disconnect.
+        if let Ok(handle) = std::thread::Builder::new()
             .name(name)
             .spawn(move || reader_main(inner, stream, peer, accepted))
-            .expect("spawn reader thread");
-        self.threads.lock().push(handle);
+        {
+            self.threads.lock().push(handle);
+        }
     }
 }
 
@@ -461,6 +482,7 @@ fn reader_main(inner: Arc<Inner>, mut stream: TcpStream, peer: Option<NodeId>, a
                 if let Some(c) = &counters {
                     c.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
                 }
+                // arm-lint: allow(no-panic) -- n is read()'s return, <= buf.len()
                 dec.push(&buf[..n]);
                 loop {
                     match dec.next_frame() {
@@ -490,6 +512,9 @@ fn reader_main(inner: Arc<Inner>, mut stream: TcpStream, peer: Option<NodeId>, a
                         }
                         Err(_) => {
                             inner.decode_errors.fetch_add(1, Ordering::Relaxed);
+                            if dec.is_poisoned() {
+                                inner.poisoned_streams.fetch_add(1, Ordering::Relaxed);
+                            }
                             let _ = stream.shutdown(Shutdown::Both);
                             return;
                         }
@@ -771,8 +796,39 @@ mod tests {
             b.stats()
         );
         assert_eq!(a.stats().decode_errors, 0);
+        assert!(
+            b.stats().killed_links >= 1,
+            "kill_link not counted: {:?}",
+            b.stats()
+        );
+        assert_eq!(b.stats().poisoned_streams, 0);
         a.shutdown();
         b.shutdown();
+    }
+
+    #[test]
+    fn garbage_stream_counts_as_poisoned() {
+        let a = TcpTransport::bind(
+            NodeId::new(1),
+            "127.0.0.1:0",
+            Box::new(|_, _| {}),
+            quick_opts(),
+        )
+        .unwrap();
+        // Dial the listener raw and write bytes that cannot be a frame
+        // header: the reader's decoder poisons the stream and drops it.
+        let mut s = std::net::TcpStream::connect(a.listen_addr()).unwrap();
+        s.write_all(b"definitely not an ARMW frame header").unwrap();
+        let _ = s.flush();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while a.stats().poisoned_streams == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let stats = a.stats();
+        assert_eq!(stats.poisoned_streams, 1, "stats: {stats:?}");
+        assert!(stats.decode_errors >= 1);
+        assert_eq!(stats.killed_links, 0);
+        a.shutdown();
     }
 
     #[test]

@@ -136,6 +136,12 @@ pub struct TransportStats {
     pub links: Vec<LinkStats>,
     /// Frames that failed to decode (checksum, version, parse, framing).
     pub decode_errors: u64,
+    /// Streams torn down because the decoder hit a poison-class error
+    /// (bad magic, version mismatch, oversized frame) — resync on the same
+    /// byte stream is impossible, so the connection is dropped.
+    pub poisoned_streams: u64,
+    /// Connections forcibly closed via `kill_link` (fault injection).
+    pub killed_links: u64,
 }
 
 impl TransportStats {
@@ -186,6 +192,8 @@ impl TransportStats {
         let me = Labels::peer(self.node);
         rec.set_gauge("wire_links", me, self.links.len() as f64);
         rec.set_gauge("wire_decode_errors", me, self.decode_errors as f64);
+        rec.set_gauge("wire_poisoned_streams", me, self.poisoned_streams as f64);
+        rec.set_gauge("wire_killed_links", me, self.killed_links as f64);
         rec.set_gauge("wire_bytes_out", me, self.bytes_out() as f64);
         rec.set_gauge("wire_bytes_in", me, self.bytes_in() as f64);
     }
@@ -207,7 +215,7 @@ mod tests {
         let stats = TransportStats {
             node: NodeId::new(7),
             links: vec![a.snapshot(NodeId::new(1)), b.snapshot(NodeId::new(2))],
-            decode_errors: 0,
+            ..Default::default()
         };
         assert_eq!(stats.msgs_out(), 7);
         assert_eq!(stats.bytes_out(), 300);
@@ -221,6 +229,8 @@ mod tests {
             node: NodeId::new(7),
             links: vec![LinkCounters::default().snapshot(NodeId::new(1))],
             decode_errors: 2,
+            poisoned_streams: 1,
+            killed_links: 3,
         };
         let mut rec = Recorder::enabled(8);
         stats.record_into(&mut rec);
@@ -229,6 +239,14 @@ mod tests {
             .gauges
             .iter()
             .any(|g| g.key.starts_with("wire_decode_errors") && g.value == 2.0));
+        assert!(snap
+            .gauges
+            .iter()
+            .any(|g| g.key.starts_with("wire_poisoned_streams") && g.value == 1.0));
+        assert!(snap
+            .gauges
+            .iter()
+            .any(|g| g.key.starts_with("wire_killed_links") && g.value == 3.0));
         assert!(snap
             .gauges
             .iter()
