@@ -8,8 +8,11 @@
 
 #![warn(missing_docs)]
 
-use arm_model::{PeerView, QosSpec, ResourceGraph, StateId};
-use arm_util::SimDuration;
+use arm_model::{
+    Codec, MediaFormat, PeerInfo, PeerView, QosSpec, Resolution, ResourceGraph, ServiceCost,
+    StateId,
+};
+use arm_util::{DetRng, NodeId, ServiceId, SimDuration};
 
 /// A mid-size layered allocation problem: ~26 states, 16 peers.
 pub fn medium_problem() -> (ResourceGraph, PeerView, StateId, StateId, QosSpec) {
@@ -25,4 +28,78 @@ pub fn large_problem() -> (ResourceGraph, PeerView, StateId, StateId, QosSpec) {
         arm_experiments::e03_alloc_scaling::layered_graph(11, 7, 5, 32, 0.6);
     let qos = QosSpec::with_deadline(SimDuration::from_secs(60));
     (gr, view, init, goal, qos)
+}
+
+/// A domain-scale allocation problem for the branch-and-bound / path-cache
+/// benches: a fully-connected 6-layer conversion graph whose interior
+/// width is `branching`, with every logical conversion offered by two
+/// different peers (parallel service edges — the regime where duplicate
+/// prefixes arise and dominance collapse pays off), over a `peers`-sized
+/// domain with uneven load.
+///
+/// Deterministic in `seed`; interior width `branching` keeps the state
+/// count ≤ `4 * branching + 2`, so the u128 visited bitmap (and with it
+/// dominance pruning) is always active.
+pub fn domain_problem(
+    peers: usize,
+    branching: usize,
+    seed: u64,
+) -> (ResourceGraph, PeerView, StateId, StateId, QosSpec) {
+    const LAYERS: usize = 6;
+    const COPIES: u64 = 2;
+    let mut rng = DetRng::new(seed);
+    let mut gr = ResourceGraph::new();
+    let mut fmt_id = 0u32;
+    let mut fresh = |gr: &mut ResourceGraph| {
+        fmt_id += 1;
+        gr.intern_state(MediaFormat::new(
+            Codec::ALL[fmt_id as usize % Codec::ALL.len()],
+            Resolution::new(100 + fmt_id as u16, 100),
+            fmt_id,
+        ))
+    };
+    let mut layer_states: Vec<Vec<StateId>> = Vec::new();
+    for li in 0..LAYERS {
+        let w = if li == 0 || li == LAYERS - 1 {
+            1
+        } else {
+            branching
+        };
+        layer_states.push((0..w).map(|_| fresh(&mut gr)).collect());
+    }
+    let mut svc = 0u64;
+    for li in 0..LAYERS - 1 {
+        for &a in &layer_states[li] {
+            for &b in &layer_states[li + 1] {
+                for _ in 0..COPIES {
+                    svc += 1;
+                    gr.add_edge(
+                        a,
+                        b,
+                        NodeId::new(rng.below(peers as u64)),
+                        ServiceId::new(svc),
+                        ServiceCost {
+                            work_per_sec: rng.uniform(1.0, 6.0),
+                            setup_work: rng.uniform(0.2, 1.0),
+                            bandwidth_kbps: 64,
+                        },
+                    );
+                }
+            }
+        }
+    }
+    let mut view = PeerView::new();
+    for p in 0..peers as u64 {
+        let mut info = PeerInfo::idle(100.0, 1_000_000);
+        info.load = rng.uniform(0.0, 30.0);
+        view.upsert(NodeId::new(p), info);
+    }
+    let qos = QosSpec::with_deadline(SimDuration::from_secs(60));
+    (
+        gr,
+        view,
+        layer_states[0][0],
+        layer_states[LAYERS - 1][0],
+        qos,
+    )
 }

@@ -1,6 +1,6 @@
 //! Protocol configuration.
 
-use arm_model::alloc::{AllocParams, AllocatorKind};
+use arm_model::alloc::{AllocParams, AllocatorKind, ExplorationMode};
 use arm_proto::RmRequirements;
 use arm_sched::PolicyKind;
 use arm_util::SimDuration;
@@ -42,6 +42,11 @@ pub struct ProtocolConfig {
     // ---- allocation (§4.3) ----
     /// Path-search parameters.
     pub alloc_params: AllocParams,
+    /// Reuse topology-dependent path enumerations across allocations (the
+    /// RM's structural path cache). Entries are invalidated automatically
+    /// when the resource graph's structural epoch changes; disabling this
+    /// forces a full search per allocation (E-series ablations).
+    pub alloc_cache: bool,
     /// Allocation objective (the paper uses `MaxFairness`; baselines are
     /// swept in E4).
     pub allocator: AllocatorKind,
@@ -98,7 +103,15 @@ impl Default for ProtocolConfig {
             summary_bits: 4096,
             summary_hashes: 4,
             backup_period: SimDuration::from_secs(5),
-            alloc_params: AllocParams::default(),
+            // Branch-and-bound returns the exact same allocation as the
+            // paper's exhaustive enumeration (proven by the identity
+            // property tests) while exploring a fraction of the prefixes,
+            // so the middleware defaults to the pruned search.
+            alloc_params: AllocParams {
+                mode: ExplorationMode::BranchAndBound,
+                ..AllocParams::default()
+            },
+            alloc_cache: true,
             allocator: AllocatorKind::MaxFairness,
             compose_timeout: SimDuration::from_secs(3),
             overload_threshold: 0.85,

@@ -27,10 +27,12 @@
 
 pub mod config;
 pub mod events;
+pub mod pathcache;
 pub mod peer;
 pub mod rm;
 
 pub use config::ProtocolConfig;
 pub use events::{Action, Event, TimerKind};
+pub use pathcache::{AllocMetrics, CacheLookup, PathCache};
 pub use peer::{PeerNode, Role};
 pub use rm::RmState;

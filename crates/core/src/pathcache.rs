@@ -1,0 +1,316 @@
+//! Epoch-stamped structural path cache — the RM's allocation fast path.
+//!
+//! The expensive part of Fig. 3 allocation is enumerating the simple-path
+//! space of the resource graph; which paths *exist* depends only on the
+//! graph topology, while which are *feasible* (and how they score) depends
+//! on the per-peer load snapshot. The cache therefore stores one
+//! [`StructuralPaths`] set per `(init, goals, max_hops)` request shape,
+//! stamped with the graph's structural [`ResourceGraph::epoch`], and the
+//! allocator replays it against current loads via
+//! [`FairnessAllocator::allocate_from_paths`] — a linear re-score that is
+//! bit-identical to the live search (see the `cached_paths_identical_to_live`
+//! property test in `arm-model`).
+//!
+//! Invalidation rules:
+//!
+//! * any structural graph change (new state, new edge, peer removal) bumps
+//!   the epoch; a stale entry is re-enumerated on next use;
+//! * load changes (session open/close, load reports) do **not** bump the
+//!   epoch and do **not** invalidate — that is the whole point;
+//! * truncated enumerations are never cached (a truncated candidate set's
+//!   order could diverge from the live search's as loads change pruning).
+//!
+//! [`FairnessAllocator::allocate_from_paths`]:
+//!     arm_model::FairnessAllocator::allocate_from_paths
+//! [`ResourceGraph::epoch`]: arm_model::ResourceGraph::epoch
+
+use arm_model::alloc::{enumerate_structural_paths, StructuralPaths};
+use arm_model::{ResourceGraph, StateId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Default maximum number of cached request shapes per RM.
+pub const DEFAULT_CACHE_CAP: usize = 32;
+
+/// Request shape: initial state, sorted goal set, hop cap (`usize::MAX`
+/// when unbounded).
+type CacheKey = (StateId, Vec<StateId>, usize);
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    paths: StructuralPaths,
+    /// Tick of the most recent use (for least-recently-used eviction).
+    last_used: u64,
+}
+
+/// Outcome of a cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheLookup {
+    /// Entry present and its epoch matches the graph's.
+    Hit,
+    /// Entry absent or stale; it was (re-)enumerated and stored.
+    Miss,
+    /// The enumeration hit the prefix cap; nothing was cached and the
+    /// caller must fall back to the live search.
+    Unusable,
+}
+
+/// Per-RM cumulative allocator efficiency counters, surfaced through
+/// telemetry as `alloc_*` metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllocMetrics {
+    /// Prefixes dequeued across all allocation runs.
+    pub explored_prefixes: u64,
+    /// Prefixes discarded by the branch-and-bound admissible bound.
+    pub pruned_bound: u64,
+    /// Prefixes collapsed by dominance.
+    pub pruned_dominated: u64,
+    /// Allocations served by replaying a cached structural path set.
+    pub cache_hits: u64,
+    /// Allocations that had to (re-)enumerate the path structure.
+    pub cache_misses: u64,
+}
+
+impl AllocMetrics {
+    /// Accumulates another counter set into this one.
+    pub fn merge(&mut self, other: &AllocMetrics) {
+        self.explored_prefixes += other.explored_prefixes;
+        self.pruned_bound += other.pruned_bound;
+        self.pruned_dominated += other.pruned_dominated;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+    }
+}
+
+/// The cache proper. Deterministic: lookup order, eviction and contents
+/// depend only on the request/mutation sequence.
+#[derive(Debug, Clone)]
+pub struct PathCache {
+    entries: BTreeMap<CacheKey, CacheEntry>,
+    cap: usize,
+    tick: u64,
+}
+
+impl Default for PathCache {
+    fn default() -> Self {
+        Self::new(DEFAULT_CACHE_CAP)
+    }
+}
+
+impl PathCache {
+    /// Creates a cache bounded to `cap` request shapes (min 1).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            entries: BTreeMap::new(),
+            cap: cap.max(1),
+            tick: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops every entry (used on RM failover, where the graph is rebuilt
+    /// from a snapshot and epochs restart).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Looks up (or builds) the structural path set for a request shape.
+    ///
+    /// Returns the lookup outcome plus the path set to replay; the set is
+    /// `None` exactly when the outcome is [`CacheLookup::Unusable`] (the
+    /// enumeration truncated at `max_prefixes`, or the states are unknown
+    /// to the graph) — the caller then runs the live search instead.
+    pub fn lookup(
+        &mut self,
+        gr: &ResourceGraph,
+        init: StateId,
+        goals: &[StateId],
+        max_hops: Option<usize>,
+        max_prefixes: usize,
+    ) -> (CacheLookup, Option<&StructuralPaths>) {
+        self.tick += 1;
+        let tick = self.tick;
+        let mut sorted_goals: Vec<StateId> = goals.to_vec();
+        sorted_goals.sort();
+        sorted_goals.dedup();
+        let key: CacheKey = (init, sorted_goals, max_hops.unwrap_or(usize::MAX));
+
+        let fresh = match self.entries.get_mut(&key) {
+            Some(entry) if entry.paths.epoch == gr.epoch() => {
+                entry.last_used = tick;
+                // Borrow gymnastics: re-fetch immutably below.
+                true
+            }
+            _ => false,
+        };
+        if fresh {
+            let paths = self.entries.get(&key).map(|e| &e.paths);
+            return (CacheLookup::Hit, paths);
+        }
+
+        // Absent or stale: enumerate against the current topology.
+        let sp = match enumerate_structural_paths(gr, init, &key.1, max_hops, max_prefixes) {
+            Ok(sp) if !sp.truncated => sp,
+            _ => {
+                // Unknown states or truncated: drop any stale entry and
+                // make the caller fall back to the live search.
+                self.entries.remove(&key);
+                return (CacheLookup::Unusable, None);
+            }
+        };
+        if self.entries.len() >= self.cap && !self.entries.contains_key(&key) {
+            self.evict_one();
+        }
+        self.entries.insert(
+            key.clone(),
+            CacheEntry {
+                paths: sp,
+                last_used: tick,
+            },
+        );
+        let paths = self.entries.get(&key).map(|e| &e.paths);
+        (CacheLookup::Miss, paths)
+    }
+
+    /// Evicts the least-recently-used entry (ties broken by smallest key —
+    /// both orders are deterministic).
+    fn evict_one(&mut self) {
+        let victim = self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| k.clone());
+        if let Some(k) = victim {
+            self.entries.remove(&k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arm_model::{Codec, MediaFormat, Resolution, ServiceCost};
+    use arm_util::{NodeId, ServiceId};
+
+    fn chain_graph(n: usize) -> (ResourceGraph, Vec<StateId>) {
+        let mut gr = ResourceGraph::new();
+        let states: Vec<StateId> = (0..n as u32)
+            .map(|i| {
+                gr.intern_state(MediaFormat::new(
+                    Codec::ALL[i as usize % Codec::ALL.len()],
+                    Resolution::new(100 + i as u16, 100),
+                    i,
+                ))
+            })
+            .collect();
+        for w in states.windows(2) {
+            gr.add_edge(
+                w[0],
+                w[1],
+                NodeId::new(1),
+                ServiceId::new(w[0].0 as u64 + 1),
+                ServiceCost {
+                    work_per_sec: 1.0,
+                    setup_work: 0.5,
+                    bandwidth_kbps: 64,
+                },
+            );
+        }
+        (gr, states)
+    }
+
+    #[test]
+    fn hit_after_miss_and_epoch_invalidation() {
+        let (mut gr, states) = chain_graph(4);
+        let (init, goal) = (states[0], states[3]);
+        let mut cache = PathCache::default();
+
+        let (out, sp) = cache.lookup(&gr, init, &[goal], None, 10_000);
+        assert_eq!(out, CacheLookup::Miss);
+        assert_eq!(sp.map(|s| s.num_paths()), Some(1));
+
+        let (out, _) = cache.lookup(&gr, init, &[goal], None, 10_000);
+        assert_eq!(out, CacheLookup::Hit);
+
+        // Structural change → epoch bump → next lookup is a miss and the
+        // re-enumeration sees the new edge.
+        gr.add_edge(
+            init,
+            goal,
+            NodeId::new(2),
+            ServiceId::new(99),
+            ServiceCost {
+                work_per_sec: 1.0,
+                setup_work: 0.5,
+                bandwidth_kbps: 64,
+            },
+        );
+        let (out, sp) = cache.lookup(&gr, init, &[goal], None, 10_000);
+        assert_eq!(out, CacheLookup::Miss);
+        assert_eq!(sp.map(|s| s.num_paths()), Some(2));
+    }
+
+    #[test]
+    fn truncated_enumerations_are_not_cached() {
+        let (gr, states) = chain_graph(6);
+        let mut cache = PathCache::default();
+        let (out, sp) = cache.lookup(&gr, states[0], &[states[5]], None, 2);
+        assert_eq!(out, CacheLookup::Unusable);
+        assert!(sp.is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn lru_eviction_is_bounded_and_deterministic() {
+        let (gr, states) = chain_graph(6);
+        let mut cache = PathCache::new(2);
+        // Three distinct shapes through a 2-entry cache.
+        cache.lookup(&gr, states[0], &[states[5]], None, 10_000);
+        cache.lookup(&gr, states[1], &[states[5]], None, 10_000);
+        cache.lookup(&gr, states[2], &[states[5]], None, 10_000);
+        assert_eq!(cache.len(), 2);
+        // The first (least recently used) shape was evicted.
+        let (out, _) = cache.lookup(&gr, states[1], &[states[5]], None, 10_000);
+        assert_eq!(out, CacheLookup::Hit);
+        let (out, _) = cache.lookup(&gr, states[0], &[states[5]], None, 10_000);
+        assert_eq!(out, CacheLookup::Miss);
+    }
+
+    #[test]
+    fn goal_order_does_not_matter() {
+        let (gr, states) = chain_graph(4);
+        let mut cache = PathCache::default();
+        cache.lookup(&gr, states[0], &[states[3], states[2]], None, 10_000);
+        let (out, _) = cache.lookup(&gr, states[0], &[states[2], states[3]], None, 10_000);
+        assert_eq!(out, CacheLookup::Hit);
+    }
+
+    #[test]
+    fn metrics_merge() {
+        let mut m = AllocMetrics {
+            explored_prefixes: 1,
+            pruned_bound: 2,
+            pruned_dominated: 3,
+            cache_hits: 4,
+            cache_misses: 5,
+        };
+        m.merge(&AllocMetrics {
+            explored_prefixes: 10,
+            pruned_bound: 10,
+            pruned_dominated: 10,
+            cache_hits: 10,
+            cache_misses: 10,
+        });
+        assert_eq!(m.explored_prefixes, 11);
+        assert_eq!(m.cache_misses, 15);
+    }
+}

@@ -6,7 +6,8 @@
 //! piece independently testable.
 
 use crate::config::ProtocolConfig;
-use arm_model::alloc::{AllocError, Allocation, FairnessAllocator};
+use crate::pathcache::{AllocMetrics, CacheLookup, PathCache};
+use arm_model::alloc::{AllocError, Allocation, ExplorationMode, FairnessAllocator};
 use arm_model::{
     MediaObject, PeerInfo, PeerView, ResourceGraph, ServiceGraph, ServiceSpec, TaskSpec,
 };
@@ -93,6 +94,12 @@ pub struct RmState {
     /// Monotone version of this domain's inventory (bumped on join/leave/
     /// advertise; stamps summaries and snapshots).
     pub version: u64,
+    /// Structural path cache: topology-dependent feasible-path sets reused
+    /// across allocations, invalidated by resource-graph epoch bumps.
+    pub path_cache: PathCache,
+    /// Cumulative allocator efficiency counters (explored/pruned prefixes,
+    /// cache hits/misses), exported through telemetry.
+    pub alloc_metrics: AllocMetrics,
     next_session: u64,
 }
 
@@ -129,6 +136,8 @@ impl RmState {
             known_rms: BTreeMap::new(),
             summaries: BTreeMap::new(),
             version: 1,
+            path_cache: PathCache::default(),
+            alloc_metrics: AllocMetrics::default(),
             next_session: 1,
         }
     }
@@ -198,6 +207,10 @@ impl RmState {
             known_rms: BTreeMap::new(),
             summaries: BTreeMap::new(),
             version: snap.version + 1,
+            // The snapshot's graph restarts its epoch sequence, so cached
+            // path sets from before the failover must not carry over.
+            path_cache: PathCache::default(),
+            alloc_metrics: AllocMetrics::default(),
             next_session: 1,
         };
         state.members.remove(&snap.rm); // the dead RM
@@ -356,8 +369,12 @@ impl RmState {
     /// Runs the Fig. 3 allocation for `task` against the current view
     /// using the configured objective. Returns the allocation plus the
     /// source peer holding the object.
+    ///
+    /// Takes `&mut self` to maintain the structural path cache and the
+    /// cumulative [`AllocMetrics`]; the view, graph and session table are
+    /// never modified.
     pub fn allocate_task(
-        &self,
+        &mut self,
         task: &TaskSpec,
         cfg: &ProtocolConfig,
         rng: &mut DetRng,
@@ -369,7 +386,7 @@ impl RmState {
     /// adaptation loop always migrates toward fairness regardless of the
     /// admission-time allocator.
     pub fn allocate_task_with(
-        &self,
+        &mut self,
         task: &TaskSpec,
         cfg: &ProtocolConfig,
         kind: arm_model::alloc::AllocatorKind,
@@ -398,8 +415,43 @@ impl RmState {
             params: cfg.alloc_params.clone(),
             kind,
         };
-        let alloc =
-            allocator.allocate(&self.graph, &self.view, init, &goals, &task.qos, Some(rng))?;
+        // The cached replay is answer-identical (bit for bit) only for the
+        // exhaustive candidate set, which AllSimplePaths produces directly
+        // and BranchAndBound provably selects from; order-sensitive
+        // truncating modes always run live.
+        let cacheable = cfg.alloc_cache
+            && matches!(
+                cfg.alloc_params.mode,
+                ExplorationMode::AllSimplePaths | ExplorationMode::BranchAndBound
+            );
+        let alloc = if cacheable {
+            let (lookup, sp) = self.path_cache.lookup(
+                &self.graph,
+                init,
+                &goals,
+                task.qos.max_hops,
+                cfg.alloc_params.max_explored,
+            );
+            match lookup {
+                CacheLookup::Hit => self.alloc_metrics.cache_hits += 1,
+                CacheLookup::Miss => self.alloc_metrics.cache_misses += 1,
+                CacheLookup::Unusable => {}
+            }
+            match sp {
+                Some(sp) => {
+                    allocator.allocate_from_paths(&self.graph, &self.view, sp, &task.qos, Some(rng))
+                }
+                None => {
+                    allocator.allocate(&self.graph, &self.view, init, &goals, &task.qos, Some(rng))
+                }
+            }
+        } else {
+            allocator.allocate(&self.graph, &self.view, init, &goals, &task.qos, Some(rng))
+        };
+        let alloc = alloc?;
+        self.alloc_metrics.explored_prefixes += alloc.stats.explored_prefixes;
+        self.alloc_metrics.pruned_bound += alloc.stats.pruned_bound;
+        self.alloc_metrics.pruned_dominated += alloc.stats.pruned_dominated;
         Ok((alloc, source))
     }
 
@@ -608,11 +660,11 @@ mod tests {
         )
     }
 
-    fn transcoder(id: u64, input: MediaFormat, output: MediaFormat) -> ServiceSpec {
+    pub(super) fn transcoder(id: u64, input: MediaFormat, output: MediaFormat) -> ServiceSpec {
         ServiceSpec::transcoder(ServiceId::new(id), input, output, 5.0)
     }
 
-    fn basic_task(id: u64, name: &str) -> TaskSpec {
+    pub(super) fn basic_task(id: u64, name: &str) -> TaskSpec {
         TaskSpec {
             id: TaskId::new(id),
             name: name.into(),
@@ -627,7 +679,7 @@ mod tests {
 
     /// Builds an RM with 3 members, an object on peer 1 and a transcoder
     /// chain 1→2 able to serve `basic_task`.
-    fn populated_rm() -> RmState {
+    pub(super) fn populated_rm() -> RmState {
         let mut s = rm();
         s.admit_member(candidacy(1, 100.0, 10_000, 1000.0), SimTime::ZERO);
         s.admit_member(candidacy(2, 80.0, 8_000, 500.0), SimTime::ZERO);
@@ -776,7 +828,7 @@ mod tests {
 
     #[test]
     fn unknown_object_fails_allocation() {
-        let s = populated_rm();
+        let mut s = populated_rm();
         let cfg = ProtocolConfig::default();
         let task = basic_task(3, "nope");
         let mut rng = DetRng::new(1);
@@ -1029,5 +1081,151 @@ mod tests {
         s.view.get_mut(NodeId::new(1)).unwrap().load = 90.0;
         let (holder, _) = s.find_object("trailer").unwrap();
         assert_eq!(holder, NodeId::new(2));
+    }
+}
+
+#[cfg(test)]
+mod cache_tests {
+    use super::tests::{basic_task, populated_rm, transcoder};
+    use super::*;
+    use crate::pathcache::CacheLookup;
+    use arm_model::{Codec, MediaFormat, Resolution};
+
+    fn assert_same_alloc(a: &(Allocation, NodeId), b: &(Allocation, NodeId)) {
+        assert_eq!(a.0.path, b.0.path);
+        assert_eq!(a.0.fairness.to_bits(), b.0.fairness.to_bits());
+        assert_eq!(a.0.est_response, b.0.est_response);
+        assert_eq!(a.0.load_deltas.len(), b.0.load_deltas.len());
+        for (x, y) in a.0.load_deltas.iter().zip(&b.0.load_deltas) {
+            assert_eq!(x.0, y.0);
+            assert_eq!(x.1.to_bits(), y.1.to_bits());
+        }
+        assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn repeated_allocations_hit_the_cache() {
+        let mut s = populated_rm();
+        let cfg = ProtocolConfig::default();
+        let task = basic_task(1, "trailer");
+        let mut rng = DetRng::new(1);
+        s.allocate_task(&task, &cfg, &mut rng).unwrap();
+        assert_eq!(s.alloc_metrics.cache_misses, 1);
+        s.allocate_task(&task, &cfg, &mut rng).unwrap();
+        s.allocate_task(&task, &cfg, &mut rng).unwrap();
+        assert_eq!(s.alloc_metrics.cache_hits, 2);
+        assert_eq!(s.alloc_metrics.cache_misses, 1);
+        assert!(s.alloc_metrics.explored_prefixes > 0);
+    }
+
+    #[test]
+    fn cached_allocation_matches_uncached_across_interleaved_mutations() {
+        // Two identical RMs, one with the cache disabled. Interleave
+        // topology mutations (new services → epoch bumps) and load churn;
+        // every allocation must stay bit-identical.
+        let mut cached = populated_rm();
+        let mut live = populated_rm();
+        let cfg = ProtocolConfig::default();
+        let cfg_nocache = ProtocolConfig {
+            alloc_cache: false,
+            ..ProtocolConfig::default()
+        };
+        let task = basic_task(1, "trailer");
+
+        for round in 0u64..6 {
+            let mut r1 = DetRng::new(100 + round);
+            let mut r2 = DetRng::new(100 + round);
+            let a = cached.allocate_task(&task, &cfg, &mut r1).unwrap();
+            let b = live.allocate_task(&task, &cfg_nocache, &mut r2).unwrap();
+            assert_same_alloc(&a, &b);
+
+            match round % 3 {
+                0 => {
+                    // Structural mutation: a parallel transcoder instance
+                    // on another peer (epoch bump → cache invalidation).
+                    let spec = transcoder(
+                        100 + round,
+                        MediaFormat::paper_source(),
+                        MediaFormat::new(Codec::Mpeg2, Resolution::VGA, 256),
+                    );
+                    cached.register_inventory(NodeId::new(2), &[], std::slice::from_ref(&spec));
+                    live.register_inventory(NodeId::new(2), &[], &[spec]);
+                }
+                1 => {
+                    // Load-only mutation: must NOT invalidate the cache.
+                    let before = cached.alloc_metrics.cache_misses;
+                    cached.view.add_load(NodeId::new(1), 7.5);
+                    live.view.add_load(NodeId::new(1), 7.5);
+                    let mut r3 = DetRng::new(999);
+                    cached.allocate_task(&task, &cfg, &mut r3).unwrap();
+                    assert_eq!(
+                        cached.alloc_metrics.cache_misses, before,
+                        "load change must not re-enumerate"
+                    );
+                    let mut r4 = DetRng::new(999);
+                    live.allocate_task(&task, &cfg_nocache, &mut r4).unwrap();
+                }
+                _ => {
+                    cached.view.add_load(NodeId::new(2), -3.0);
+                    live.view.add_load(NodeId::new(2), -3.0);
+                }
+            }
+        }
+        assert!(cached.alloc_metrics.cache_hits >= 1);
+        assert!(
+            cached.alloc_metrics.cache_misses >= 2,
+            "epoch bumps re-enumerate"
+        );
+    }
+
+    #[test]
+    fn cache_disabled_config_never_populates_cache() {
+        let mut s = populated_rm();
+        let cfg = ProtocolConfig {
+            alloc_cache: false,
+            ..ProtocolConfig::default()
+        };
+        let task = basic_task(1, "trailer");
+        let mut rng = DetRng::new(1);
+        s.allocate_task(&task, &cfg, &mut rng).unwrap();
+        assert!(s.path_cache.is_empty());
+        assert_eq!(s.alloc_metrics.cache_hits + s.alloc_metrics.cache_misses, 0);
+    }
+
+    #[test]
+    fn bnb_mode_through_rm_matches_exhaustive() {
+        let mut a = populated_rm();
+        let mut b = populated_rm();
+        // The default config is already BranchAndBound; pin the exhaustive
+        // reference explicitly. Cache off isolates the live searches.
+        let mut cfg_full = ProtocolConfig {
+            alloc_cache: false,
+            ..ProtocolConfig::default()
+        };
+        cfg_full.alloc_params.mode = arm_model::ExplorationMode::AllSimplePaths;
+        let mut cfg_bnb = cfg_full.clone();
+        cfg_bnb.alloc_params.mode = arm_model::ExplorationMode::BranchAndBound;
+        let task = basic_task(1, "trailer");
+        let ra = a
+            .allocate_task(&task, &cfg_full, &mut DetRng::new(1))
+            .unwrap();
+        let rb = b
+            .allocate_task(&task, &cfg_bnb, &mut DetRng::new(1))
+            .unwrap();
+        assert_same_alloc(&ra, &rb);
+        assert!(b.alloc_metrics.explored_prefixes <= a.alloc_metrics.explored_prefixes);
+    }
+
+    #[test]
+    fn lookup_outcomes_are_exposed() {
+        // Direct PathCache sanity through the RM's graph.
+        let mut s = populated_rm();
+        let init = s.graph.state_of(MediaFormat::paper_source()).unwrap();
+        let goal = s.graph.state_of(MediaFormat::paper_target()).unwrap();
+        let (out, sp) = s.path_cache.lookup(&s.graph, init, &[goal], None, 10_000);
+        assert_eq!(out, CacheLookup::Miss);
+        assert!(sp.is_some());
+        let (out, _) = s.path_cache.lookup(&s.graph, init, &[goal], None, 10_000);
+        assert_eq!(out, CacheLookup::Hit);
     }
 }

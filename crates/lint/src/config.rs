@@ -55,6 +55,7 @@ impl Config {
                 "crates/wire/src/".into(),
                 "crates/runtime/src/".into(),
                 "crates/sched/src/".into(),
+                "crates/model/src/".into(),
             ],
             determinism_paths: vec![
                 "crates/des/src/".into(),

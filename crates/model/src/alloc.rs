@@ -37,12 +37,12 @@
 //!    latency — fits within `q.deadline` ("it calculates which paths
 //!    satisfy the deadline by utilizing the current load information").
 
-use crate::peerview::PeerView;
+use crate::peerview::{PeerInfo, PeerView};
 use crate::qos::QosSpec;
 use crate::resource_graph::{EdgeId, ResourceGraph, StateId};
-use arm_util::{DetRng, FairnessTracker, NodeId, SimDuration};
+use arm_util::{fairness_upper_bound, DetRng, FairnessTracker, NodeId, SimDuration};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// How the path space is explored.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -63,6 +63,19 @@ pub enum ExplorationMode {
     /// space as [`ExplorationMode::AllSimplePaths`]; only the order (and
     /// hence what a truncated search sees) differs.
     BestFirst,
+    /// Branch-and-bound: the frontier is ordered by an *admissible*
+    /// fairness upper bound (the best Jain index any completion of the
+    /// prefix could reach, via [`arm_util::fairness_upper_bound`]), and
+    /// prefixes whose bound cannot beat the incumbent candidate — or from
+    /// which no goal is reachable within the remaining hop budget — are
+    /// pruned. Duplicate prefixes with identical load effect at the same
+    /// `(vertex, visited-set)` are collapsed (dominance). Answer-identical
+    /// to [`ExplorationMode::AllSimplePaths`] for
+    /// [`AllocatorKind::MaxFairness`] (same chosen path, fairness and
+    /// estimate, bit for bit — see the property tests); other objectives
+    /// need the full candidate set and silently fall back to exhaustive
+    /// enumeration.
+    BranchAndBound,
 }
 
 /// Which objective picks among feasible paths.
@@ -107,6 +120,31 @@ impl Default for AllocParams {
     }
 }
 
+/// Search-efficiency counters for one allocation run. Cheap to produce in
+/// all modes; the pruning counters are only non-zero under
+/// [`ExplorationMode::BranchAndBound`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllocStats {
+    /// Prefixes dequeued and expanded (or scored) by the search.
+    pub explored_prefixes: u64,
+    /// Prefixes discarded because their admissible fairness upper bound
+    /// could not beat the incumbent candidate, including prefixes from
+    /// which no goal is reachable within the remaining hop budget.
+    pub pruned_bound: u64,
+    /// Prefixes collapsed as duplicates of an equivalent-or-better
+    /// already-enqueued prefix (same vertex, visited set and load effect).
+    pub pruned_dominated: u64,
+}
+
+impl AllocStats {
+    /// Accumulates another run's counters into this one.
+    pub fn merge(&mut self, other: &AllocStats) {
+        self.explored_prefixes += other.explored_prefixes;
+        self.pruned_bound += other.pruned_bound;
+        self.pruned_dominated += other.pruned_dominated;
+    }
+}
+
 /// A successful allocation: the chosen path and its predicted effects.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Allocation {
@@ -124,6 +162,8 @@ pub struct Allocation {
     pub explored: usize,
     /// True if the exploration cap was hit (the argmax may be approximate).
     pub truncated: bool,
+    /// Search-efficiency counters (explored/pruned prefix counts).
+    pub stats: AllocStats,
 }
 
 /// Why allocation failed.
@@ -168,17 +208,515 @@ pub struct FairnessAllocator {
     pub kind: AllocatorKind,
 }
 
-/// Per-path accumulator carried through the BFS queue.
-#[derive(Debug, Clone)]
-struct PathState {
+/// Sentinel index: "no parent" / "peer not in the domain view".
+const NONE_IDX: u32 = u32::MAX;
+
+/// Branch-and-bound pruning margin, in fairness units. The upper bound is
+/// admissible over the reals; this margin absorbs floating-point slop in
+/// both the bound and the candidate scores, so pruning can never discard a
+/// candidate that exact selection would have chosen (DESIGN.md §10).
+const PRUNE_MARGIN: f64 = 1e-9;
+
+/// Cap on remembered prefixes per `(vertex, visited)` dominance key.
+const DOM_CAP: usize = 8;
+
+/// One node of the search's parent-pointer prefix tree. A prefix is the
+/// edge chain from a node back to the root; each node stores the
+/// accumulated (work, bandwidth) for *its own hop's peer*, so extending a
+/// prefix is O(1) — nothing is cloned per enqueued child (the previous
+/// implementation cloned three `Vec`s per child).
+#[derive(Debug, Clone, Copy)]
+struct PathNode {
+    /// Arena index of the parent prefix; `NONE_IDX` on the root.
+    parent: u32,
+    /// The edge taken into this node (meaningless on the root).
+    edge: EdgeId,
+    /// Vertex this prefix ends at.
     vertex: StateId,
-    edges: Vec<EdgeId>,
-    /// (peer, accumulated work/s) pairs — tiny vectors, linear scans.
-    work: Vec<(NodeId, f64)>,
-    /// (peer, accumulated bandwidth kbps).
-    bw: Vec<(NodeId, u32)>,
+    /// Peer index (into the domain's sorted id list) of the edge's host;
+    /// `NONE_IDX` on the root.
+    peer_idx: u32,
+    /// This path's accumulated work on that peer, including `edge`.
+    work: f64,
+    /// This path's accumulated bandwidth on that peer, kbps.
+    bw: u32,
+    /// Hop count.
+    len: u32,
     /// Estimated response time so far, in seconds.
     est_secs: f64,
+    /// Bitmap of visited vertices when the graph has ≤ 128 states
+    /// (otherwise 0, and cycle checks walk the chain instead).
+    visited: u128,
+}
+
+/// True when `v` already lies on the prefix ending at `node`.
+fn on_path(arena: &[PathNode], mut node: u32, v: StateId) -> bool {
+    while node != NONE_IDX {
+        let Some(n) = arena.get(node as usize) else {
+            return false;
+        };
+        if n.vertex == v {
+            return true;
+        }
+        node = n.parent;
+    }
+    false
+}
+
+/// The prefix's accumulated (work, bandwidth) on `peer_idx`: the deepest
+/// chain node for that peer already holds the path total.
+fn accum_for_peer(arena: &[PathNode], mut node: u32, peer_idx: u32) -> (f64, u32) {
+    while node != NONE_IDX {
+        let Some(n) = arena.get(node as usize) else {
+            break;
+        };
+        if n.parent == NONE_IDX {
+            break; // root carries no hop
+        }
+        if n.peer_idx == peer_idx {
+            return (n.work, n.bw);
+        }
+        node = n.parent;
+    }
+    (0.0, 0)
+}
+
+/// Materialises per-peer `(peer index, accumulated work, accumulated bw)`
+/// triples in first-encounter order from the path start. This reproduces
+/// exactly the order and arithmetic of accumulating hop by hop, so
+/// fairness evaluations over the result are bit-identical to the old
+/// per-child vector representation.
+fn collect_profile(
+    arena: &[PathNode],
+    node: u32,
+    chain: &mut Vec<u32>,
+    out: &mut Vec<(usize, f64, u32)>,
+) {
+    chain.clear();
+    out.clear();
+    let mut cur = node;
+    while cur != NONE_IDX {
+        let Some(n) = arena.get(cur as usize) else {
+            break;
+        };
+        if n.parent != NONE_IDX {
+            chain.push(cur);
+        }
+        cur = n.parent;
+    }
+    for &ni in chain.iter().rev() {
+        let Some(n) = arena.get(ni as usize) else {
+            continue;
+        };
+        let pi = n.peer_idx as usize;
+        if let Some(slot) = out.iter_mut().find(|(i, _, _)| *i == pi) {
+            // A deeper node for the same peer carries the newer total.
+            slot.1 = n.work;
+            slot.2 = n.bw;
+        } else {
+            out.push((pi, n.work, n.bw));
+        }
+    }
+}
+
+/// Materialises the edge sequence of the prefix ending at `node`.
+fn collect_path(arena: &[PathNode], node: u32, chain: &mut Vec<u32>) -> Vec<EdgeId> {
+    chain.clear();
+    let mut cur = node;
+    while cur != NONE_IDX {
+        let Some(n) = arena.get(cur as usize) else {
+            break;
+        };
+        if n.parent != NONE_IDX {
+            chain.push(cur);
+        }
+        cur = n.parent;
+    }
+    chain
+        .iter()
+        .rev()
+        .filter_map(|&i| arena.get(i as usize).map(|n| n.edge))
+        .collect()
+}
+
+/// Extends a materialised profile by one hop (same arithmetic as
+/// [`accum_for_peer`] + the per-edge accumulation in the search loop).
+fn apply_hop(profile: &mut Vec<(usize, f64, u32)>, pi: usize, work: f64, bw: u32) {
+    if let Some(slot) = profile.iter_mut().find(|(i, _, _)| *i == pi) {
+        slot.1 = work;
+        slot.2 = bw;
+    } else {
+        profile.push((pi, work, bw));
+    }
+}
+
+/// `path(a) ≤ path(parent(b) + edge(b))` lexicographically — the
+/// tiebreak order used by candidate selection.
+fn path_lex_le(
+    arena: &[PathNode],
+    a: u32,
+    b_parent: u32,
+    b_edge: EdgeId,
+    chain: &mut Vec<u32>,
+) -> bool {
+    let pa = collect_path(arena, a, chain);
+    let mut pb = collect_path(arena, b_parent, chain);
+    pb.push(b_edge);
+    pa <= pb
+}
+
+/// Dominance test: may the prospective child be dropped because an
+/// already-enqueued prefix at the same `(vertex, visited-set)` key has a
+/// *bit-identical* per-peer work profile, pointwise-≤ bandwidth use, ≤
+/// estimate, and a tiebreak-preferred edge sequence? Any completion of the
+/// child is then also a completion of the stored prefix with the same
+/// fairness, no worse feasibility, and a selection-preferred path — so
+/// dropping the child can never change the chosen allocation.
+fn is_dominated(
+    arena: &[PathNode],
+    entries: &[u32],
+    child: &PathNode,
+    child_profile: &[(usize, f64, u32)],
+    chain: &mut Vec<u32>,
+    profile2: &mut Vec<(usize, f64, u32)>,
+) -> bool {
+    'entries: for &si in entries {
+        let Some(s) = arena.get(si as usize) else {
+            continue;
+        };
+        if s.est_secs > child.est_secs {
+            continue;
+        }
+        collect_profile(arena, si, chain, profile2);
+        if profile2.len() != child_profile.len() {
+            continue;
+        }
+        for &(i, w, b) in profile2.iter() {
+            let Some(&(_, cw, cb)) = child_profile.iter().find(|&&(ci, _, _)| ci == i) else {
+                continue 'entries;
+            };
+            if w.to_bits() != cw.to_bits() || b > cb {
+                continue 'entries;
+            }
+        }
+        if path_lex_le(arena, si, child.parent, child.edge, chain) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Precomputed branch-and-bound state: per-(hops, vertex) remaining-work
+/// budgets and the sorted base loads feeding the water-filling bound.
+struct BnbCtx {
+    /// `reach[h][v]`: maximum total work of any ≤`h`-hop walk from `v` to
+    /// a goal (revisits allowed — a relaxation, so the budget is never an
+    /// underestimate); `-∞` when no goal is reachable in `h` hops.
+    reach: Vec<Vec<f64>>,
+    /// Total-hop cap: `min(num_states − 1, max_hops, ⌊deadline/hop⌋ + 1)`.
+    h_cap: usize,
+    num_states: usize,
+    /// Base loads ascending, paired with their peer index.
+    sorted_base: Vec<(f64, u32)>,
+    // Reusable scratch, so per-prefix bound evaluation allocates nothing.
+    merged: Vec<f64>,
+    news: Vec<f64>,
+    marked: Vec<bool>,
+}
+
+impl BnbCtx {
+    fn new(
+        gr: &ResourceGraph,
+        goals: &[StateId],
+        qos: &QosSpec,
+        deadline_secs: f64,
+        hop_latency_secs: f64,
+        loads: &[f64],
+    ) -> Self {
+        let num_states = gr.num_states();
+        // A simple path visits each vertex at most once.
+        let mut h_cap = num_states.saturating_sub(1);
+        if let Some(mh) = qos.max_hops {
+            h_cap = h_cap.min(mh);
+        }
+        if hop_latency_secs > 0.0 {
+            // Every hop costs at least the hop latency; the +1 forgives
+            // floating-point edge cases (a loose cap stays admissible).
+            h_cap = h_cap.min((deadline_secs / hop_latency_secs) as usize + 1);
+        }
+        let mut row = vec![f64::NEG_INFINITY; num_states];
+        for g in goals {
+            if let Some(slot) = row.get_mut(g.0 as usize) {
+                *slot = 0.0;
+            }
+        }
+        let mut reach = vec![row];
+        for _ in 1..=h_cap {
+            let prev = reach.last().cloned().unwrap_or_default();
+            let mut row = prev.clone();
+            for (v, slot) in row.iter_mut().enumerate() {
+                for e in gr.out_edges(StateId(v as u32)) {
+                    let r = prev
+                        .get(e.to.0 as usize)
+                        .copied()
+                        .unwrap_or(f64::NEG_INFINITY);
+                    if r > f64::NEG_INFINITY {
+                        let cand = e.cost.work_per_sec + r;
+                        if cand > *slot {
+                            *slot = cand;
+                        }
+                    }
+                }
+            }
+            reach.push(row);
+        }
+        let mut sorted_base: Vec<(f64, u32)> = loads
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (l, i as u32))
+            .collect();
+        sorted_base.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        Self {
+            reach,
+            h_cap,
+            num_states,
+            sorted_base,
+            merged: Vec::with_capacity(loads.len()),
+            news: Vec::new(),
+            marked: vec![false; loads.len()],
+        }
+    }
+
+    /// Admissible fairness upper bound for a prefix at `vertex` with `len`
+    /// hops used, estimate `est_secs`, and the per-peer load deltas in
+    /// `profile`. Returns `NEG_INFINITY` when no completion exists at all
+    /// (no goal reachable within the remaining hop budget).
+    // lint: the bound needs the full pruning context (deadline, latency,
+    // prefix profile); bundling into a struct would just rename the args.
+    #[allow(clippy::too_many_arguments)]
+    fn upper_bound(
+        &mut self,
+        tracker: &FairnessTracker,
+        vertex: StateId,
+        len: u32,
+        est_secs: f64,
+        deadline_secs: f64,
+        hop_latency_secs: f64,
+        profile: &[(usize, f64, u32)],
+    ) -> f64 {
+        // Remaining-hop budget: global cap minus hops used, the
+        // simple-path limit on fresh vertices, and the latency the
+        // remaining deadline can still absorb.
+        let mut h_rem = self.h_cap.saturating_sub(len as usize);
+        h_rem = h_rem.min(self.num_states.saturating_sub(len as usize + 1));
+        if hop_latency_secs > 0.0 {
+            let slack = (deadline_secs - est_secs).max(0.0);
+            h_rem = h_rem.min((slack / hop_latency_secs) as usize + 1);
+        }
+        let budget = self
+            .reach
+            .get(h_rem)
+            .and_then(|row| row.get(vertex.0 as usize))
+            .copied()
+            .unwrap_or(f64::NEG_INFINITY);
+        if budget == f64::NEG_INFINITY {
+            return f64::NEG_INFINITY;
+        }
+        // Fold the prefix deltas into the tracked Σl / Σl² …
+        let loads = tracker.loads();
+        let mut sum = tracker.total();
+        let mut sum_sq = tracker.total_sq();
+        self.news.clear();
+        for &(i, w, _) in profile {
+            let old = loads.get(i).copied().unwrap_or(0.0);
+            let new = old + w;
+            sum += new - old;
+            sum_sq += new * new - old * old;
+            self.news.push(new);
+            if let Some(m) = self.marked.get_mut(i) {
+                *m = true;
+            }
+        }
+        // … and splice the changed loads into the presorted base order
+        // (O(n + k log k) instead of re-sorting n loads per prefix).
+        self.news.sort_by(|a, b| a.total_cmp(b));
+        self.merged.clear();
+        let mut next_new = 0usize;
+        for &(v, pi) in &self.sorted_base {
+            if self.marked.get(pi as usize).copied().unwrap_or(false) {
+                continue; // superseded by its updated value
+            }
+            while let Some(&nv) = self.news.get(next_new) {
+                if nv <= v {
+                    self.merged.push(nv);
+                    next_new += 1;
+                } else {
+                    break;
+                }
+            }
+            self.merged.push(v);
+        }
+        while let Some(&nv) = self.news.get(next_new) {
+            self.merged.push(nv);
+            next_new += 1;
+        }
+        for &(i, _, _) in profile {
+            if let Some(m) = self.marked.get_mut(i) {
+                *m = false;
+            }
+        }
+        fairness_upper_bound(&self.merged, sum, sum_sq, budget)
+    }
+}
+
+/// A frontier entry for the heap-ordered exploration modes.
+struct BestEntry {
+    priority: f64,
+    seq: u64,
+    node: u32,
+}
+impl PartialEq for BestEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority.to_bits() == other.priority.to_bits() && self.seq == other.seq
+    }
+}
+impl Eq for BestEntry {}
+impl PartialOrd for BestEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for BestEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap on priority; FIFO (lower seq first) among ties
+        // for determinism. `total_cmp` is a total order, so NaN
+        // priorities (which should never occur) sort low instead
+        // of panicking.
+        self.priority
+            .total_cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The search frontier: FIFO for (literal) BFS modes, a max-heap keyed by
+/// prefix fairness (BestFirst) or by the admissible fairness upper bound
+/// (BranchAndBound). Entries are arena indices.
+enum Frontier {
+    Fifo(VecDeque<u32>),
+    Best(std::collections::BinaryHeap<BestEntry>, u64),
+}
+impl Frontier {
+    fn pop(&mut self) -> Option<(u32, f64)> {
+        match self {
+            Frontier::Fifo(q) => q.pop_front().map(|n| (n, 0.0)),
+            Frontier::Best(h, _) => h.pop().map(|e| (e.node, e.priority)),
+        }
+    }
+    fn push(&mut self, node: u32, priority: f64) {
+        match self {
+            Frontier::Fifo(q) => q.push_back(node),
+            Frontier::Best(h, seq) => {
+                *seq += 1;
+                h.push(BestEntry {
+                    priority,
+                    seq: *seq,
+                    node,
+                });
+            }
+        }
+    }
+}
+
+/// A scored path that reached a goal, in candidate-discovery order.
+struct Candidate {
+    path: Vec<EdgeId>,
+    fairness: f64,
+    est_secs: f64,
+    work: Vec<(NodeId, f64)>,
+    max_util: f64,
+    total_work: f64,
+}
+
+/// Applies the per-objective selection rule to the candidate set and
+/// builds the final [`Allocation`]. All tiebreaks are deterministic:
+/// shorter path first, then lexicographically smaller edge sequence.
+/// Shared verbatim between the live search and the cached-path replay, so
+/// the two can never drift apart.
+fn select_candidate(
+    kind: AllocatorKind,
+    rng: Option<&mut DetRng>,
+    mut candidates: Vec<Candidate>,
+    explored: usize,
+    truncated: bool,
+    mut stats: AllocStats,
+) -> Result<Allocation, AllocError> {
+    if candidates.is_empty() {
+        return Err(AllocError::NoFeasiblePath { explored });
+    }
+    let better_tiebreak = |a: &Candidate, b: &Candidate| -> bool {
+        (a.path.len(), &a.path) < (b.path.len(), &b.path)
+    };
+    let chosen: usize = match kind {
+        AllocatorKind::MaxFairness => {
+            // Exact comparison (not epsilon-fuzzed): `total_cmp` is a
+            // total order, so the winner is independent of candidate
+            // discovery order — which is what lets BranchAndBound prune
+            // the frontier without ever changing the answer.
+            let mut best = 0;
+            for i in 1..candidates.len() {
+                let (a, b) = (&candidates[i], &candidates[best]);
+                match a.fairness.total_cmp(&b.fairness) {
+                    std::cmp::Ordering::Greater => best = i,
+                    std::cmp::Ordering::Equal if better_tiebreak(a, b) => best = i,
+                    _ => {}
+                }
+            }
+            best
+        }
+        AllocatorKind::FirstFeasible => 0,
+        AllocatorKind::Random => match rng {
+            Some(rng) => rng.index(candidates.len()),
+            // Graceful deterministic fallback instead of panicking:
+            // without an RNG, "random" degrades to first-feasible.
+            None => 0,
+        },
+        AllocatorKind::LeastLoaded => {
+            let mut best = 0;
+            for i in 1..candidates.len() {
+                let (a, b) = (&candidates[i], &candidates[best]);
+                if a.max_util < b.max_util - 1e-12
+                    || ((a.max_util - b.max_util).abs() <= 1e-12 && better_tiebreak(a, b))
+                {
+                    best = i;
+                }
+            }
+            best
+        }
+        AllocatorKind::MinWork => {
+            let mut best = 0;
+            for i in 1..candidates.len() {
+                let (a, b) = (&candidates[i], &candidates[best]);
+                if a.total_work < b.total_work - 1e-12
+                    || ((a.total_work - b.total_work).abs() <= 1e-12 && better_tiebreak(a, b))
+                {
+                    best = i;
+                }
+            }
+            best
+        }
+    };
+
+    stats.explored_prefixes = explored as u64;
+    let c = candidates.swap_remove(chosen);
+    Ok(Allocation {
+        path: c.path,
+        fairness: c.fairness,
+        est_response: SimDuration::from_secs_f64(c.est_secs),
+        load_deltas: c.work,
+        explored,
+        truncated,
+        stats,
+    })
 }
 
 impl FairnessAllocator {
@@ -220,159 +758,161 @@ impl FairnessAllocator {
             return Err(AllocError::UnknownState);
         }
 
-        // Node order for the fairness tracker (PeerView iterates sorted).
-        let ids: Vec<NodeId> = view.ids().collect();
+        // Branch-and-bound prunes against the *fairness* objective, so it
+        // is only answer-preserving for MaxFairness; every other objective
+        // needs the full candidate set and falls back to exhaustive
+        // enumeration.
+        let mode = if self.params.mode == ExplorationMode::BranchAndBound
+            && self.kind != AllocatorKind::MaxFairness
+        {
+            ExplorationMode::AllSimplePaths
+        } else {
+            self.params.mode
+        };
+
+        // Node order for the fairness tracker (PeerView iterates sorted),
+        // plus a dense copy of the per-peer info so the hot loop never
+        // touches the BTreeMap.
+        let (ids, infos): (Vec<NodeId>, Vec<PeerInfo>) =
+            view.iter().map(|(n, i)| (*n, i.clone())).unzip();
         let tracker = FairnessTracker::from_loads(view.loads());
-        let peer_index = |n: NodeId| ids.binary_search(&n).ok();
+
+        // Peer lookup table indexed by raw edge id: one binary search per
+        // edge *once per call*, instead of one per expansion.
+        let mut edge_peer = vec![NONE_IDX; gr.edge_capacity()];
+        for edge in gr.edges() {
+            if let Some(slot) = edge_peer.get_mut(edge.id.0 as usize) {
+                *slot = match ids.binary_search(&edge.peer) {
+                    Ok(i) => i as u32,
+                    Err(_) => NONE_IDX,
+                };
+            }
+        }
 
         let deadline_secs = qos.deadline.as_secs_f64();
         let hop_latency_secs = self.params.hop_latency.as_secs_f64();
 
-        // Candidates that reached a goal, with their scores.
-        struct Candidate {
-            path: Vec<EdgeId>,
-            fairness: f64,
-            est_secs: f64,
-            work: Vec<(NodeId, f64)>,
-            max_util: f64,
-            total_work: f64,
+        let num_states = gr.num_states();
+        // The visited bitmap only fits graphs with ≤ 128 states; beyond
+        // that, cycle checks walk the parent chain and dominance is off.
+        let use_bitmap = num_states <= 128;
+        let mut goal_mask = 0u128;
+        if use_bitmap {
+            for g in goals {
+                goal_mask |= 1u128 << g.0;
+            }
         }
+        let is_goal =
+            |v: StateId| -> bool { use_bitmap && goal_mask >> v.0 & 1 == 1 || goals.contains(&v) };
+
+        let mut bnb = if mode == ExplorationMode::BranchAndBound {
+            Some(BnbCtx::new(
+                gr,
+                goals,
+                qos,
+                deadline_secs,
+                hop_latency_secs,
+                tracker.loads(),
+            ))
+        } else {
+            None
+        };
+        let mut incumbent = f64::NEG_INFINITY;
+        let mut stats = AllocStats::default();
+        // Dominance table (BranchAndBound + bitmap only): prefixes already
+        // enqueued at each `(vertex, visited-set)` key.
+        let mut dom: BTreeMap<(u32, u128), Vec<u32>> = BTreeMap::new();
+
+        // Parent-pointer arena of search prefixes and reusable scratch.
+        let mut arena: Vec<PathNode> = Vec::with_capacity(256);
+        let mut chain: Vec<u32> = Vec::new();
+        let mut profile: Vec<(usize, f64, u32)> = Vec::new();
+        let mut profile2: Vec<(usize, f64, u32)> = Vec::new();
+        let mut deltas: Vec<(usize, f64)> = Vec::new();
+
         let mut candidates: Vec<Candidate> = Vec::new();
         let mut explored = 0usize;
         let mut truncated = false;
 
-        // The frontier: FIFO for (literal) BFS modes, a max-heap keyed by
-        // prefix fairness for best-first.
-        struct BestEntry {
-            priority: f64,
-            seq: u64,
-            state: PathState,
-        }
-        impl PartialEq for BestEntry {
-            fn eq(&self, other: &Self) -> bool {
-                self.priority == other.priority && self.seq == other.seq
+        let mut queue = match mode {
+            ExplorationMode::BestFirst | ExplorationMode::BranchAndBound => {
+                Frontier::Best(std::collections::BinaryHeap::new(), 0)
             }
-        }
-        impl Eq for BestEntry {}
-        impl PartialOrd for BestEntry {
-            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-                Some(self.cmp(other))
-            }
-        }
-        impl Ord for BestEntry {
-            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-                // Max-heap on priority; FIFO (lower seq first) among ties
-                // for determinism.
-                self.priority
-                    .partial_cmp(&other.priority)
-                    .expect("fairness is never NaN")
-                    .then_with(|| other.seq.cmp(&self.seq))
-            }
-        }
-        enum Frontier {
-            Fifo(VecDeque<PathState>),
-            Best(std::collections::BinaryHeap<BestEntry>, u64),
-        }
-        impl Frontier {
-            fn pop(&mut self) -> Option<PathState> {
-                match self {
-                    Frontier::Fifo(q) => q.pop_front(),
-                    Frontier::Best(h, _) => h.pop().map(|e| e.state),
-                }
-            }
-            fn push(&mut self, state: PathState, priority: f64) {
-                match self {
-                    Frontier::Fifo(q) => q.push_back(state),
-                    Frontier::Best(h, seq) => {
-                        *seq += 1;
-                        h.push(BestEntry {
-                            priority,
-                            seq: *seq,
-                            state,
-                        });
-                    }
-                }
-            }
-        }
-        let mut queue = match self.params.mode {
-            ExplorationMode::BestFirst => Frontier::Best(std::collections::BinaryHeap::new(), 0),
             _ => Frontier::Fifo(VecDeque::new()),
         };
-        // Scores a prefix for best-first ordering: the fairness of the
-        // domain if the prefix's work were committed.
-        let prefix_priority = |work: &[(NodeId, f64)]| -> f64 {
-            let mut deltas: Vec<(usize, f64)> = Vec::with_capacity(work.len());
-            for &(peer, w) in work {
-                match peer_index(peer) {
-                    Some(i) => deltas.push((i, w)),
-                    None => return 0.0,
-                }
-            }
-            tracker.index_with(&deltas)
-        };
-        queue.push(
-            PathState {
-                vertex: init,
-                edges: Vec::new(),
-                work: Vec::new(),
-                bw: Vec::new(),
-                est_secs: 0.0,
-            },
-            1.0,
-        );
-        let mut visited = vec![false; gr.num_states()]; // GlobalVisited mode only
+        arena.push(PathNode {
+            parent: NONE_IDX,
+            edge: EdgeId(0),
+            vertex: init,
+            peer_idx: NONE_IDX,
+            work: 0.0,
+            bw: 0,
+            len: 0,
+            est_secs: 0.0,
+            visited: if use_bitmap { 1u128 << init.0 } else { 0 },
+        });
+        queue.push(0, 1.0);
+        let mut visited_global = vec![false; num_states]; // GlobalVisited mode only
 
-        while let Some(ps) = queue.pop() {
+        while let Some((ni, prio)) = queue.pop() {
             if explored >= self.params.max_explored {
                 truncated = true;
                 break;
             }
+            // Re-check against the incumbent at dequeue: the bound was
+            // computed at push time and the incumbent may have risen since.
+            if mode == ExplorationMode::BranchAndBound && prio < incumbent - PRUNE_MARGIN {
+                stats.pruned_bound += 1;
+                continue;
+            }
             explored += 1;
 
-            if self.params.mode == ExplorationMode::GlobalVisited {
-                if visited[ps.vertex.0 as usize] {
+            let Some(&node) = arena.get(ni as usize) else {
+                continue;
+            };
+
+            if mode == ExplorationMode::GlobalVisited {
+                if visited_global
+                    .get(node.vertex.0 as usize)
+                    .copied()
+                    .unwrap_or(true)
+                {
                     continue;
                 }
-                visited[ps.vertex.0 as usize] = true;
+                if let Some(flag) = visited_global.get_mut(node.vertex.0 as usize) {
+                    *flag = true;
+                }
             }
 
-            if goals.contains(&ps.vertex) {
+            if is_goal(node.vertex) {
                 // Score the completed path.
-                let mut deltas: Vec<(usize, f64)> = Vec::with_capacity(ps.work.len());
-                let mut ok = true;
-                for &(peer, w) in &ps.work {
-                    match peer_index(peer) {
-                        Some(i) => deltas.push((i, w)),
-                        None => {
-                            ok = false;
-                            break;
-                        }
-                    }
-                }
-                if !ok {
-                    continue;
-                }
+                collect_profile(&arena, ni, &mut chain, &mut profile);
+                deltas.clear();
+                deltas.extend(profile.iter().map(|&(i, w, _)| (i, w)));
                 let fairness = tracker.index_with(&deltas);
                 let max_util = deltas
                     .iter()
-                    .map(|&(i, w)| {
-                        let info = view.get(ids[i]).expect("indexed peer");
-                        if info.capacity > 0.0 {
-                            (info.load + w) / info.capacity
-                        } else {
-                            f64::INFINITY
-                        }
+                    .map(|&(i, w)| match infos.get(i) {
+                        Some(info) if info.capacity > 0.0 => (info.load + w) / info.capacity,
+                        _ => f64::INFINITY,
                     })
                     .fold(0.0f64, f64::max);
-                let total_work: f64 = ps.work.iter().map(|&(_, w)| w).sum();
+                let total_work: f64 = deltas.iter().map(|&(_, w)| w).sum();
+                let work: Vec<(NodeId, f64)> = deltas
+                    .iter()
+                    .filter_map(|&(i, w)| ids.get(i).map(|&n| (n, w)))
+                    .collect();
                 candidates.push(Candidate {
-                    path: ps.edges.clone(),
+                    path: collect_path(&arena, ni, &mut chain),
                     fairness,
-                    est_secs: ps.est_secs,
-                    work: ps.work.clone(),
+                    est_secs: node.est_secs,
+                    work,
                     max_util,
                     total_work,
                 });
+                if fairness > incumbent {
+                    incumbent = fairness;
+                }
                 if self.kind == AllocatorKind::FirstFeasible {
                     break; // first complete feasible path in BFS order
                 }
@@ -383,38 +923,46 @@ impl FairnessAllocator {
 
             // Expand. Hop-count prune before generating children.
             if let Some(max_hops) = qos.max_hops {
-                if ps.edges.len() >= max_hops {
+                if node.len as usize >= max_hops {
                     continue;
                 }
             }
 
-            for edge in gr.out_edges(ps.vertex) {
-                // Cycle check (simple paths): `to` must not be on the path.
-                let revisits =
-                    edge.to == init || ps.edges.iter().any(|&e| gr.edge(e).to == edge.to);
-                if revisits && self.params.mode != ExplorationMode::GlobalVisited {
-                    continue;
-                }
-                if self.params.mode == ExplorationMode::GlobalVisited && visited[edge.to.0 as usize]
-                {
-                    continue;
+            for edge in gr.out_edges(node.vertex) {
+                // Cycle check (simple paths): `to` must not be on the path
+                // (the root vertex `init` is always on it).
+                if mode == ExplorationMode::GlobalVisited {
+                    if visited_global
+                        .get(edge.to.0 as usize)
+                        .copied()
+                        .unwrap_or(true)
+                    {
+                        continue;
+                    }
+                } else {
+                    let revisits = if use_bitmap {
+                        node.visited >> edge.to.0 & 1 == 1
+                    } else {
+                        on_path(&arena, ni, edge.to)
+                    };
+                    if revisits {
+                        continue;
+                    }
                 }
 
-                let Some(info) = view.get(edge.peer) else {
+                let pi = edge_peer
+                    .get(edge.id.0 as usize)
+                    .copied()
+                    .unwrap_or(NONE_IDX);
+                if pi == NONE_IDX {
                     continue; // peer no longer in the domain
+                }
+                let Some(info) = infos.get(pi as usize) else {
+                    continue;
                 };
 
                 // Accumulate this path's demands on edge.peer.
-                let prev_work = ps
-                    .work
-                    .iter()
-                    .find(|(p, _)| *p == edge.peer)
-                    .map_or(0.0, |&(_, w)| w);
-                let prev_bw = ps
-                    .bw
-                    .iter()
-                    .find(|(p, _)| *p == edge.peer)
-                    .map_or(0, |&(_, b)| b);
+                let (prev_work, prev_bw) = accum_for_peer(&arena, ni, pi);
                 let new_work = prev_work + edge.cost.work_per_sec;
                 let new_bw = prev_bw + edge.cost.bandwidth_kbps;
 
@@ -429,101 +977,544 @@ impl FairnessAllocator {
                 }
                 // (4) deadline: setup at currently-available speed + hop latency.
                 let setup = edge.cost.setup_work / info.available_capacity();
-                let est = ps.est_secs + setup + hop_latency_secs;
+                let est = node.est_secs + setup + hop_latency_secs;
                 if est > deadline_secs {
                     continue;
                 }
 
-                let mut child = PathState {
+                let child = PathNode {
+                    parent: ni,
+                    edge: edge.id,
                     vertex: edge.to,
-                    edges: Vec::with_capacity(ps.edges.len() + 1),
-                    work: ps.work.clone(),
-                    bw: ps.bw.clone(),
+                    peer_idx: pi,
+                    work: new_work,
+                    bw: new_bw,
+                    len: node.len + 1,
                     est_secs: est,
+                    visited: if use_bitmap {
+                        node.visited | 1u128 << edge.to.0
+                    } else {
+                        0
+                    },
                 };
-                child.edges.extend_from_slice(&ps.edges);
-                child.edges.push(edge.id);
-                if let Some(w) = child.work.iter_mut().find(|(p, _)| *p == edge.peer) {
-                    w.1 = new_work;
-                } else {
-                    child.work.push((edge.peer, new_work));
+
+                let mut priority = 0.0;
+                match mode {
+                    ExplorationMode::BestFirst => {
+                        // Greedy ordering heuristic: the fairness of the
+                        // domain if the child's work were committed.
+                        collect_profile(&arena, ni, &mut chain, &mut profile);
+                        apply_hop(&mut profile, pi as usize, new_work, new_bw);
+                        deltas.clear();
+                        deltas.extend(profile.iter().map(|&(i, w, _)| (i, w)));
+                        priority = tracker.index_with(&deltas);
+                    }
+                    ExplorationMode::BranchAndBound => {
+                        collect_profile(&arena, ni, &mut chain, &mut profile);
+                        apply_hop(&mut profile, pi as usize, new_work, new_bw);
+                        let Some(ctx) = bnb.as_mut() else {
+                            continue;
+                        };
+                        priority = ctx.upper_bound(
+                            &tracker,
+                            edge.to,
+                            child.len,
+                            est,
+                            deadline_secs,
+                            hop_latency_secs,
+                            &profile,
+                        );
+                        if priority == f64::NEG_INFINITY || priority < incumbent - PRUNE_MARGIN {
+                            stats.pruned_bound += 1;
+                            continue;
+                        }
+                        if use_bitmap {
+                            let key = (edge.to.0, child.visited);
+                            let entries = dom.entry(key).or_default();
+                            if is_dominated(
+                                &arena,
+                                entries,
+                                &child,
+                                &profile,
+                                &mut chain,
+                                &mut profile2,
+                            ) {
+                                stats.pruned_dominated += 1;
+                                continue;
+                            }
+                            if entries.len() < DOM_CAP {
+                                entries.push(arena.len() as u32);
+                            }
+                        }
+                    }
+                    _ => {}
                 }
-                if let Some(b) = child.bw.iter_mut().find(|(p, _)| *p == edge.peer) {
-                    b.1 = new_bw;
-                } else {
-                    child.bw.push((edge.peer, new_bw));
-                }
-                let priority = if matches!(self.params.mode, ExplorationMode::BestFirst) {
-                    prefix_priority(&child.work)
-                } else {
-                    0.0
-                };
-                queue.push(child, priority);
+
+                let idx = arena.len() as u32;
+                arena.push(child);
+                queue.push(idx, priority);
             }
         }
 
-        if candidates.is_empty() {
-            return Err(AllocError::NoFeasiblePath { explored });
+        select_candidate(self.kind, rng, candidates, explored, truncated, stats)
+    }
+
+    /// Re-scores a precomputed structural path set under the *current*
+    /// peer loads and returns the same allocation [`Self::allocate`] would
+    /// have produced (bit-for-bit), provided `sp` was enumerated over the
+    /// same graph topology (`sp.epoch == gr.epoch()`) with the same
+    /// `init`/`goals`/`max_hops`.
+    ///
+    /// This is the cache fast path: path *structure* depends only on the
+    /// topology, while feasibility and scores depend on the load snapshot —
+    /// so the expensive graph search is done once per topology epoch and
+    /// each subsequent allocation walks the cached prefix tree. When the
+    /// allocator is configured for [`ExplorationMode::BranchAndBound`]
+    /// with the fairness objective, the replay applies the same admissible
+    /// bound + dominance pruning over the cached tree, so the warm path
+    /// composes with branch-and-bound instead of defeating it.
+    ///
+    /// Only meaningful for exhaustive candidate sets: callers should build
+    /// `sp` via [`enumerate_structural_paths`] and use this with
+    /// [`ExplorationMode::AllSimplePaths`] or
+    /// [`ExplorationMode::BranchAndBound`] semantics (other modes replay
+    /// with exhaustive semantics). `qos.max_hops` must equal the hop cap
+    /// the enumeration honoured, and truncated enumerations must not be
+    /// cached.
+    pub fn allocate_from_paths(
+        &self,
+        gr: &ResourceGraph,
+        view: &PeerView,
+        sp: &StructuralPaths,
+        qos: &QosSpec,
+        rng: Option<&mut DetRng>,
+    ) -> Result<Allocation, AllocError> {
+        if sp.goals.is_empty() {
+            return Err(AllocError::NoGoal);
+        }
+        if view.is_empty() {
+            return Err(AllocError::EmptyDomain);
+        }
+        if sp.nodes.is_empty() {
+            return Err(AllocError::NoFeasiblePath { explored: 0 });
         }
 
-        // Select per objective. All tiebreaks are deterministic: shorter
-        // path first, then lexicographically smaller edge sequence.
-        let better_tiebreak = |a: &Candidate, b: &Candidate| -> bool {
-            (a.path.len(), &a.path) < (b.path.len(), &b.path)
-        };
-        let chosen: usize = match self.kind {
-            AllocatorKind::MaxFairness => {
-                let mut best = 0;
-                for i in 1..candidates.len() {
-                    let (a, b) = (&candidates[i], &candidates[best]);
-                    if a.fairness > b.fairness + 1e-12
-                        || ((a.fairness - b.fairness).abs() <= 1e-12 && better_tiebreak(a, b))
-                    {
-                        best = i;
-                    }
-                }
-                best
-            }
-            AllocatorKind::FirstFeasible => 0,
-            AllocatorKind::Random => {
-                let rng = rng.expect("AllocatorKind::Random requires an RNG");
-                rng.index(candidates.len())
-            }
-            AllocatorKind::LeastLoaded => {
-                let mut best = 0;
-                for i in 1..candidates.len() {
-                    let (a, b) = (&candidates[i], &candidates[best]);
-                    if a.max_util < b.max_util - 1e-12
-                        || ((a.max_util - b.max_util).abs() <= 1e-12 && better_tiebreak(a, b))
-                    {
-                        best = i;
-                    }
-                }
-                best
-            }
-            AllocatorKind::MinWork => {
-                let mut best = 0;
-                for i in 1..candidates.len() {
-                    let (a, b) = (&candidates[i], &candidates[best]);
-                    if a.total_work < b.total_work - 1e-12
-                        || ((a.total_work - b.total_work).abs() <= 1e-12 && better_tiebreak(a, b))
-                    {
-                        best = i;
-                    }
-                }
-                best
-            }
-        };
+        // Pruned replay is answer-preserving only for the fairness
+        // objective (same argument as the live search).
+        let bnb_mode = self.params.mode == ExplorationMode::BranchAndBound
+            && self.kind == AllocatorKind::MaxFairness;
 
-        let c = candidates.swap_remove(chosen);
-        Ok(Allocation {
-            path: c.path,
-            fairness: c.fairness,
-            est_response: SimDuration::from_secs_f64(c.est_secs),
-            load_deltas: c.work,
-            explored,
-            truncated,
-        })
+        let (ids, infos): (Vec<NodeId>, Vec<PeerInfo>) =
+            view.iter().map(|(n, i)| (*n, i.clone())).unzip();
+        let tracker = FairnessTracker::from_loads(view.loads());
+        let mut edge_peer = vec![NONE_IDX; gr.edge_capacity()];
+        for edge in gr.edges() {
+            if let Some(slot) = edge_peer.get_mut(edge.id.0 as usize) {
+                *slot = match ids.binary_search(&edge.peer) {
+                    Ok(i) => i as u32,
+                    Err(_) => NONE_IDX,
+                };
+            }
+        }
+        let deadline_secs = qos.deadline.as_secs_f64();
+        let hop_latency_secs = self.params.hop_latency.as_secs_f64();
+        let num_states = gr.num_states();
+        let use_bitmap = num_states <= 128;
+
+        let mut bnb = if bnb_mode {
+            Some(BnbCtx::new(
+                gr,
+                &sp.goals,
+                qos,
+                deadline_secs,
+                hop_latency_secs,
+                tracker.loads(),
+            ))
+        } else {
+            None
+        };
+        let mut incumbent = f64::NEG_INFINITY;
+        let mut stats = AllocStats::default();
+        let mut dom: BTreeMap<(u32, u128), Vec<u32>> = BTreeMap::new();
+
+        // Replay arena aligned index-for-index with `sp.nodes`, so the
+        // shared ancestor-walk helpers (`accum_for_peer`,
+        // `collect_profile`, `collect_path`) work unchanged. Slots of
+        // infeasible or pruned tree nodes keep the placeholder and are
+        // never referenced: a surviving node's ancestors all survived.
+        let placeholder = PathNode {
+            parent: NONE_IDX,
+            edge: EdgeId(0),
+            vertex: sp.init,
+            peer_idx: NONE_IDX,
+            work: 0.0,
+            bw: 0,
+            len: 0,
+            est_secs: 0.0,
+            visited: 0,
+        };
+        let mut arena: Vec<PathNode> = vec![placeholder; sp.nodes.len()];
+        if let Some(root) = arena.get_mut(0) {
+            root.visited = if use_bitmap { 1u128 << sp.init.0 } else { 0 };
+        }
+        let mut chain: Vec<u32> = Vec::new();
+        let mut profile: Vec<(usize, f64, u32)> = Vec::new();
+        let mut profile2: Vec<(usize, f64, u32)> = Vec::new();
+        let mut deltas: Vec<(usize, f64)> = Vec::new();
+
+        let mut candidates: Vec<Candidate> = Vec::new();
+        let mut explored = 0usize;
+        let mut truncated = false;
+
+        // FIFO replay visits surviving tree nodes in exactly the live
+        // BFS dequeue order, so candidate order — and therefore
+        // FirstFeasible / Random / fuzzy-tiebreak behaviour — matches the
+        // live search; the branch-and-bound heap replays the live pruning.
+        let mut queue = if bnb_mode {
+            Frontier::Best(std::collections::BinaryHeap::new(), 0)
+        } else {
+            Frontier::Fifo(VecDeque::new())
+        };
+        queue.push(0, 1.0);
+
+        while let Some((ni, prio)) = queue.pop() {
+            if explored >= self.params.max_explored {
+                truncated = true;
+                break;
+            }
+            if bnb_mode && prio < incumbent - PRUNE_MARGIN {
+                stats.pruned_bound += 1;
+                continue;
+            }
+            explored += 1;
+            let Some(&snode) = sp.nodes.get(ni as usize) else {
+                continue;
+            };
+            let Some(&node) = arena.get(ni as usize) else {
+                continue;
+            };
+
+            if snode.goal {
+                // Identical scoring block to the live search.
+                collect_profile(&arena, ni, &mut chain, &mut profile);
+                deltas.clear();
+                deltas.extend(profile.iter().map(|&(i, w, _)| (i, w)));
+                let fairness = tracker.index_with(&deltas);
+                let max_util = deltas
+                    .iter()
+                    .map(|&(i, w)| match infos.get(i) {
+                        Some(info) if info.capacity > 0.0 => (info.load + w) / info.capacity,
+                        _ => f64::INFINITY,
+                    })
+                    .fold(0.0f64, f64::max);
+                let total_work: f64 = deltas.iter().map(|&(_, w)| w).sum();
+                let work: Vec<(NodeId, f64)> = deltas
+                    .iter()
+                    .filter_map(|&(i, w)| ids.get(i).map(|&n| (n, w)))
+                    .collect();
+                candidates.push(Candidate {
+                    path: collect_path(&arena, ni, &mut chain),
+                    fairness,
+                    est_secs: node.est_secs,
+                    work,
+                    max_util,
+                    total_work,
+                });
+                if fairness > incumbent {
+                    incumbent = fairness;
+                }
+                if self.kind == AllocatorKind::FirstFeasible {
+                    break;
+                }
+                continue;
+            }
+
+            // The enumeration already honoured `max_hops` and simple-path
+            // cycle checks; only load/QoS feasibility needs replaying.
+            let child_range = snode.child_start..snode.child_start + snode.child_count;
+            for ci in child_range {
+                let Some(&child_s) = sp.nodes.get(ci as usize) else {
+                    continue;
+                };
+                let edge = gr.edge(child_s.edge);
+                if !edge.alive {
+                    continue; // stale structure; caller's epoch check failed
+                }
+                let pi = edge_peer
+                    .get(child_s.edge.0 as usize)
+                    .copied()
+                    .unwrap_or(NONE_IDX);
+                if pi == NONE_IDX {
+                    continue; // peer no longer in the domain
+                }
+                let Some(info) = infos.get(pi as usize) else {
+                    continue;
+                };
+
+                // Same feasibility rules and float arithmetic as the live
+                // search (module docs, rules 2–4) — bit-identity depends
+                // on it.
+                let (prev_work, prev_bw) = accum_for_peer(&arena, ni, pi);
+                let new_work = prev_work + edge.cost.work_per_sec;
+                let new_bw = prev_bw + edge.cost.bandwidth_kbps;
+                if new_work > info.capacity - info.load + 1e-9 {
+                    continue;
+                }
+                let avail_bw = info.available_bandwidth_kbps();
+                if new_bw > avail_bw || qos.min_bandwidth_kbps > avail_bw {
+                    continue;
+                }
+                let setup = edge.cost.setup_work / info.available_capacity();
+                let est = node.est_secs + setup + hop_latency_secs;
+                if est > deadline_secs {
+                    continue;
+                }
+
+                let child = PathNode {
+                    parent: ni,
+                    edge: child_s.edge,
+                    vertex: child_s.vertex,
+                    peer_idx: pi,
+                    work: new_work,
+                    bw: new_bw,
+                    len: node.len + 1,
+                    est_secs: est,
+                    visited: if use_bitmap {
+                        node.visited | 1u128 << child_s.vertex.0
+                    } else {
+                        0
+                    },
+                };
+
+                let mut priority = 0.0;
+                if bnb_mode {
+                    collect_profile(&arena, ni, &mut chain, &mut profile);
+                    apply_hop(&mut profile, pi as usize, new_work, new_bw);
+                    let Some(ctx) = bnb.as_mut() else {
+                        continue;
+                    };
+                    priority = ctx.upper_bound(
+                        &tracker,
+                        child_s.vertex,
+                        child.len,
+                        est,
+                        deadline_secs,
+                        hop_latency_secs,
+                        &profile,
+                    );
+                    if priority == f64::NEG_INFINITY || priority < incumbent - PRUNE_MARGIN {
+                        stats.pruned_bound += 1;
+                        continue;
+                    }
+                    if use_bitmap {
+                        let key = (child_s.vertex.0, child.visited);
+                        let entries = dom.entry(key).or_default();
+                        if is_dominated(
+                            &arena,
+                            entries,
+                            &child,
+                            &profile,
+                            &mut chain,
+                            &mut profile2,
+                        ) {
+                            stats.pruned_dominated += 1;
+                            continue;
+                        }
+                        if entries.len() < DOM_CAP {
+                            entries.push(ci);
+                        }
+                    }
+                }
+
+                if let Some(slot) = arena.get_mut(ci as usize) {
+                    *slot = child;
+                }
+                queue.push(ci, priority);
+            }
+        }
+
+        select_candidate(self.kind, rng, candidates, explored, truncated, stats)
+    }
+}
+
+/// One prefix in a [`StructuralPaths`] tree: the edge taken into it, the
+/// vertex reached, and the contiguous arena range holding its structural
+/// children (BFS order groups siblings together).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StructNode {
+    /// Arena index of the parent prefix (`u32::MAX` for the root).
+    pub parent: u32,
+    /// First child's arena index (children are contiguous).
+    pub child_start: u32,
+    /// Number of structural children.
+    pub child_count: u32,
+    /// Edge taken into this node (undefined for the root).
+    pub edge: EdgeId,
+    /// Vertex this prefix ends at.
+    pub vertex: StateId,
+    /// Hop count of the prefix.
+    pub len: u32,
+    /// True when `vertex` is a goal state: the prefix is a complete path.
+    pub goal: bool,
+}
+
+/// A topology-only path enumeration: the BFS prefix tree of every simple
+/// path from `init` towards `goals` over live edges, independent of peer
+/// loads. Produced by [`enumerate_structural_paths`] and replayed against
+/// a load snapshot by [`FairnessAllocator::allocate_from_paths`], which
+/// shares prefix arithmetic across paths instead of rescoring each path
+/// from scratch.
+///
+/// Valid only while the graph's structural [`ResourceGraph::epoch`] equals
+/// [`StructuralPaths::epoch`]; callers (the RM's path cache) must
+/// re-enumerate after any topology change.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StructuralPaths {
+    /// Structural epoch of the graph at enumeration time.
+    pub epoch: u64,
+    /// Initial state the enumeration started from.
+    pub init: StateId,
+    /// Goal states (sorted, deduplicated).
+    pub goals: Vec<StateId>,
+    /// The hop cap the enumeration honoured (`usize::MAX` if unbounded).
+    pub max_hops: usize,
+    /// Prefix arena in BFS discovery order; the root (the empty prefix at
+    /// `init`) is index 0. Iterating goal nodes in arena order yields
+    /// complete paths in exactly the order the live search scores them.
+    pub nodes: Vec<StructNode>,
+    /// True if enumeration stopped at the prefix cap; truncated sets must
+    /// not be cached (the candidate order would diverge from the live
+    /// search once loads change pruning behaviour).
+    pub truncated: bool,
+}
+
+impl StructuralPaths {
+    /// Number of complete (goal-reaching) structural paths in the tree.
+    pub fn num_paths(&self) -> usize {
+        self.nodes.iter().filter(|n| n.goal).count()
+    }
+}
+
+/// Enumerates every simple path from `init` to a goal over live edges,
+/// honouring only the *structural* QoS constraint (`max_hops`); load- and
+/// deadline-dependent feasibility is applied later at re-scoring time.
+///
+/// `max_prefixes` bounds dequeued prefixes exactly like
+/// [`AllocParams::max_explored`] bounds the live search.
+pub fn enumerate_structural_paths(
+    gr: &ResourceGraph,
+    init: StateId,
+    goals: &[StateId],
+    max_hops: Option<usize>,
+    max_prefixes: usize,
+) -> Result<StructuralPaths, AllocError> {
+    if goals.is_empty() {
+        return Err(AllocError::NoGoal);
+    }
+    if init.0 as usize >= gr.num_states() || goals.iter().any(|g| g.0 as usize >= gr.num_states()) {
+        return Err(AllocError::UnknownState);
+    }
+    let num_states = gr.num_states();
+    let use_bitmap = num_states <= 128;
+    let mut sorted_goals: Vec<StateId> = goals.to_vec();
+    sorted_goals.sort();
+    sorted_goals.dedup();
+
+    // The visited bitmaps live only for the duration of the enumeration
+    // (they are reconstructible from the parent chain); the persistent
+    // tree keeps just the structure.
+    let mut visited: Vec<u128> = vec![if use_bitmap { 1u128 << init.0 } else { 0 }];
+    let mut nodes: Vec<StructNode> = vec![StructNode {
+        parent: NONE_IDX,
+        child_start: 0,
+        child_count: 0,
+        edge: EdgeId(0),
+        vertex: init,
+        len: 0,
+        goal: goals.contains(&init),
+    }];
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    queue.push_back(0);
+    let mut explored = 0usize;
+    let mut truncated = false;
+
+    while let Some(ni) = queue.pop_front() {
+        if explored >= max_prefixes {
+            truncated = true;
+            break;
+        }
+        explored += 1;
+        let Some(&node) = nodes.get(ni as usize) else {
+            continue;
+        };
+        if node.goal {
+            continue; // goal states are not extended (mirrors the search)
+        }
+        if let Some(mh) = max_hops {
+            if node.len as usize >= mh {
+                continue;
+            }
+        }
+        let node_visited = visited.get(ni as usize).copied().unwrap_or(0);
+        let child_start = nodes.len() as u32;
+        let mut child_count = 0u32;
+        for edge in gr.out_edges(node.vertex) {
+            let revisits = if use_bitmap {
+                node_visited >> edge.to.0 & 1 == 1
+            } else {
+                struct_on_path(&nodes, ni, edge.to)
+            };
+            if revisits {
+                continue;
+            }
+            let idx = nodes.len() as u32;
+            nodes.push(StructNode {
+                parent: ni,
+                child_start: 0,
+                child_count: 0,
+                edge: edge.id,
+                vertex: edge.to,
+                len: node.len + 1,
+                goal: goals.contains(&edge.to),
+            });
+            visited.push(if use_bitmap {
+                node_visited | 1u128 << edge.to.0
+            } else {
+                0
+            });
+            child_count += 1;
+            queue.push_back(idx);
+        }
+        if let Some(n) = nodes.get_mut(ni as usize) {
+            n.child_start = child_start;
+            n.child_count = child_count;
+        }
+    }
+
+    Ok(StructuralPaths {
+        epoch: gr.epoch(),
+        init,
+        goals: sorted_goals,
+        max_hops: max_hops.unwrap_or(usize::MAX),
+        nodes,
+        truncated,
+    })
+}
+
+/// Simple-path cycle check over the structural tree (graphs too large for
+/// the visited bitmap): is `v` already on the prefix ending at `ni`?
+fn struct_on_path(nodes: &[StructNode], mut ni: u32, v: StateId) -> bool {
+    loop {
+        let Some(n) = nodes.get(ni as usize) else {
+            return false;
+        };
+        if n.vertex == v {
+            return true;
+        }
+        if n.parent == NONE_IDX {
+            return false;
+        }
+        ni = n.parent;
     }
 }
 
@@ -1174,5 +2165,285 @@ mod bestfirst_tests {
             .allocate(&gr, &view, init, &[goal], &qos, None)
             .unwrap();
         assert_eq!(a.path, b.path);
+    }
+}
+
+#[cfg(test)]
+mod bnb_tests {
+    use super::*;
+    use crate::media::{Codec, MediaFormat, Resolution};
+    use crate::peerview::PeerInfo;
+    use crate::service::ServiceCost;
+    use arm_util::ServiceId;
+    use proptest::prelude::*;
+
+    /// Random layered DAG with *duplicate* service edges (replicated
+    /// instances of the same hop on different — and sometimes the same —
+    /// peers), so dominance collapse has something to bite on.
+    fn random_graph(
+        seed: u64,
+        layers: usize,
+        width: usize,
+        peers: usize,
+        edge_prob: f64,
+        duplicates: usize,
+    ) -> (ResourceGraph, PeerView, StateId, StateId) {
+        let mut rng = DetRng::new(seed);
+        let mut gr = ResourceGraph::new();
+        let mut layer_states: Vec<Vec<StateId>> = Vec::new();
+        let mut fmt_id = 0u32;
+        let mut fresh_format = || {
+            fmt_id += 1;
+            MediaFormat::new(
+                Codec::ALL[(fmt_id as usize) % Codec::ALL.len()],
+                Resolution::new(100 + fmt_id as u16, 100),
+                fmt_id,
+            )
+        };
+        for li in 0..layers {
+            let w = if li == 0 || li == layers - 1 {
+                1
+            } else {
+                1 + rng.index(width)
+            };
+            layer_states.push((0..w).map(|_| gr.intern_state(fresh_format())).collect());
+        }
+        let mut svc = 0u64;
+        for li in 0..layers - 1 {
+            for &a in &layer_states[li] {
+                for &b in &layer_states[li + 1] {
+                    if rng.chance(edge_prob) || b == layer_states[li + 1][0] {
+                        let copies = 1 + rng.index(duplicates.max(1));
+                        let cost = ServiceCost {
+                            work_per_sec: rng.uniform(1.0, 8.0),
+                            setup_work: rng.uniform(0.5, 2.0),
+                            bandwidth_kbps: 64,
+                        };
+                        for _ in 0..copies {
+                            svc += 1;
+                            gr.add_edge(
+                                a,
+                                b,
+                                NodeId::new(rng.below(peers as u64)),
+                                ServiceId::new(svc),
+                                cost,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        let mut view = PeerView::new();
+        for p in 0..peers as u64 {
+            let mut info = PeerInfo::idle(rng.uniform(50.0, 150.0), 100_000);
+            info.load = rng.uniform(0.0, 40.0);
+            view.upsert(NodeId::new(p), info);
+        }
+        (gr, view, layer_states[0][0], layer_states[layers - 1][0])
+    }
+
+    fn alloc_with(mode: ExplorationMode, kind: AllocatorKind) -> FairnessAllocator {
+        FairnessAllocator {
+            params: AllocParams {
+                mode,
+                ..AllocParams::default()
+            },
+            kind,
+        }
+    }
+
+    /// Bitwise equality of two allocation results (path, fairness,
+    /// estimate and per-peer load deltas), the contract BranchAndBound and
+    /// the structural-path cache both guarantee.
+    fn assert_identical(a: &Result<Allocation, AllocError>, b: &Result<Allocation, AllocError>) {
+        match (a, b) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.path, b.path, "paths differ");
+                assert_eq!(
+                    a.fairness.to_bits(),
+                    b.fairness.to_bits(),
+                    "fairness differs: {} vs {}",
+                    a.fairness,
+                    b.fairness
+                );
+                assert_eq!(a.est_response, b.est_response, "estimates differ");
+                assert_eq!(a.load_deltas.len(), b.load_deltas.len());
+                for (x, y) in a.load_deltas.iter().zip(&b.load_deltas) {
+                    assert_eq!(x.0, y.0);
+                    assert_eq!(x.1.to_bits(), y.1.to_bits(), "load delta differs");
+                }
+            }
+            (Err(x), Err(y)) => {
+                // Same failure class; explored counts legitimately differ.
+                assert_eq!(
+                    std::mem::discriminant(x),
+                    std::mem::discriminant(y),
+                    "error kinds differ: {x:?} vs {y:?}"
+                );
+            }
+            (x, y) => panic!("results disagree: {x:?} vs {y:?}"),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The headline identity: branch-and-bound returns the *same*
+        /// allocation as exhaustive enumeration — path, fairness, estimate
+        /// and load deltas, bit for bit — while exploring fewer prefixes.
+        #[test]
+        fn bnb_identical_to_exhaustive(seed in 0u64..400) {
+            let (gr, view, init, goal) = random_graph(seed, 5, 3, 6, 0.7, 2);
+            let qos = QosSpec::with_deadline(SimDuration::from_secs(30));
+            let full = alloc_with(ExplorationMode::AllSimplePaths, AllocatorKind::MaxFairness)
+                .allocate(&gr, &view, init, &[goal], &qos, None);
+            let bnb = alloc_with(ExplorationMode::BranchAndBound, AllocatorKind::MaxFairness)
+                .allocate(&gr, &view, init, &[goal], &qos, None);
+            assert_identical(&full, &bnb);
+            if let (Ok(f), Ok(b)) = (&full, &bnb) {
+                prop_assert!(
+                    b.stats.explored_prefixes <= f.stats.explored_prefixes,
+                    "bnb explored more ({}) than exhaustive ({})",
+                    b.stats.explored_prefixes,
+                    f.stats.explored_prefixes
+                );
+            }
+        }
+
+        /// Replaying a cached structural path set under the same loads is
+        /// bit-identical to the live search, for every objective (the RNG
+        /// consumption of `Random` included).
+        #[test]
+        fn cached_paths_identical_to_live(seed in 0u64..300) {
+            let (gr, view, init, goal) = random_graph(seed, 4, 3, 6, 0.7, 2);
+            let qos = QosSpec::with_deadline(SimDuration::from_secs(30));
+            let sp = enumerate_structural_paths(&gr, init, &[goal], qos.max_hops, 200_000)
+                .unwrap();
+            prop_assert!(!sp.truncated);
+            prop_assert_eq!(sp.epoch, gr.epoch());
+            for kind in [
+                AllocatorKind::MaxFairness,
+                AllocatorKind::FirstFeasible,
+                AllocatorKind::LeastLoaded,
+                AllocatorKind::MinWork,
+            ] {
+                let a = alloc_with(ExplorationMode::AllSimplePaths, kind)
+                    .allocate(&gr, &view, init, &[goal], &qos, None);
+                let c = alloc_with(ExplorationMode::AllSimplePaths, kind)
+                    .allocate_from_paths(&gr, &view, &sp, &qos, None);
+                assert_identical(&a, &c);
+            }
+            let mut r1 = DetRng::new(seed ^ 0xD1CE);
+            let mut r2 = DetRng::new(seed ^ 0xD1CE);
+            let a = alloc_with(ExplorationMode::AllSimplePaths, AllocatorKind::Random)
+                .allocate(&gr, &view, init, &[goal], &qos, Some(&mut r1));
+            let c = alloc_with(ExplorationMode::AllSimplePaths, AllocatorKind::Random)
+                .allocate_from_paths(&gr, &view, &sp, &qos, Some(&mut r2));
+            assert_identical(&a, &c);
+            // The *pruned* replay (warm cache + branch-and-bound) must
+            // still match the exhaustive live oracle bit-for-bit.
+            let a = alloc_with(ExplorationMode::AllSimplePaths, AllocatorKind::MaxFairness)
+                .allocate(&gr, &view, init, &[goal], &qos, None);
+            let c = alloc_with(ExplorationMode::BranchAndBound, AllocatorKind::MaxFairness)
+                .allocate_from_paths(&gr, &view, &sp, &qos, None);
+            assert_identical(&a, &c);
+        }
+
+        /// BranchAndBound under a non-fairness objective silently falls
+        /// back to exhaustive enumeration — never a wrong answer.
+        #[test]
+        fn bnb_fallback_for_other_objectives(seed in 0u64..150) {
+            let (gr, view, init, goal) = random_graph(seed, 4, 3, 5, 0.7, 2);
+            let qos = QosSpec::with_deadline(SimDuration::from_secs(30));
+            for kind in [AllocatorKind::LeastLoaded, AllocatorKind::MinWork] {
+                let full = alloc_with(ExplorationMode::AllSimplePaths, kind)
+                    .allocate(&gr, &view, init, &[goal], &qos, None);
+                let bnb = alloc_with(ExplorationMode::BranchAndBound, kind)
+                    .allocate(&gr, &view, init, &[goal], &qos, None);
+                assert_identical(&full, &bnb);
+            }
+        }
+    }
+
+    #[test]
+    fn bnb_prunes_substantially_on_dense_graphs() {
+        // A wide graph with replicated service edges: exhaustive
+        // enumeration visits thousands of prefixes, the pruned search an
+        // order of magnitude fewer.
+        let (gr, view, init, goal) = random_graph(42, 6, 5, 12, 0.9, 3);
+        let qos = QosSpec::with_deadline(SimDuration::from_secs(60));
+        let full = alloc_with(ExplorationMode::AllSimplePaths, AllocatorKind::MaxFairness)
+            .allocate(&gr, &view, init, &[goal], &qos, None)
+            .unwrap();
+        let bnb = alloc_with(ExplorationMode::BranchAndBound, AllocatorKind::MaxFairness)
+            .allocate(&gr, &view, init, &[goal], &qos, None)
+            .unwrap();
+        assert_eq!(full.path, bnb.path);
+        assert_eq!(full.fairness.to_bits(), bnb.fairness.to_bits());
+        assert!(
+            bnb.stats.explored_prefixes * 2 <= full.stats.explored_prefixes,
+            "expected ≥2× reduction: bnb {} vs full {}",
+            bnb.stats.explored_prefixes,
+            full.stats.explored_prefixes
+        );
+        assert!(
+            bnb.stats.pruned_bound > 0,
+            "bound pruning never fired on a dense graph"
+        );
+    }
+
+    #[test]
+    fn random_without_rng_falls_back_deterministically() {
+        let (gr, view, init, goal) = random_graph(7, 4, 3, 5, 0.8, 1);
+        let qos = QosSpec::with_deadline(SimDuration::from_secs(30));
+        let a = alloc_with(ExplorationMode::AllSimplePaths, AllocatorKind::Random)
+            .allocate(&gr, &view, init, &[goal], &qos, None)
+            .unwrap();
+        let ff = alloc_with(
+            ExplorationMode::AllSimplePaths,
+            AllocatorKind::FirstFeasible,
+        )
+        .allocate(&gr, &view, init, &[goal], &qos, None)
+        .unwrap();
+        // No RNG: "random" degrades to the first feasible candidate, but
+        // keeps scoring every candidate (explored counts differ).
+        assert_eq!(a.path, ff.path);
+    }
+
+    #[test]
+    fn structural_enumeration_is_invalidated_by_epoch() {
+        let (mut gr, _view, init, goal) = random_graph(11, 4, 3, 5, 0.8, 1);
+        let sp = enumerate_structural_paths(&gr, init, &[goal], None, 200_000).unwrap();
+        assert_eq!(sp.epoch, gr.epoch());
+        // A topology change bumps the epoch; the cached set is now stale.
+        gr.add_edge(
+            init,
+            goal,
+            NodeId::new(0),
+            ServiceId::new(9_999),
+            ServiceCost {
+                work_per_sec: 1.0,
+                setup_work: 0.5,
+                bandwidth_kbps: 64,
+            },
+        );
+        assert_ne!(sp.epoch, gr.epoch());
+    }
+
+    #[test]
+    fn stats_roundtrip_and_merge() {
+        let mut a = AllocStats {
+            explored_prefixes: 3,
+            pruned_bound: 2,
+            pruned_dominated: 1,
+        };
+        a.merge(&AllocStats {
+            explored_prefixes: 10,
+            pruned_bound: 20,
+            pruned_dominated: 30,
+        });
+        assert_eq!(a.explored_prefixes, 13);
+        assert_eq!(a.pruned_bound, 22);
+        assert_eq!(a.pruned_dominated, 31);
     }
 }

@@ -40,7 +40,8 @@ pub mod service_graph;
 pub mod task;
 
 pub use alloc::{
-    allocate, AllocError, Allocation, AllocatorKind, ExplorationMode, FairnessAllocator,
+    allocate, enumerate_structural_paths, AllocError, AllocParams, AllocStats, Allocation,
+    AllocatorKind, ExplorationMode, FairnessAllocator, StructNode, StructuralPaths,
 };
 pub use media::{Codec, MediaFormat, MediaObject, Resolution};
 pub use peerview::{PeerInfo, PeerView};

@@ -60,6 +60,11 @@ pub struct ResourceGraph {
     state_index: BTreeMap<MediaFormat, StateId>,
     edges: Vec<ResourceEdge>,
     out: Vec<Vec<EdgeId>>,
+    /// Bumped on every *structural* change (vertex interned, edge added,
+    /// peer removed) — never on load/session updates. Cached derived data
+    /// (e.g. the RM's path-structure cache) is valid exactly while the
+    /// epoch it was computed at still matches.
+    epoch: u64,
 }
 
 impl Serialize for ResourceGraph {
@@ -67,6 +72,7 @@ impl Serialize for ResourceGraph {
         Value::Object(vec![
             ("states".into(), self.states.to_value()),
             ("edges".into(), self.edges.to_value()),
+            ("epoch".into(), self.epoch.to_value()),
         ])
     }
 }
@@ -75,6 +81,8 @@ impl Deserialize for ResourceGraph {
     fn from_value(v: &Value) -> Result<Self, Error> {
         let states = Vec::<MediaFormat>::from_value(v.field("states"))?;
         let edges = Vec::<ResourceEdge>::from_value(v.field("edges"))?;
+        // Absent in snapshots written before epochs existed: treat as 0.
+        let epoch = u64::from_value(v.field("epoch")).unwrap_or(0);
         let mut state_index = BTreeMap::new();
         for (i, &f) in states.iter().enumerate() {
             if state_index.insert(f, StateId(i as u32)).is_some() {
@@ -96,13 +104,16 @@ impl Deserialize for ResourceGraph {
                     states.len()
                 )));
             }
-            out[from].push(e.id);
+            if let Some(list) = out.get_mut(from) {
+                list.push(e.id);
+            }
         }
         Ok(Self {
             states,
             state_index,
             edges,
             out,
+            epoch,
         })
     }
 }
@@ -123,7 +134,14 @@ impl ResourceGraph {
         self.states.push(format);
         self.out.push(Vec::new());
         self.state_index.insert(format, id);
+        self.epoch += 1;
         id
+    }
+
+    /// The structural epoch: bumped on vertex/edge additions and peer
+    /// removals, never on load or session-count updates.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Looks up the vertex for a format, if present.
@@ -133,6 +151,8 @@ impl ResourceGraph {
 
     /// The format labelling a vertex.
     pub fn format(&self, state: StateId) -> MediaFormat {
+        // StateIds are issued by this graph and never removed.
+        debug_assert!((state.0 as usize) < self.states.len());
         self.states[state.0 as usize]
     }
 
@@ -156,7 +176,12 @@ impl ResourceGraph {
             active_sessions: 0,
             alive: true,
         });
-        self.out[from.0 as usize].push(id);
+        // `from` was interned by this graph, so the adjacency slot exists.
+        debug_assert!((from.0 as usize) < self.out.len());
+        if let Some(list) = self.out.get_mut(from.0 as usize) {
+            list.push(id);
+        }
+        self.epoch += 1;
         id
     }
 
@@ -176,19 +201,25 @@ impl ResourceGraph {
 
     /// The edge with the given id.
     pub fn edge(&self, id: EdgeId) -> &ResourceEdge {
+        // EdgeIds are issued by this graph and never removed (edges are
+        // only marked dead), so the slot always exists.
+        debug_assert!((id.0 as usize) < self.edges.len());
         &self.edges[id.0 as usize]
     }
 
     /// Mutable access to an edge (session counting).
     pub fn edge_mut(&mut self, id: EdgeId) -> &mut ResourceEdge {
+        debug_assert!((id.0 as usize) < self.edges.len());
         &mut self.edges[id.0 as usize]
     }
 
     /// Live outgoing edges of a vertex.
     pub fn out_edges(&self, state: StateId) -> impl Iterator<Item = &ResourceEdge> {
-        self.out[state.0 as usize]
-            .iter()
-            .map(|&e| &self.edges[e.0 as usize])
+        self.out
+            .get(state.0 as usize)
+            .into_iter()
+            .flatten()
+            .filter_map(|&e| self.edges.get(e.0 as usize))
             .filter(|e| e.alive)
     }
 
@@ -200,6 +231,12 @@ impl ResourceGraph {
     /// Number of live edges.
     pub fn num_edges(&self) -> usize {
         self.edges.iter().filter(|e| e.alive).count()
+    }
+
+    /// Total number of edge slots ever issued (live + dead). `EdgeId`s are
+    /// dense in `0..edge_capacity()`, so this sizes id-indexed side tables.
+    pub fn edge_capacity(&self) -> usize {
+        self.edges.len()
     }
 
     /// All live edges.
@@ -225,6 +262,9 @@ impl ResourceGraph {
                 removed.push(e.id);
             }
         }
+        if !removed.is_empty() {
+            self.epoch += 1;
+        }
         removed
     }
 
@@ -234,17 +274,21 @@ impl ResourceGraph {
     }
 
     /// Increments the session count along a path (allocation committed).
+    /// Not a structural change: the epoch is untouched.
     pub fn open_sessions(&mut self, path: &[EdgeId]) {
         for &e in path {
-            self.edges[e.0 as usize].active_sessions += 1;
+            if let Some(edge) = self.edges.get_mut(e.0 as usize) {
+                edge.active_sessions += 1;
+            }
         }
     }
 
     /// Decrements the session count along a path (session ended).
     pub fn close_sessions(&mut self, path: &[EdgeId]) {
         for &e in path {
-            let s = &mut self.edges[e.0 as usize].active_sessions;
-            *s = s.saturating_sub(1);
+            if let Some(edge) = self.edges.get_mut(e.0 as usize) {
+                edge.active_sessions = edge.active_sessions.saturating_sub(1);
+            }
         }
     }
 
@@ -347,6 +391,31 @@ mod tests {
         g.close_sessions(&path);
         g.close_sessions(&path); // saturates at zero
         assert_eq!(g.edge(e[0]).active_sessions, 0);
+    }
+
+    #[test]
+    fn epoch_tracks_structural_changes_only() {
+        let mut g = ResourceGraph::new();
+        assert_eq!(g.epoch(), 0);
+        let a = g.intern_state(MediaFormat::paper_source());
+        let e0 = g.epoch();
+        assert!(e0 > 0);
+        // Re-interning an existing format is a no-op.
+        g.intern_state(MediaFormat::paper_source());
+        assert_eq!(g.epoch(), e0);
+        let b = g.intern_state(MediaFormat::paper_target());
+        let eid = g.add_edge(a, b, NodeId::new(1), ServiceId::new(1), ServiceCost::FREE);
+        let e1 = g.epoch();
+        assert!(e1 > e0);
+        // Session counting is load, not structure.
+        g.open_sessions(&[eid]);
+        g.close_sessions(&[eid]);
+        assert_eq!(g.epoch(), e1);
+        // Removing an absent peer is a no-op; removing a real one bumps.
+        g.remove_peer(NodeId::new(9));
+        assert_eq!(g.epoch(), e1);
+        g.remove_peer(NodeId::new(1));
+        assert!(g.epoch() > e1);
     }
 
     #[test]

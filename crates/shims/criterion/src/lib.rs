@@ -12,14 +12,36 @@
 //! `{"id", "mean_ns", "iters"}` objects (the file is rewritten whole on
 //! each binary's exit, merging earlier entries, so a multi-binary
 //! `cargo bench` run accumulates all results).
+//!
+//! Setting `ARM_BENCH_QUICK` (to anything but `0` or the empty string)
+//! shrinks the warmup/measure windows ~10×, for smoke runs in CI where
+//! relative ordering matters more than tight confidence intervals.
 
 use std::hint;
 use std::time::{Duration, Instant};
 
 pub use hint::black_box;
 
-const WARMUP: Duration = Duration::from_millis(120);
-const MEASURE: Duration = Duration::from_millis(400);
+/// True when `ARM_BENCH_QUICK` asks for short smoke-quality timings.
+fn quick_mode() -> bool {
+    std::env::var("ARM_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn warmup_window() -> Duration {
+    if quick_mode() {
+        Duration::from_millis(10)
+    } else {
+        Duration::from_millis(120)
+    }
+}
+
+fn measure_window() -> Duration {
+    if quick_mode() {
+        Duration::from_millis(40)
+    } else {
+        Duration::from_millis(400)
+    }
+}
 
 /// One measured benchmark.
 #[derive(Debug, Clone)]
@@ -211,14 +233,14 @@ impl Bencher {
         // Warmup, also estimating per-iteration cost.
         let warm_start = Instant::now();
         let mut warm_iters = 0u64;
-        while warm_start.elapsed() < WARMUP {
+        while warm_start.elapsed() < warmup_window() {
             hint::black_box(f());
             warm_iters += 1;
         }
         let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
         // Measure in one timed run of a precomputed iteration count to
         // amortize clock reads.
-        let target_iters = ((MEASURE.as_nanos() as f64 / per_iter.max(1.0)) as u64).max(1);
+        let target_iters = ((measure_window().as_nanos() as f64 / per_iter.max(1.0)) as u64).max(1);
         let start = Instant::now();
         for _ in 0..target_iters {
             hint::black_box(f());

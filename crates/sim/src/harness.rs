@@ -545,6 +545,30 @@ impl Simulation {
         self.report.wall_ms = started.elapsed().as_millis() as u64;
         self.report.events_processed = self.sim.processed();
         self.report.max_queue_depth = self.sim.max_queue_depth() as u64;
+        // Allocator efficiency: sum search/cache counters over the RMs
+        // still alive (counters of crashed RMs die with them, like every
+        // other piece of in-node state).
+        let mut alloc_totals = arm_core::AllocMetrics::default();
+        for id in &self.alive {
+            let Some(rm) = self.nodes[id].rm_state() else {
+                continue;
+            };
+            let m = rm.alloc_metrics;
+            alloc_totals.merge(&m);
+            if self.recorder.is_enabled() {
+                let labels = Labels::domain(rm.domain);
+                self.recorder
+                    .add("alloc_explored_prefixes", labels, m.explored_prefixes);
+                self.recorder
+                    .add("alloc_pruned_bound", labels, m.pruned_bound);
+                self.recorder
+                    .add("alloc_pruned_dominated", labels, m.pruned_dominated);
+                self.recorder.add("alloc_cache_hits", labels, m.cache_hits);
+                self.recorder
+                    .add("alloc_cache_misses", labels, m.cache_misses);
+            }
+        }
+        self.report.alloc = alloc_totals;
         if self.recorder.is_enabled() {
             self.recorder
                 .add("des_events_processed", Labels::NONE, self.sim.processed());
@@ -741,6 +765,25 @@ mod tests {
             .map(|h| h.histogram.total())
             .sum();
         assert!(total > 0, "completed tasks close their spans");
+        // Allocator efficiency counters are exported per domain and summed
+        // into the report.
+        assert!(
+            report.alloc.explored_prefixes > 0,
+            "allocations ran: {:?}",
+            report.alloc
+        );
+        assert!(
+            report.alloc.cache_hits + report.alloc.cache_misses > 0,
+            "path cache consulted: {:?}",
+            report.alloc
+        );
+        let explored: u64 = metrics
+            .counters
+            .iter()
+            .filter(|c| c.key.starts_with("alloc_explored_prefixes"))
+            .map(|c| c.value)
+            .sum();
+        assert_eq!(explored, report.alloc.explored_prefixes);
 
         // Telemetry must not perturb the simulation itself.
         let baseline = Simulation::new(small_scenario(1)).run();

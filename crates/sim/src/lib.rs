@@ -25,6 +25,6 @@ mod report;
 mod scenario;
 
 pub use harness::Simulation;
-pub use parallel::run_parallel;
+pub use parallel::{allocate_batch, run_parallel, AllocJob};
 pub use report::{OutcomeCounts, SimReport};
 pub use scenario::ScenarioConfig;

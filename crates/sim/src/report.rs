@@ -1,5 +1,6 @@
 //! Run results.
 
+use arm_core::AllocMetrics;
 use arm_telemetry::MetricsSnapshot;
 use arm_util::stats::Summary;
 use serde::{Deserialize, Serialize};
@@ -99,6 +100,10 @@ pub struct SimReport {
     /// (version ≥ 1) summary of every other alive domain — the gossip
     /// convergence point (E12). `None` if never reached.
     pub gossip_converged_at: Option<f64>,
+    /// Allocator efficiency totals summed over every RM alive at the end
+    /// of the run: prefixes explored/pruned by the path search and the
+    /// structural path cache's hit/miss counts.
+    pub alloc: AllocMetrics,
     /// Metrics snapshot; present when the run had telemetry enabled.
     pub metrics: Option<MetricsSnapshot>,
     /// Structured trace events recorded per kind, *including* events the
@@ -174,6 +179,7 @@ impl SimReport {
         self.wall_ms += other.wall_ms;
         self.events_processed += other.events_processed;
         self.max_queue_depth = self.max_queue_depth.max(other.max_queue_depth);
+        self.alloc.merge(&other.alloc);
         self.gossip_converged_at = match (self.gossip_converged_at, other.gossip_converged_at) {
             // Merged runs all converged: report the slowest of them.
             (Some(a), Some(b)) => Some(a.max(b)),

@@ -57,6 +57,69 @@ fn finish(n: usize, sum: f64, sum_sq: f64) -> f64 {
     (sum * sum) / (n as f64 * sum_sq)
 }
 
+/// Best achievable Jain's index over any completion of a partial
+/// allocation: the maximum of `F(x)` over all `x ≥ loads` with
+/// `Σ(x_i − loads_i) ≤ budget`.
+///
+/// `sorted_loads` must be the current loads in ascending order; `total`
+/// and `total_sq` are `Σ loads` and `Σ loads²` (as maintained by
+/// [`FairnessTracker`]). The maximum is attained by water-filling: raising
+/// the lowest loads to a common level strictly increases `F` (a coordinate
+/// below the square-mean-over-mean always does, and the lowest coordinate
+/// always is) until either the budget runs out or all loads are equal
+/// (`F = 1`). This makes the returned value an *admissible* upper bound
+/// for branch-and-bound search: no feasible completion — which can only
+/// add work, in total at most `budget` — can score higher.
+///
+/// A non-positive budget returns the current index; an empty slice
+/// returns 1.0 (matching [`fairness_index`]).
+///
+/// # Examples
+///
+/// ```
+/// use arm_util::{fairness_index, fairness_upper_bound};
+/// let loads = [0.0, 4.0, 8.0];
+/// let (t, q) = (12.0, 80.0);
+/// // Enough budget to equalise: the bound reaches 1 (up to rounding).
+/// assert!(fairness_upper_bound(&loads, t, q, 100.0) >= 1.0 - 1e-12);
+/// // No budget: the bound is the current fairness.
+/// let f = fairness_upper_bound(&loads, t, q, 0.0);
+/// assert!((f - fairness_index(&loads)).abs() < 1e-12);
+/// ```
+pub fn fairness_upper_bound(sorted_loads: &[f64], total: f64, total_sq: f64, budget: f64) -> f64 {
+    let n = sorted_loads.len();
+    if n == 0 {
+        return 1.0;
+    }
+    if budget <= 0.0 {
+        return finish(n, total, total_sq);
+    }
+    // Water-fill: find the largest m such that raising the m lowest loads
+    // to a common level L = (s_m + budget) / m stays below the (m+1)-th
+    // load. Loads at or above L are untouched.
+    let mut s_m = 0.0; // sum of the m lowest loads
+    let mut q_m = 0.0; // sum of their squares
+    let mut m = 0usize;
+    let mut level = 0.0;
+    while m < n {
+        let v = sorted_loads[m];
+        s_m += v;
+        q_m += v * v;
+        m += 1;
+        level = (s_m + budget) / m as f64;
+        if m < n && level <= sorted_loads[m] {
+            break;
+        }
+    }
+    // x = (L, …, L, a_{m+1}, …, a_n): sum grows by the full budget, the
+    // m raised squares become m·L².
+    let sum = total + budget;
+    let sum_sq = total_sq - q_m + m as f64 * level * level;
+    // Raising every load to a common level can only reach F = 1; guard
+    // against rounding pushing the ratio above it.
+    finish(n, sum, sum_sq).min(1.0)
+}
+
 /// Incrementally maintained fairness over a fixed-size set of peer loads.
 ///
 /// Supports O(1) point updates and O(1) index queries, plus *hypothetical*
@@ -129,6 +192,14 @@ impl FairnessTracker {
     #[inline]
     pub fn total(&self) -> f64 {
         self.sum
+    }
+
+    /// Sum of squared loads (the `Σl²` of Eq. 1), as maintained
+    /// incrementally — pairs with [`FairnessTracker::total`] to feed
+    /// [`fairness_upper_bound`].
+    #[inline]
+    pub fn total_sq(&self) -> f64 {
+        self.sum_sq
     }
 
     /// Mean load per peer.

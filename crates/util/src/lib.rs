@@ -29,7 +29,7 @@ pub mod stats;
 pub mod time;
 
 pub use bloom::BloomFilter;
-pub use fairness::{fairness_index, FairnessTracker};
+pub use fairness::{fairness_index, fairness_upper_bound, FairnessTracker};
 pub use id::{DomainId, NodeId, ObjectId, ServiceId, SessionId, TaskId};
 pub use rng::DetRng;
 pub use stats::{Ewma, Histogram, Welford};
