@@ -12,14 +12,14 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn heartbeat() -> WirePayload {
-    WirePayload::Envelope(Envelope {
-        from: NodeId::new(1),
-        to: NodeId::new(2),
-        msg: Message::Heartbeat {
+    WirePayload::Envelope(Envelope::untraced(
+        NodeId::new(1),
+        NodeId::new(2),
+        Message::Heartbeat {
             from: NodeId::new(1),
             sent_at: SimTime::from_millis(12_345),
         },
-    })
+    ))
 }
 
 fn gossip(domains: u64) -> WirePayload {
@@ -41,11 +41,11 @@ fn gossip(domains: u64) -> WirePayload {
             }
         })
         .collect();
-    WirePayload::Envelope(Envelope {
-        from: NodeId::new(1),
-        to: NodeId::new(2),
-        msg: Message::GossipDigest { summaries },
-    })
+    WirePayload::Envelope(Envelope::untraced(
+        NodeId::new(1),
+        NodeId::new(2),
+        Message::GossipDigest { summaries },
+    ))
 }
 
 fn bench_wire(c: &mut Criterion) {

@@ -166,6 +166,18 @@ pub fn cluster(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let cluster = NetCluster::start(demo_spawns(peers), &config, TcpOptions::default())
         .map_err(|e| format!("starting cluster: {e}"))?;
 
+    // Publish the listen addresses (for `arm top` / `arm trace` observers
+    // and the CI smoke job) before the overlay warms up.
+    let addrs = cluster.listen_addrs();
+    if let Some(path) = flags.get("addr-file") {
+        let lines: String = addrs
+            .iter()
+            .map(|(id, addr)| format!("{} {addr}\n", id.raw()))
+            .collect();
+        std::fs::write(path, lines).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("listen addresses written to {path}");
+    }
+
     // Let the overlay form (joins, heartbeats, first load reports).
     std::thread::sleep(Duration::from_millis(800));
     let requester = NodeId::new(peers);
@@ -186,6 +198,14 @@ pub fn cluster(flags: &BTreeMap<String, String>) -> Result<(), String> {
     };
     // Give the session a moment to start streaming before tearing down.
     std::thread::sleep(Duration::from_millis(300));
+
+    // Hold the cluster alive serving status queries so observers (`arm
+    // top`, `arm trace`, the CI obs-smoke job) can interrogate it.
+    let hold = parse_u64(flags, "hold-secs", 0)?;
+    if hold > 0 {
+        println!("holding cluster for {hold}s (status port open for arm top/trace)...");
+        std::thread::sleep(Duration::from_secs(hold));
+    }
 
     let telemetry = cluster.telemetry();
     let virtual_secs = cluster.clock().now().as_secs_f64();

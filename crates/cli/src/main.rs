@@ -14,8 +14,15 @@
 //! arm experiment <e01..e14|all> [--quick]   run a reproduction experiment
 //! arm cluster [--peers N] [--seed S]        live loopback TCP cluster running
 //!             [--metrics out.json]          the demo workload end-to-end
+//!             [--hold-secs S]               keep serving status after the demo
+//!             [--addr-file path]            write "id addr" lines on boot
 //! arm node --listen ADDR [--id N]           one live peer over TCP
 //!          [--bootstrap ADDR] [--secs S]
+//! arm top --addr HOST:PORT [--iters N]      live cluster table over the wire
+//! arm trace --addr HOST:PORT                merge every node's trace ring
+//!           [--out merged.jsonl]            into one causal JSONL timeline
+//!           [--expect-chain]                fail unless a submit→terminal
+//!                                           cross-node chain is complete
 //! ```
 //!
 //! Argument parsing is deliberately dependency-free (no CLI crates in the
@@ -27,6 +34,7 @@ use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 mod live;
+mod obs;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,6 +50,8 @@ fn main() -> ExitCode {
         "experiment" => experiment(&args[1..]),
         "cluster" => live::cluster(&flags),
         "node" => live::node(&flags),
+        "top" => obs::top(&flags),
+        "trace" => obs::trace(&flags),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -66,8 +76,10 @@ USAGE:
                [--trace events.jsonl] [--metrics metrics.json]
   arm topology [--clusters N] [--per-cluster M] [--seed S]
   arm experiment <e01..e14|all> [--quick]
-  arm cluster [--peers N] [--seed S] [--metrics out.json]
-  arm node --listen ADDR [--id N] [--bootstrap ADDR] [--secs S] [--metrics out.json]";
+  arm cluster [--peers N] [--seed S] [--metrics out.json] [--hold-secs S] [--addr-file path]
+  arm node --listen ADDR [--id N] [--bootstrap ADDR] [--secs S] [--metrics out.json]
+  arm top --addr HOST:PORT [--iters N] [--period-ms MS]
+  arm trace --addr HOST:PORT [--out merged.jsonl] [--expect-chain]";
 
 /// `--name value` pairs (a trailing flag without a value maps to "true").
 fn parse_flags(args: &[String]) -> BTreeMap<String, String> {
@@ -207,6 +219,9 @@ fn simulate(flags: &BTreeMap<String, String>) -> Result<(), String> {
             println!("  {kind:<20} {count}");
         }
     }
+    if telemetry {
+        print_derived_rates(&report, &recorder.snapshot());
+    }
 
     if let Some(out) = flags.get("trace") {
         let mut buf = Vec::new();
@@ -232,6 +247,66 @@ fn simulate(flags: &BTreeMap<String, String>) -> Result<(), String> {
         println!("full report written to {out}");
     }
     Ok(())
+}
+
+/// Rates derived from the raw counters: allocator cache effectiveness,
+/// trace-ring eviction pressure, and per-message-kind handler latency
+/// quantiles from the profiler's `handle_seconds{kind=...}` histograms.
+fn print_derived_rates(report: &arm_sim::SimReport, snapshot: &arm_telemetry::MetricsSnapshot) {
+    println!();
+    println!("derived rates:");
+    let lookups = report.alloc.cache_hits + report.alloc.cache_misses;
+    if lookups > 0 {
+        println!(
+            "  alloc cache hit      {:.1}% ({} of {lookups} lookups)",
+            report.alloc.cache_hits as f64 / lookups as f64 * 100.0,
+            report.alloc.cache_hits
+        );
+    }
+    let recorded: u64 = report.trace_counts.values().sum();
+    if recorded > 0 {
+        println!(
+            "  traces dropped       {:.2}% ({} of {recorded} evicted from the ring)",
+            report.traces_dropped as f64 / recorded as f64 * 100.0,
+            report.traces_dropped
+        );
+    }
+    let prefix = format!("{}{{", arm_core::HANDLE_METRIC);
+    let mut handled = false;
+    for entry in &snapshot.histograms {
+        let Some(rest) = entry.key.strip_prefix(&prefix) else {
+            continue;
+        };
+        // Key renders as `handle_seconds{kind="heartbeat"}`.
+        let kind = rest
+            .split("kind=\"")
+            .nth(1)
+            .and_then(|s| s.split('"').next())
+            .unwrap_or(rest);
+        let (Some(p50), Some(p99)) = (
+            entry.histogram.quantile(0.5),
+            entry.histogram.quantile(0.99),
+        ) else {
+            continue;
+        };
+        if !handled {
+            println!(
+                "  handle p50/p99 (µs, {} kinds):",
+                snapshot
+                    .histograms
+                    .iter()
+                    .filter(|h| h.key.starts_with(&prefix))
+                    .count()
+            );
+            handled = true;
+        }
+        println!(
+            "    {kind:<18} {:>8.1} / {:>8.1}  ({} samples)",
+            p50 * 1e6,
+            p99 * 1e6,
+            entry.histogram.total()
+        );
+    }
 }
 
 fn topology(flags: &BTreeMap<String, String>) -> Result<(), String> {

@@ -1,0 +1,389 @@
+//! `arm top` / `arm trace`: live introspection over the wire.
+//!
+//! Both verbs are pure observers: they speak only the
+//! `StatusRequest`/`StatusReport` frames (no `Hello`, no `NodeId` of their
+//! own) and discover the cluster by walking the address books the reports
+//! gossip back. Seeded with one `--addr`, they reach every node any
+//! reachable node knows about.
+//!
+//! * `arm top --addr HOST:PORT [--iters N] [--period-ms MS]` — a live
+//!   refreshing cluster table: role, domain, load, active hops, open task
+//!   spans, wire counters.
+//! * `arm trace --addr HOST:PORT [--out merged.jsonl] [--expect-chain]` —
+//!   collects every node's trace ring and merges them into one
+//!   causally-ordered JSONL timeline. With `--expect-chain` it fails unless
+//!   the merged timeline contains a complete submit→terminal causal chain.
+
+use arm_telemetry::{merge_timeline, write_jsonl, TaskPhase, TraceEvent, TraceKind};
+use arm_util::NodeId;
+use arm_wire::{query_status, StatusReport};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::time::Duration;
+
+/// Observers introduce themselves with this id (informational only).
+const OBSERVER: NodeId = NodeId::new(u64::MAX);
+
+/// Upper bound on the cluster walk, so a malicious or buggy address book
+/// cannot make an observer dial forever.
+const MAX_WALK: usize = 256;
+
+fn parse_flag_u64(
+    flags: &BTreeMap<String, String>,
+    name: &str,
+    default: u64,
+) -> Result<u64, String> {
+    flags
+        .get(name)
+        .map(|v| v.parse().map_err(|e| format!("bad --{name}: {e}")))
+        .transpose()
+        .map(|v| v.unwrap_or(default))
+}
+
+/// Walks the cluster from one seed address: queries it, then every address
+/// its report gossips, breadth-first, deduplicating by node id. Unreachable
+/// peers are skipped (reported in the returned error list), not fatal.
+fn collect_reports(
+    seed: &str,
+    include_trace: bool,
+    timeout: Duration,
+) -> (Vec<StatusReport>, Vec<String>) {
+    let mut reports: BTreeMap<NodeId, StatusReport> = BTreeMap::new();
+    let mut errors = Vec::new();
+    let mut seen_addrs: BTreeSet<String> = BTreeSet::new();
+    let mut queue: VecDeque<String> = VecDeque::new();
+    queue.push_back(seed.to_string());
+    seen_addrs.insert(seed.to_string());
+    while let Some(addr) = queue.pop_front() {
+        if reports.len() >= MAX_WALK {
+            errors.push(format!("cluster walk capped at {MAX_WALK} nodes"));
+            break;
+        }
+        match query_status(&addr, OBSERVER, include_trace, timeout) {
+            Ok(report) => {
+                for (peer, peer_addr) in &report.peers {
+                    if !reports.contains_key(peer) && seen_addrs.insert(peer_addr.clone()) {
+                        queue.push_back(peer_addr.clone());
+                    }
+                }
+                reports.insert(report.node, report);
+            }
+            Err(e) => errors.push(format!("{addr}: {e}")),
+        }
+    }
+    (reports.into_values().collect(), errors)
+}
+
+fn render_table(reports: &[StatusReport]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<6} {:<8} {:<8} {:<6} {:>8} {:>6} {:>6} {:>7} {:>10} {:>10} {:>8}\n",
+        "node",
+        "role",
+        "domain",
+        "rm",
+        "load",
+        "hops",
+        "spans",
+        "sess",
+        "msgs in",
+        "msgs out",
+        "dropped"
+    ));
+    for r in reports {
+        out.push_str(&format!(
+            "{:<6} {:<8} {:<8} {:<6} {:>8.1} {:>6} {:>6} {:>7} {:>10} {:>10} {:>8}\n",
+            r.node.to_string(),
+            r.role,
+            r.domain
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "-".into()),
+            r.rm.map(|n| n.to_string()).unwrap_or_else(|| "-".into()),
+            r.load,
+            r.active_hops,
+            r.open_spans,
+            r.sessions
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "-".into()),
+            r.transport.msgs_in(),
+            r.transport.msgs_out(),
+            r.traces_dropped,
+        ));
+    }
+    out
+}
+
+/// `arm top --addr HOST:PORT [--iters N] [--period-ms MS]`.
+pub fn top(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let Some(addr) = flags.get("addr") else {
+        return Err("top requires --addr HOST:PORT".into());
+    };
+    let iters = parse_flag_u64(flags, "iters", 0)?; // 0 = forever
+    let period = Duration::from_millis(parse_flag_u64(flags, "period-ms", 1000)?);
+    let timeout = Duration::from_millis(parse_flag_u64(flags, "timeout-ms", 2000)?);
+    let mut round: u64 = 0;
+    loop {
+        round += 1;
+        let (reports, errors) = collect_reports(addr, false, timeout);
+        if reports.is_empty() {
+            return Err(format!(
+                "no node answered a status request: {}",
+                errors.join("; ")
+            ));
+        }
+        // Repaint in place on refresh; plain append on a single shot so the
+        // output stays pipeable.
+        if iters != 1 && round > 1 {
+            print!("\x1b[2J\x1b[H");
+        }
+        let rms = reports.iter().filter(|r| r.role == "rm").count();
+        println!(
+            "arm top — {} nodes, {} domains (round {round})",
+            reports.len(),
+            rms
+        );
+        print!("{}", render_table(&reports));
+        for e in &errors {
+            println!("unreachable: {e}");
+        }
+        if iters != 0 && round >= iters {
+            return Ok(());
+        }
+        std::thread::sleep(period);
+    }
+}
+
+/// Verifies the merged timeline contains at least one complete causal
+/// chain: a trace whose events include a `Submit` and a `Terminal` task
+/// phase, whose every parent span resolves within the same trace, and
+/// which crosses at least two peers. Returns a description of the best
+/// chain, or an error naming what was missing.
+fn verify_chain(events: &[TraceEvent]) -> Result<String, String> {
+    let mut by_trace: BTreeMap<u64, Vec<&TraceEvent>> = BTreeMap::new();
+    for ev in events.iter().filter(|e| e.trace_id != 0) {
+        by_trace.entry(ev.trace_id).or_default().push(ev);
+    }
+    if by_trace.is_empty() {
+        return Err("no causally-tagged events in the merged timeline".into());
+    }
+    let mut best_failure = String::from("no trace carries a submit phase");
+    for (trace, evs) in &by_trace {
+        let has_submit = evs.iter().any(|e| {
+            matches!(
+                e.kind,
+                TraceKind::TaskPhase {
+                    phase: TaskPhase::Submit,
+                    ..
+                }
+            )
+        });
+        if !has_submit {
+            continue;
+        }
+        let has_terminal = evs.iter().any(|e| {
+            matches!(
+                e.kind,
+                TraceKind::TaskPhase {
+                    phase: TaskPhase::Terminal,
+                    ..
+                }
+            )
+        });
+        if !has_terminal {
+            best_failure = format!("trace {trace:#x} has a submit but no terminal phase");
+            continue;
+        }
+        let spans: BTreeSet<u64> = evs.iter().map(|e| e.span).collect();
+        if let Some(orphan) = evs
+            .iter()
+            .find(|e| e.parent != 0 && !spans.contains(&e.parent))
+        {
+            best_failure = format!(
+                "trace {trace:#x}: span {:#x} has unresolvable parent {:#x}",
+                orphan.span, orphan.parent
+            );
+            continue;
+        }
+        let peers: BTreeSet<NodeId> = evs.iter().map(|e| e.peer).collect();
+        if peers.len() < 2 {
+            best_failure = format!("trace {trace:#x} never crossed a node boundary");
+            continue;
+        }
+        return Ok(format!(
+            "trace {trace:#x}: {} events across {} nodes, submit→terminal chain complete",
+            evs.len(),
+            peers.len()
+        ));
+    }
+    Err(best_failure)
+}
+
+/// `arm trace --addr HOST:PORT [--out merged.jsonl] [--expect-chain]`.
+pub fn trace(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let Some(addr) = flags.get("addr") else {
+        return Err("trace requires --addr HOST:PORT".into());
+    };
+    let out = flags
+        .get("out")
+        .map(String::as_str)
+        .unwrap_or("merged.jsonl");
+    let timeout = Duration::from_millis(parse_flag_u64(flags, "timeout-ms", 2000)?);
+    let (reports, errors) = collect_reports(addr, true, timeout);
+    if reports.is_empty() {
+        return Err(format!(
+            "no node answered a status request: {}",
+            errors.join("; ")
+        ));
+    }
+    let mut events = Vec::new();
+    let mut dropped_total: u64 = 0;
+    for r in &reports {
+        let ring = r.trace.as_deref().unwrap_or_default();
+        println!(
+            "node {:<4} ring {:>6} events, {} dropped",
+            r.node.to_string(),
+            ring.len(),
+            r.traces_dropped
+        );
+        dropped_total += r.traces_dropped;
+        events.extend_from_slice(ring);
+    }
+    for e in &errors {
+        println!("unreachable: {e}");
+    }
+    let merged = merge_timeline(events);
+    let mut buf = Vec::new();
+    write_jsonl(&mut buf, merged.iter()).map_err(|e| format!("serialising timeline: {e}"))?;
+    std::fs::write(out, buf).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "merged timeline: {} events from {} nodes ({} dropped before collection) -> {out}",
+        merged.len(),
+        reports.len(),
+        dropped_total
+    );
+    if flags.contains_key("expect-chain") {
+        let summary = verify_chain(&merged).map_err(|e| format!("causal chain incomplete: {e}"))?;
+        println!("{summary}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arm_util::SimTime;
+
+    fn phase_event(
+        at: u64,
+        peer: u64,
+        trace: u64,
+        span: u64,
+        parent: u64,
+        phase: TaskPhase,
+    ) -> TraceEvent {
+        TraceEvent::new(
+            SimTime::from_millis(at),
+            NodeId::new(peer),
+            None,
+            TraceKind::TaskPhase {
+                task: arm_util::TaskId::new(1),
+                phase,
+            },
+        )
+        .causal(trace, span, parent)
+    }
+
+    #[test]
+    fn chain_verification_accepts_a_complete_cross_node_chain() {
+        let events = vec![
+            phase_event(1, 4, 77, 100, 0, TaskPhase::Submit),
+            phase_event(2, 1, 77, 200, 100, TaskPhase::Allocation),
+            phase_event(3, 1, 77, 300, 200, TaskPhase::Terminal),
+        ];
+        let summary = verify_chain(&events).unwrap();
+        assert!(summary.contains("2 nodes"), "{summary}");
+    }
+
+    #[test]
+    fn top_and_trace_observe_a_live_cluster() {
+        use arm_runtime::net::{NetCluster, NetPeerConfig};
+        use arm_runtime::PeerSpawn;
+
+        let spawns: Vec<PeerSpawn> = (1..=3)
+            .map(|i| PeerSpawn {
+                id: NodeId::new(i),
+                capacity: 100.0,
+                bandwidth_kbps: 10_000,
+                objects: vec![],
+                services: vec![],
+                bootstrap: (i > 1).then(|| NodeId::new(1)),
+            })
+            .collect();
+        let config = NetPeerConfig {
+            protocol: arm_core::ProtocolConfig {
+                heartbeat_period: arm_util::SimDuration::from_millis(100),
+                heartbeat_timeout: arm_util::SimDuration::from_millis(400),
+                report_period: arm_util::SimDuration::from_millis(100),
+                join_timeout: arm_util::SimDuration::from_millis(400),
+                ..arm_core::ProtocolConfig::default()
+            },
+            seed: 11,
+            tracing: true,
+        };
+        let cluster = NetCluster::start(spawns, &config, arm_wire::TcpOptions::default()).unwrap();
+        let seed_addr = cluster.listen_addrs()[0].1.clone();
+
+        // Wait until the overlay has formed before observing.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let (reports, _) = collect_reports(&seed_addr, false, Duration::from_secs(2));
+            if reports.len() == 3 && reports.iter().any(|r| r.role == "rm") {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "overlay never formed: {reports:?}"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+
+        let mut flags = BTreeMap::new();
+        flags.insert("addr".to_string(), seed_addr.clone());
+        flags.insert("iters".to_string(), "1".to_string());
+        top(&flags).unwrap();
+
+        let out = std::env::temp_dir().join("arm-cli-obs-test.jsonl");
+        let mut flags = BTreeMap::new();
+        flags.insert("addr".to_string(), seed_addr);
+        flags.insert("out".to_string(), out.to_str().unwrap().to_string());
+        trace(&flags).unwrap();
+        cluster.shutdown();
+
+        let jsonl = std::fs::read_to_string(&out).unwrap();
+        let events = arm_telemetry::TraceLog::parse_jsonl(&jsonl).unwrap();
+        assert!(!events.is_empty(), "merged timeline has events");
+        // The merged file carries the schema header and is causally ordered.
+        assert!(jsonl.lines().next().unwrap().contains("\"schema\""));
+        assert!(events.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn chain_verification_rejects_orphans_and_single_node_traces() {
+        // Orphan parent.
+        let orphan = vec![
+            phase_event(1, 4, 77, 100, 0, TaskPhase::Submit),
+            phase_event(3, 1, 77, 300, 999, TaskPhase::Terminal),
+        ];
+        assert!(verify_chain(&orphan).unwrap_err().contains("unresolvable"));
+        // Never left one node.
+        let local = vec![
+            phase_event(1, 4, 77, 100, 0, TaskPhase::Submit),
+            phase_event(3, 4, 77, 300, 100, TaskPhase::Terminal),
+        ];
+        assert!(verify_chain(&local).unwrap_err().contains("node boundary"));
+        // No terminal.
+        let open = vec![phase_event(1, 4, 77, 100, 0, TaskPhase::Submit)];
+        assert!(verify_chain(&open).unwrap_err().contains("no terminal"));
+        // Nothing tagged at all.
+        assert!(verify_chain(&[]).is_err());
+    }
+}

@@ -2,7 +2,7 @@
 
 use arm_model::task::TaskOutcome;
 use arm_model::TaskSpec;
-use arm_proto::Message;
+use arm_proto::{Message, TraceCtx};
 use arm_telemetry::TraceEvent;
 use arm_util::{DomainId, NodeId, SessionId, SimDuration, SimTime, TaskId};
 use serde::{Deserialize, Serialize};
@@ -48,6 +48,9 @@ pub enum Event {
         from: NodeId,
         /// The payload.
         msg: Message,
+        /// Causal trace context the message's envelope carried
+        /// ([`TraceCtx::NONE`] for untraced traffic and legacy frames).
+        ctx: TraceCtx,
     },
     /// A previously armed timer fired.
     Timer(TimerKind),
@@ -68,6 +71,18 @@ pub enum Event {
         /// Whether departure is announced.
         graceful: bool,
     },
+}
+
+impl Event {
+    /// Convenience: an inbound message with no trace context, for drivers
+    /// and tests that don't propagate causality.
+    pub fn msg(from: NodeId, msg: Message) -> Self {
+        Event::Msg {
+            from,
+            msg,
+            ctx: TraceCtx::NONE,
+        }
+    }
 }
 
 /// An output of the state machine, executed by the driver.

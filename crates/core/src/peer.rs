@@ -16,7 +16,7 @@ use crate::rm::RmState;
 use arm_model::task::TaskOutcome;
 use arm_model::{MediaObject, PeerInfo, ServiceSpec, TaskSpec};
 use arm_profiler::Profiler;
-use arm_proto::{Message, RmCandidacy, RmSnapshot, TaskReplyKind};
+use arm_proto::{Message, RmCandidacy, RmSnapshot, TaskReplyKind, TraceCtx};
 use arm_sched::{Job, JobId, LocalScheduler, SchedulerConfig};
 use arm_telemetry::{TaskPhase, TraceEvent, TraceKind};
 use arm_util::{DetRng, DomainId, NodeId, SessionId, SimTime};
@@ -24,17 +24,26 @@ use std::collections::BTreeMap;
 
 /// Appends an [`Action::Trace`] when tracing is on. A free function (not a
 /// method) so callsites can use it while `self.rm_state` is mutably
-/// borrowed.
+/// borrowed. `causal` is the `(trace_id, span, parent)` triple of the
+/// handling episode; it is attached only when a live trace is being
+/// followed (`trace_id != 0`), so periodic/untraced events keep all-zero
+/// causal fields and serialize exactly as before.
 fn push_trace(
     actions: &mut Vec<Action>,
     tracing: bool,
     at: SimTime,
     peer: NodeId,
     domain: Option<DomainId>,
+    causal: (u64, u64, u64),
     kind: TraceKind,
 ) {
     if tracing {
-        actions.push(Action::Trace(TraceEvent::new(at, peer, domain, kind)));
+        let mut event = TraceEvent::new(at, peer, domain, kind);
+        let (trace_id, span, parent) = causal;
+        if trace_id != 0 {
+            event = event.causal(trace_id, span, parent);
+        }
+        actions.push(Action::Trace(event));
     }
 }
 
@@ -106,6 +115,22 @@ pub struct PeerNode {
     /// Last backup choice announced via a `Qualification` trace event, so
     /// the periodic backup tick only traces *changes*.
     traced_backup: Option<NodeId>,
+    /// Logical count of events handled so far. Incremented for *every*
+    /// event — traced or not — so span ids are identical whether or not
+    /// tracing is on, and merged traces are reproducible across runs.
+    span_counter: u64,
+    /// Span id of the event currently being handled:
+    /// `(node_id << 32) | span_counter`.
+    cur_span: u64,
+    /// Trace id the current handling episode belongs to (0 = untraced).
+    cur_trace: u64,
+    /// Causal parent of the current span — the sender-side span whose
+    /// message triggered this episode (0 = root or untraced).
+    cur_parent: u64,
+    /// Per-session `(trace_id, allocation span)` links, so session timers
+    /// (`SessionEnd`, `ComposeTimeout`) and late acks re-enter the trace
+    /// that allocated the session with a deterministic parent.
+    session_traces: BTreeMap<SessionId, (u64, u64)>,
 }
 
 impl PeerNode {
@@ -157,6 +182,11 @@ impl PeerNode {
             rng: DetRng::new(seed).stream_idx("peer", id.raw()),
             tracing: false,
             traced_backup: None,
+            span_counter: 0,
+            cur_span: 0,
+            cur_trace: 0,
+            cur_parent: 0,
+            session_traces: BTreeMap::new(),
             cfg,
         }
     }
@@ -223,9 +253,43 @@ impl PeerNode {
 
     // ---- the event loop ----------------------------------------------------
 
+    /// The trace context outbound messages of the current handling episode
+    /// carry: the live trace plus this episode's span as the receiver's
+    /// causal parent. [`TraceCtx::NONE`] while no trace is being followed.
+    /// Drivers read this *after* [`on_event`](Self::on_event) returns and
+    /// attach it to the envelopes of that batch's `Send` actions.
+    pub fn out_ctx(&self) -> TraceCtx {
+        if self.cur_trace == 0 {
+            TraceCtx::NONE
+        } else {
+            TraceCtx {
+                trace_id: self.cur_trace,
+                parent_span: self.cur_span,
+                flags: 0,
+            }
+        }
+    }
+
     /// Feeds one event; returns the actions the driver must execute.
     pub fn on_event(&mut self, now: SimTime, event: Event) -> Vec<Action> {
         let mut actions = Vec::new();
+        // Every handled event opens a fresh span — traced or not — so span
+        // ids (node id × logical counter) are identical whether tracing is
+        // on and merged traces are reproducible.
+        self.span_counter += 1;
+        self.cur_span = (self.id.raw() << 32) | self.span_counter;
+        (self.cur_trace, self.cur_parent) = match &event {
+            Event::Msg { ctx, .. } => (ctx.trace_id, ctx.parent_span),
+            // A local submission roots a fresh trace at its own span. The
+            // span id doubles as the trace id: unique per (node, event).
+            Event::SubmitTask(_) => (self.cur_span, 0),
+            // Session timers re-enter the trace that allocated the session,
+            // parented to the allocation span.
+            Event::Timer(TimerKind::SessionEnd(s) | TimerKind::ComposeTimeout(s)) => {
+                self.session_traces.get(s).copied().unwrap_or((0, 0))
+            }
+            _ => (0, 0),
+        };
         // Drive the local scheduler up to now and harvest completions
         // before handling anything else.
         self.sched.advance_to(now);
@@ -233,7 +297,7 @@ impl PeerNode {
 
         match event {
             Event::Start { bootstrap } => self.on_start(now, bootstrap, &mut actions),
-            Event::Msg { from, msg } => self.on_msg(now, from, msg, &mut actions),
+            Event::Msg { from, msg, .. } => self.on_msg(now, from, msg, &mut actions),
             Event::Timer(kind) => self.on_timer(now, kind, &mut actions),
             Event::SubmitTask(task) => self.on_submit(now, task, &mut actions),
             Event::Renegotiate { task, new_qos } => match self.role {
@@ -312,6 +376,7 @@ impl PeerNode {
             now,
             self.id,
             Some(domain),
+            (self.cur_trace, self.cur_span, self.cur_parent),
             TraceKind::RmElected { members },
         );
         self.arm_common_timers(actions);
@@ -359,6 +424,22 @@ impl PeerNode {
     fn on_msg(&mut self, now: SimTime, from: NodeId, msg: Message, actions: &mut Vec<Action>) {
         if self.role == Role::Idle {
             return;
+        }
+        // One causal hop: a traced message reached this peer. Untraced
+        // traffic (periodic heartbeats, gossip) stays silent.
+        if self.tracing && self.cur_trace != 0 {
+            push_trace(
+                actions,
+                true,
+                now,
+                self.id,
+                self.domain,
+                (self.cur_trace, self.cur_span, self.cur_parent),
+                TraceKind::Hop {
+                    msg: msg.kind().into(),
+                    from,
+                },
+            );
         }
         if Some(from) == self.rm {
             self.last_rm_heard = now;
@@ -558,6 +639,7 @@ impl PeerNode {
                         now,
                         me,
                         Some(my_domain),
+                        (self.cur_trace, self.cur_span, self.cur_parent),
                         TraceKind::JoinAccepted {
                             member: candidacy.node,
                         },
@@ -583,6 +665,7 @@ impl PeerNode {
                         now,
                         me,
                         Some(my_domain),
+                        (self.cur_trace, self.cur_span, self.cur_parent),
                         TraceKind::Qualification {
                             candidate: candidacy.node,
                             score: candidacy.score(),
@@ -594,6 +677,7 @@ impl PeerNode {
                         now,
                         me,
                         Some(my_domain),
+                        (self.cur_trace, self.cur_span, self.cur_parent),
                         TraceKind::DomainSplit {
                             new_domain,
                             new_rm: candidacy.node,
@@ -616,6 +700,7 @@ impl PeerNode {
                         now,
                         me,
                         Some(my_domain),
+                        (self.cur_trace, self.cur_span, self.cur_parent),
                         TraceKind::JoinRedirected {
                             member: candidacy.node,
                             to: other_rm,
@@ -641,6 +726,7 @@ impl PeerNode {
                         now,
                         me,
                         Some(my_domain),
+                        (self.cur_trace, self.cur_span, self.cur_parent),
                         TraceKind::JoinAccepted {
                             member: candidacy.node,
                         },
@@ -659,6 +745,7 @@ impl PeerNode {
                         now,
                         me,
                         self.domain,
+                        (self.cur_trace, self.cur_span, self.cur_parent),
                         TraceKind::JoinRedirected {
                             member: candidacy.node,
                             to: rm,
@@ -750,7 +837,7 @@ impl PeerNode {
                     }
                 }
             }
-            TimerKind::SessionEnd(session) => self.rm_on_session_end(session, actions),
+            TimerKind::SessionEnd(session) => self.rm_on_session_end(now, session, actions),
             TimerKind::ComposeTimeout(session) => self.rm_on_compose_timeout(now, session, actions),
         }
     }
@@ -887,6 +974,7 @@ impl PeerNode {
                 now,
                 self.id,
                 self.domain,
+                (self.cur_trace, self.cur_span, self.cur_parent),
                 TraceKind::GossipRound {
                     fanout: picks.len() as u64,
                 },
@@ -904,6 +992,7 @@ impl PeerNode {
                     now,
                     self.id,
                     self.domain,
+                    (self.cur_trace, self.cur_span, self.cur_parent),
                     TraceKind::BloomExchange {
                         with: targets[i],
                         bits_set,
@@ -943,6 +1032,7 @@ impl PeerNode {
                     _now,
                     me,
                     Some(my_domain),
+                    (self.cur_trace, self.cur_span, self.cur_parent),
                     TraceKind::Qualification {
                         candidate: b,
                         score,
@@ -1214,6 +1304,7 @@ impl PeerNode {
             now,
             me,
             Some(my_domain),
+            (self.cur_trace, self.cur_span, self.cur_parent),
             TraceKind::TaskPhase {
                 task: task.id,
                 phase: TaskPhase::Query,
@@ -1234,6 +1325,7 @@ impl PeerNode {
                 now,
                 me,
                 Some(my_domain),
+                (self.cur_trace, self.cur_span, self.cur_parent),
                 TraceKind::TaskPhase {
                     task: task.id,
                     phase: TaskPhase::Allocation,
@@ -1252,12 +1344,20 @@ impl PeerNode {
                 let submitted_at = task.submitted_at;
                 let rec = state.commit_session(session, task, &alloc, source, now);
                 let graph = rec.graph.clone();
+                // Anchor later session-scoped events (Stream on compose-ack,
+                // Terminal, repair) to this allocation decision so their
+                // parentage is deterministic regardless of ack arrival order.
+                if self.cur_trace != 0 {
+                    self.session_traces
+                        .insert(session, (self.cur_trace, self.cur_span));
+                }
                 push_trace(
                     actions,
                     tracing,
                     now,
                     me,
                     Some(my_domain),
+                    (self.cur_trace, self.cur_span, self.cur_parent),
                     TraceKind::AdmissionAccepted { task: task_id },
                 );
 
@@ -1274,6 +1374,7 @@ impl PeerNode {
                     now,
                     me,
                     Some(my_domain),
+                    (self.cur_trace, self.cur_span, self.cur_parent),
                     TraceKind::TaskPhase {
                         task: task_id,
                         phase: if graph.hops.is_empty() {
@@ -1300,6 +1401,18 @@ impl PeerNode {
                         at: now,
                         response: Some(now.saturating_since(submitted_at)),
                     });
+                    push_trace(
+                        actions,
+                        tracing,
+                        now,
+                        me,
+                        Some(my_domain),
+                        (self.cur_trace, self.cur_span, self.cur_parent),
+                        TraceKind::TaskPhase {
+                            task: task_id,
+                            phase: TaskPhase::Terminal,
+                        },
+                    );
                     actions.push(Action::SetTimer {
                         kind: TimerKind::SessionEnd(session),
                         after: arm_util::SimDuration::from_secs_f64(session_secs.max(0.001)),
@@ -1332,6 +1445,7 @@ impl PeerNode {
                     now,
                     me,
                     Some(my_domain),
+                    (self.cur_trace, self.cur_span, self.cur_parent),
                     TraceKind::AdmissionRejected {
                         task: task.id,
                         reason: if overloaded {
@@ -1381,6 +1495,18 @@ impl PeerNode {
                             at: now,
                             response: None,
                         });
+                        push_trace(
+                            actions,
+                            tracing,
+                            now,
+                            me,
+                            Some(my_domain),
+                            (self.cur_trace, self.cur_span, self.cur_parent),
+                            TraceKind::TaskPhase {
+                                task: task.id,
+                                phase: TaskPhase::Terminal,
+                            },
+                        );
                     }
                 }
             }
@@ -1407,12 +1533,22 @@ impl PeerNode {
         rec.pending_acks.remove(&hop);
         if rec.fully_acked() && rec.composed_at.is_none() {
             rec.composed_at = Some(now);
+            // Parent the Stream/Terminal events on the *allocation* span
+            // recorded at commit time, not on whichever participant's ack
+            // happened to arrive last — that keeps merged timelines
+            // reproducible when ack order varies between drivers.
+            let (trace, alloc_span) = self
+                .session_traces
+                .get(&session)
+                .copied()
+                .unwrap_or((self.cur_trace, self.cur_parent));
             push_trace(
                 actions,
                 tracing,
                 now,
                 me,
                 my_domain,
+                (trace, self.cur_span, alloc_span),
                 TraceKind::TaskPhase {
                     task: rec.task.id,
                     phase: TaskPhase::Stream,
@@ -1432,6 +1568,18 @@ impl PeerNode {
                     at: now,
                     response: Some(now.saturating_since(rec.task.submitted_at)),
                 });
+                push_trace(
+                    actions,
+                    tracing,
+                    now,
+                    me,
+                    my_domain,
+                    (trace, self.cur_span, alloc_span),
+                    TraceKind::TaskPhase {
+                        task: rec.task.id,
+                        phase: TaskPhase::Terminal,
+                    },
+                );
             }
             actions.push(Action::SetTimer {
                 kind: TimerKind::SessionEnd(session),
@@ -1477,7 +1625,7 @@ impl PeerNode {
         }
     }
 
-    fn rm_on_session_end(&mut self, session: SessionId, actions: &mut Vec<Action>) {
+    fn rm_on_session_end(&mut self, now: SimTime, session: SessionId, actions: &mut Vec<Action>) {
         let Some(state) = self.rm_state.as_mut() else {
             return;
         };
@@ -1488,6 +1636,20 @@ impl PeerNode {
         let Some(rec) = state.sessions.remove(&session) else {
             return;
         };
+        self.session_traces.remove(&session);
+        // Record this episode before fanning out `SessionEnd` messages:
+        // they carry this span as the receivers' causal parent, and an
+        // unrecorded span would leave their hop events orphaned in the
+        // merged timeline.
+        push_trace(
+            actions,
+            self.tracing,
+            now,
+            self.id,
+            self.domain,
+            (self.cur_trace, self.cur_span, self.cur_parent),
+            TraceKind::SessionClosed { session },
+        );
         let mut peers: Vec<NodeId> = rec.graph.hops.iter().map(|h| h.peer).collect();
         peers.sort_unstable();
         peers.dedup();
@@ -1562,6 +1724,14 @@ impl PeerNode {
         let task = rec.task.clone();
         let repairs = rec.repairs;
         let was_reported = rec.outcome_reported;
+        // Repairs triggered by member loss arrive on an untraced event;
+        // re-anchor to the task's own trace via the session record so its
+        // timeline stays connected.
+        let (trace, alloc_span) = self
+            .session_traces
+            .get(&session)
+            .copied()
+            .unwrap_or((self.cur_trace, self.cur_parent));
         state.release_session_resources(session);
         state.sessions.remove(&session);
 
@@ -1634,6 +1804,7 @@ impl PeerNode {
                     now,
                     self.id,
                     self.domain,
+                    (trace, self.cur_span, alloc_span),
                     TraceKind::SessionRepair { session, ok: true },
                 );
             }
@@ -1658,6 +1829,18 @@ impl PeerNode {
                         at: now,
                         response: None,
                     });
+                    push_trace(
+                        actions,
+                        self.tracing,
+                        now,
+                        self.id,
+                        self.domain,
+                        (trace, self.cur_span, alloc_span),
+                        TraceKind::TaskPhase {
+                            task: task.id,
+                            phase: TaskPhase::Terminal,
+                        },
+                    );
                 }
                 actions.push(Action::SessionRepaired {
                     session,
@@ -1670,8 +1853,11 @@ impl PeerNode {
                     now,
                     self.id,
                     self.domain,
+                    (trace, self.cur_span, alloc_span),
                     TraceKind::SessionRepair { session, ok: false },
                 );
+                // The session is gone for good; drop its trace anchor.
+                self.session_traces.remove(&session);
             }
         }
     }
@@ -1786,6 +1972,7 @@ impl PeerNode {
                 now,
                 self.id,
                 self.domain,
+                (self.cur_trace, self.cur_span, self.cur_parent),
                 TraceKind::SessionReassigned {
                     session,
                     fairness_gain: alloc.fairness - old_fairness,
@@ -1799,6 +1986,20 @@ impl PeerNode {
     fn on_submit(&mut self, now: SimTime, mut task: TaskSpec, actions: &mut Vec<Action>) {
         task.submitted_at = now;
         task.requester = self.id;
+        // Root of the task's causal timeline: a submission opens a fresh
+        // trace (cur_trace == cur_span, parent 0 — see `on_event`).
+        push_trace(
+            actions,
+            self.tracing,
+            now,
+            self.id,
+            self.domain,
+            (self.cur_trace, self.cur_span, self.cur_parent),
+            TraceKind::TaskPhase {
+                task: task.id,
+                phase: TaskPhase::Submit,
+            },
+        );
         match self.role {
             Role::Rm => self.rm_handle_task(now, task, Vec::new(), actions),
             Role::Member => {
@@ -1903,6 +2104,7 @@ impl PeerNode {
             now,
             self.id,
             Some(domain),
+            (self.cur_trace, self.cur_span, self.cur_parent),
             TraceKind::BackupPromoted { old_rm },
         );
     }
@@ -2004,13 +2206,13 @@ mod tests {
         n.on_event(SimTime::ZERO, Event::Start { bootstrap: None });
         let actions = n.on_event(
             SimTime::from_secs(1),
-            Event::Msg {
-                from: NodeId::new(9),
-                msg: Message::Heartbeat {
+            Event::msg(
+                NodeId::new(9),
+                Message::Heartbeat {
                     from: NodeId::new(9),
                     sent_at: SimTime::from_millis(990),
                 },
-            },
+            ),
         );
         let sends = actions.sends();
         assert!(sends.iter().any(|(to, m)| *to == NodeId::new(9)
@@ -2024,13 +2226,13 @@ mod tests {
         n.on_event(SimTime::ZERO, Event::Start { bootstrap: None });
         n.on_event(
             SimTime::from_millis(1_040),
-            Event::Msg {
-                from: NodeId::new(9),
-                msg: Message::HeartbeatAck {
+            Event::msg(
+                NodeId::new(9),
+                Message::HeartbeatAck {
                     from: NodeId::new(9),
                     probe_sent_at: SimTime::from_millis(1_000),
                 },
-            },
+            ),
         );
         let est = n.profiler().comm_estimate(NodeId::new(9)).unwrap();
         assert!((est - 0.040).abs() < 1e-9);
@@ -2047,16 +2249,16 @@ mod tests {
         );
         n.on_event(
             SimTime::from_millis(20),
-            Event::Msg {
-                from: NodeId::new(1),
-                msg: Message::JoinAccept {
+            Event::msg(
+                NodeId::new(1),
+                Message::JoinAccept {
                     domain: DomainId::new(1),
                     rm: NodeId::new(1),
                     as_new_rm: false,
                     new_domain: None,
                     known_rms: vec![],
                 },
-            },
+            ),
         );
         assert_eq!(n.role(), Role::Member);
         let task = TaskSpec {
@@ -2095,13 +2297,13 @@ mod tests {
         // And messages are ignored.
         let actions = n.on_event(
             SimTime::from_secs(3),
-            Event::Msg {
-                from: NodeId::new(1),
-                msg: Message::Heartbeat {
+            Event::msg(
+                NodeId::new(1),
+                Message::Heartbeat {
                     from: NodeId::new(1),
                     sent_at: SimTime::from_secs(3),
                 },
-            },
+            ),
         );
         assert!(actions.is_empty());
     }
@@ -2117,22 +2319,22 @@ mod tests {
         );
         n.on_event(
             SimTime::from_millis(20),
-            Event::Msg {
-                from: NodeId::new(1),
-                msg: Message::JoinAccept {
+            Event::msg(
+                NodeId::new(1),
+                Message::JoinAccept {
                     domain: DomainId::new(1),
                     rm: NodeId::new(1),
                     as_new_rm: false,
                     new_domain: None,
                     known_rms: vec![],
                 },
-            },
+            ),
         );
         let actions = n.on_event(
             SimTime::from_secs(1),
-            Event::Msg {
-                from: NodeId::new(42),
-                msg: Message::JoinRequest {
+            Event::msg(
+                NodeId::new(42),
+                Message::JoinRequest {
                     candidacy: arm_proto::RmCandidacy {
                         node: NodeId::new(42),
                         capacity: 100.0,
@@ -2140,7 +2342,7 @@ mod tests {
                         uptime_secs: 100.0,
                     },
                 },
-            },
+            ),
         );
         let sends = actions.sends();
         assert!(sends.iter().any(|(to, m)| *to == NodeId::new(42)

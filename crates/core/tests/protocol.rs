@@ -98,12 +98,22 @@ impl Cluster {
                 continue;
             };
             let actions = node.on_event(now, event);
+            // All sends of one handling batch share the node's outbound
+            // trace context (see `PeerNode::out_ctx`).
+            let ctx = node.out_ctx();
             for action in actions {
                 match action {
                     Action::Send { to, msg } => {
                         self.sim.schedule_at(
                             now + self.latency,
-                            (to, Event::Msg { from: target, msg }),
+                            (
+                                to,
+                                Event::Msg {
+                                    from: target,
+                                    msg,
+                                    ctx,
+                                },
+                            ),
                         );
                     }
                     Action::SetTimer { kind, after } => {

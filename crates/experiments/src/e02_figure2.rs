@@ -121,7 +121,7 @@ pub fn run(_quick: bool) -> Vec<Table> {
         let now = scheduled.time;
         let (target, event) = scheduled.event;
         // Log the interesting protocol steps as they are *received*.
-        if let Event::Msg { from, msg } = &event {
+        if let Event::Msg { from, msg, .. } = &event {
             match msg {
                 Message::TaskQuery { task } => steps.push(Step {
                     at: now,
@@ -168,7 +168,7 @@ pub fn run(_quick: bool) -> Vec<Table> {
                             what: format!("{target} submits query for '{}' to RM {to}", task.name),
                         });
                     }
-                    sim.schedule_at(now + latency, (to, Event::Msg { from: target, msg }));
+                    sim.schedule_at(now + latency, (to, Event::msg(target, msg)));
                 }
                 Action::SetTimer { kind, after } => {
                     sim.schedule_at(now + after, (target, Event::Timer(kind)));

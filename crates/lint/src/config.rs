@@ -106,6 +106,20 @@ impl Config {
                     desc: "wire size-estimate exemplar list (crates/wire/tests/size_estimate.rs)"
                         .into(),
                 },
+                RegistrySite {
+                    file: proto.into(),
+                    func: "trace_category".into(),
+                    desc: "causal trace vocabulary \
+                           (crates/proto/src/lib.rs::Message::trace_category)"
+                        .into(),
+                },
+                RegistrySite {
+                    file: "crates/wire/tests/envelope_roundtrip.rs".into(),
+                    func: "exemplars".into(),
+                    desc: "trace-context envelope round-trip exemplar list \
+                           (crates/wire/tests/envelope_roundtrip.rs)"
+                        .into(),
+                },
             ],
             scan_exclude: vec!["crates/shims/".into(), "crates/lint/tests/fixtures/".into()],
             scan_dirs: vec!["crates".into(), "src".into()],

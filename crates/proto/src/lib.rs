@@ -24,6 +24,39 @@ use arm_profiler::LoadReport;
 use arm_util::{BloomFilter, DomainId, NodeId, SessionId, SimTime, TaskId};
 use serde::{Deserialize, Serialize};
 
+/// Compact causal trace context carried by every message on the wire.
+///
+/// `trace_id` names the distributed trace (0 = untraced), `parent_span` the
+/// sender's handling span that produced the message, and `flags` is
+/// reserved for future sampling/priority bits. The context is a versioned
+/// envelope extension: it serializes only when live, and frames from peers
+/// that predate it decode to [`TraceCtx::NONE`], so mixed-version clusters
+/// interoperate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TraceCtx {
+    /// The distributed trace this message belongs to (0 = untraced).
+    pub trace_id: u64,
+    /// The sender-side span that emitted the message (0 = untraced).
+    pub parent_span: u64,
+    /// Reserved flag bits (sampling, priority); currently always 0.
+    pub flags: u32,
+}
+
+impl TraceCtx {
+    /// The empty context: untraced traffic (periodic heartbeats, gossip
+    /// rounds not initiated by a traced operation).
+    pub const NONE: TraceCtx = TraceCtx {
+        trace_id: 0,
+        parent_span: 0,
+        flags: 0,
+    };
+
+    /// Whether this context carries no live trace (serialization skips it).
+    pub fn is_none(&self) -> bool {
+        *self == TraceCtx::NONE
+    }
+}
+
 /// A peer's credentials for Resource-Manager candidacy (§4.1: "sufficient
 /// bandwidth, sufficient processing power, sufficient uptime").
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -355,6 +388,33 @@ impl Message {
         }
     }
 
+    /// The causal category of the message in the trace vocabulary: which
+    /// stage of a distributed operation a hop of this kind advances.
+    /// Every variant must be classified here — the arm-lint
+    /// `proto-exhaustive` rule fails CI by name if a new message is added
+    /// without tracing coverage.
+    pub fn trace_category(&self) -> &'static str {
+        match self {
+            Message::JoinRequest { .. }
+            | Message::JoinRedirect { .. }
+            | Message::JoinAccept { .. }
+            | Message::Advertise { .. }
+            | Message::Leave { .. } => "membership",
+            Message::Heartbeat { .. } | Message::HeartbeatAck { .. } => "liveness",
+            Message::BackupUpdate { .. } | Message::PromoteAnnounce { .. } => "resilience",
+            Message::LoadReport(_) | Message::GossipDigest { .. } => "feedback",
+            Message::TaskQuery { .. }
+            | Message::TaskRedirect { .. }
+            | Message::TaskReply { .. } => "allocation",
+            Message::Compose { .. } | Message::ComposeAck { .. } | Message::ComposeNack { .. } => {
+                "composition"
+            }
+            Message::SessionEnd { .. }
+            | Message::Reassign { .. }
+            | Message::RenegotiateQos { .. } => "session",
+        }
+    }
+
     /// A short stable label for tracing and per-kind counters.
     pub fn kind(&self) -> &'static str {
         match self {
@@ -389,8 +449,25 @@ pub struct Envelope {
     pub from: NodeId,
     /// Receiver.
     pub to: NodeId,
+    /// Causal trace context (omitted on the wire when empty; envelopes
+    /// without it — including all pre-extension frames — decode to
+    /// [`TraceCtx::NONE`]).
+    #[serde(default, skip_serializing_if = "TraceCtx::is_none")]
+    pub trace: TraceCtx,
     /// Payload.
     pub msg: Message,
+}
+
+impl Envelope {
+    /// Builds an envelope carrying no trace context.
+    pub fn untraced(from: NodeId, to: NodeId, msg: Message) -> Self {
+        Envelope {
+            from,
+            to,
+            trace: TraceCtx::NONE,
+            msg,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -448,6 +525,56 @@ mod tests {
         ];
         let kinds: HashSet<&str> = msgs.iter().map(|m| m.kind()).collect();
         assert_eq!(kinds.len(), msgs.len());
+    }
+
+    #[test]
+    fn trace_ctx_none_is_default_and_detectable() {
+        assert_eq!(TraceCtx::default(), TraceCtx::NONE);
+        assert!(TraceCtx::NONE.is_none());
+        let live = TraceCtx {
+            trace_id: 7,
+            parent_span: 9,
+            flags: 0,
+        };
+        assert!(!live.is_none());
+    }
+
+    #[test]
+    fn trace_categories_partition_the_vocabulary() {
+        let samples = [
+            (
+                Message::TaskQuery {
+                    task: TaskSpec {
+                        id: TaskId::new(1),
+                        name: "demo".into(),
+                        requester: NodeId::new(1),
+                        initial_format: arm_model::MediaFormat::paper_source(),
+                        acceptable_formats: vec![arm_model::MediaFormat::paper_target()],
+                        qos: arm_model::QosSpec::default(),
+                        submitted_at: SimTime::ZERO,
+                        session_secs: 60.0,
+                    },
+                },
+                "allocation",
+            ),
+            (
+                Message::Heartbeat {
+                    from: NodeId::new(1),
+                    sent_at: SimTime::ZERO,
+                },
+                "liveness",
+            ),
+            (
+                Message::SessionEnd {
+                    session: SessionId::new(1),
+                },
+                "session",
+            ),
+            (Message::JoinRedirect { to: NodeId::new(2) }, "membership"),
+        ];
+        for (msg, want) in samples {
+            assert_eq!(msg.trace_category(), want, "category of {}", msg.kind());
+        }
     }
 
     #[test]

@@ -23,7 +23,7 @@
 use arm_core::{Action, Event, PeerNode, ProtocolConfig, TimerKind};
 use arm_model::task::TaskOutcome;
 use arm_model::{MediaObject, ServiceSpec, TaskSpec};
-use arm_proto::Message;
+use arm_proto::{Message, TraceCtx};
 use arm_telemetry::TraceEvent;
 use arm_util::{DomainId, NodeId, SessionId, SimDuration, SimTime, TaskId};
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
@@ -262,7 +262,10 @@ fn peer_main(
         while pending.peek().is_some_and(|t| t.at <= now) {
             let Some(entry) = pending.pop() else { break };
             let actions = node.on_event(registry.now(), entry.event);
-            if !apply(&registry, &mut pending, spawn.id, actions) {
+            // All sends of one handling batch share the node's outbound
+            // trace context, so causality survives the channel hop.
+            let ctx = node.out_ctx();
+            if !apply(&registry, &mut pending, spawn.id, actions, ctx) {
                 return;
             }
         }
@@ -291,6 +294,7 @@ fn apply(
     pending: &mut BinaryHeap<TimerEntry>,
     me: NodeId,
     actions: Vec<Action>,
+    ctx: TraceCtx,
 ) -> bool {
     let now = registry.now();
     handle_actions(&registry.telemetry, pending, me, now, actions, |to, msg| {
@@ -299,7 +303,7 @@ fn apply(
             registry.telemetry.lock().messages += 1;
             let _ = tx.send(Delivery::At(
                 now + registry.latency,
-                Event::Msg { from: me, msg },
+                Event::Msg { from: me, msg, ctx },
             ));
         }
     });

@@ -16,16 +16,22 @@
 //! runs all peers against a shared clock and telemetry sink.
 
 use crate::{handle_actions, Delivery, PeerSpawn, Telemetry, TimerEntry};
-use arm_core::{Event, PeerNode, ProtocolConfig};
+use arm_core::{Action, Event, HandleProfiler, PeerNode, ProtocolConfig, Role};
 use arm_model::TaskSpec;
-use arm_util::{NodeId, SimTime};
-use arm_wire::{InboundSink, TcpOptions, TcpTransport, Transport, TransportStats};
+use arm_telemetry::{Recorder, TraceEvent, TraceKind};
+use arm_util::{DomainId, NodeId, SimTime};
+use arm_wire::{InboundSink, StatusReport, TcpOptions, TcpTransport, Transport, TransportStats};
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Trace-ring capacity of each live peer's flight recorder: big enough to
+/// hold a whole task timeline plus ambient chatter, small enough to bound
+/// memory on long-lived nodes (overflow bumps `traces_dropped`).
+pub const TRACE_RING_CAPACITY: usize = 4096;
 
 /// Shared wall-clock virtual time source (same convention as the channel
 /// runtime: `SimTime` = time elapsed since the clock was created).
@@ -74,9 +80,135 @@ impl NetMailbox {
     pub fn sink(&self) -> InboundSink {
         let tx = self.tx.clone();
         let clock = self.clock.clone();
-        Box::new(move |from, msg| {
-            let _ = tx.send(Delivery::At(clock.now(), Event::Msg { from, msg }));
+        Box::new(move |from, msg, ctx| {
+            let _ = tx.send(Delivery::At(clock.now(), Event::Msg { from, msg, ctx }));
         })
+    }
+}
+
+/// Continuously-updated introspection state of one live peer, shared
+/// between its event loop (writer) and the transport's status provider
+/// (reader, on transport reader threads).
+///
+/// This is the server side of the `StatusRequest`/`StatusReport` plane:
+/// the peer loop refreshes the summary after every handled event batch and
+/// feeds its flight recorder; [`NodeStatus::report`] freezes it all into
+/// one [`StatusReport`] for `arm top` / `arm trace`.
+pub struct NodeStatus {
+    node: NodeId,
+    inner: Mutex<StatusInner>,
+}
+
+struct StatusInner {
+    role: Role,
+    domain: Option<DomainId>,
+    rm: Option<NodeId>,
+    domain_size: Option<u64>,
+    sessions: Option<u64>,
+    load: f64,
+    active_hops: u64,
+    recorder: Recorder,
+    profiler: HandleProfiler,
+}
+
+impl NodeStatus {
+    fn new(node: NodeId, tracing: bool) -> Self {
+        Self {
+            node,
+            inner: Mutex::new(StatusInner {
+                role: Role::Idle,
+                domain: None,
+                rm: None,
+                domain_size: None,
+                sessions: None,
+                load: 0.0,
+                active_hops: 0,
+                recorder: if tracing {
+                    Recorder::enabled(TRACE_RING_CAPACITY)
+                } else {
+                    Recorder::disabled()
+                },
+                profiler: if tracing {
+                    HandleProfiler::enabled()
+                } else {
+                    HandleProfiler::disabled()
+                },
+            }),
+        }
+    }
+
+    /// Refreshes the summary fields from the peer state machine (called by
+    /// the peer loop after each handled batch).
+    fn update_summary(&self, node: &PeerNode) {
+        let mut inner = self.inner.lock();
+        inner.role = node.role();
+        inner.domain = node.domain();
+        inner.rm = node.rm();
+        inner.load = node.load();
+        inner.active_hops = node.active_hops() as u64;
+        let (size, sessions) = match node.rm_state() {
+            Some(rm) => (
+                Some(rm.members.len() as u64),
+                Some(rm.sessions.len() as u64),
+            ),
+            None => (None, None),
+        };
+        inner.domain_size = size;
+        inner.sessions = sessions;
+    }
+
+    /// Ingests one trace event into the flight recorder, advancing task
+    /// spans for phase events (mirrors the DES harness).
+    fn ingest(&self, ev: &TraceEvent) {
+        let mut inner = self.inner.lock();
+        if !inner.recorder.is_enabled() {
+            return;
+        }
+        if let TraceKind::TaskPhase { task, phase } = ev.kind {
+            inner.recorder.task_phase(task, phase, ev.at);
+        }
+        inner.recorder.record(ev.clone());
+    }
+
+    /// Records one handled message's wall-clock latency.
+    fn profile(&self, kind: &'static str, secs: f64) {
+        self.inner.lock().profiler.record(kind, secs);
+    }
+
+    /// Freezes everything into one wire-serialisable [`StatusReport`].
+    pub fn report(
+        &self,
+        include_trace: bool,
+        transport: TransportStats,
+        peers: Vec<(NodeId, String)>,
+    ) -> StatusReport {
+        let inner = self.inner.lock();
+        // Snapshot through a clone so the profiler's histograms appear in
+        // the exported metrics without disturbing the live recorder.
+        let mut recorder = inner.recorder.clone();
+        inner.profiler.export_into(&mut recorder);
+        StatusReport {
+            node: self.node,
+            role: match inner.role {
+                Role::Idle => "idle",
+                Role::Joining => "joining",
+                Role::Member => "member",
+                Role::Rm => "rm",
+            }
+            .to_string(),
+            domain: inner.domain,
+            rm: inner.rm,
+            domain_size: inner.domain_size,
+            sessions: inner.sessions,
+            load: inner.load,
+            active_hops: inner.active_hops,
+            open_spans: inner.recorder.spans.open_count() as u64,
+            traces_dropped: inner.recorder.trace.dropped(),
+            metrics: recorder.snapshot(),
+            transport,
+            trace: include_trace.then(|| inner.recorder.trace.iter().cloned().collect()),
+            peers,
+        }
     }
 }
 
@@ -107,6 +239,7 @@ pub struct NetPeer {
     id: NodeId,
     clock: NetClock,
     tx: Sender<Delivery>,
+    status: Arc<NodeStatus>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -135,17 +268,30 @@ impl NetPeer {
         .expect("own mailbox");
         let config = config.clone();
         let thread_clock = clock.clone();
+        let status = Arc::new(NodeStatus::new(id, config.tracing));
+        let thread_status = Arc::clone(&status);
         // Thread exhaustion at startup: the closure (and with it `rx`) is
         // dropped, every later send on `tx` fails silently, and `stop`/`Drop`
         // have nothing to join — the peer behaves as if it never started.
         let handle = std::thread::Builder::new()
             .name(format!("netpeer-{id}"))
-            .spawn(move || net_peer_main(thread_clock, rx, spawn, config, transport, telemetry))
+            .spawn(move || {
+                net_peer_main(
+                    thread_clock,
+                    rx,
+                    spawn,
+                    config,
+                    transport,
+                    telemetry,
+                    thread_status,
+                )
+            })
             .ok();
         Self {
             id,
             clock,
             tx,
+            status,
             handle,
         }
     }
@@ -153,6 +299,12 @@ impl NetPeer {
     /// The peer's id.
     pub fn id(&self) -> NodeId {
         self.id
+    }
+
+    /// The peer's live introspection state (feed it to
+    /// [`TcpTransport::set_status_provider`] to serve `StatusRequest`s).
+    pub fn status(&self) -> Arc<NodeStatus> {
+        Arc::clone(&self.status)
     }
 
     /// Submits a task at this peer.
@@ -194,6 +346,7 @@ fn net_peer_main(
     config: NetPeerConfig,
     transport: Arc<dyn Transport>,
     telemetry: Arc<Mutex<Telemetry>>,
+    status: Arc<NodeStatus>,
 ) {
     let mut node = PeerNode::new(
         spawn.id,
@@ -212,7 +365,25 @@ fn net_peer_main(
         let now = clock.now();
         while pending.peek().is_some_and(|t| t.at <= now) {
             let Some(entry) = pending.pop() else { break };
+            // Profile the handler by message kind: the state machine itself
+            // never sees a wall clock, so the driver times the dispatch.
+            let msg_kind = match &entry.event {
+                Event::Msg { msg, .. } => Some(msg.kind()),
+                _ => None,
+            };
+            let handle_started = Instant::now();
             let actions = node.on_event(clock.now(), entry.event);
+            if let Some(kind) = msg_kind {
+                status.profile(kind, handle_started.elapsed().as_secs_f64());
+            }
+            // All sends of this batch share the node's outbound trace
+            // context; trace actions also feed the node's flight recorder.
+            let ctx = node.out_ctx();
+            for action in &actions {
+                if let Action::Trace(ev) = action {
+                    status.ingest(ev);
+                }
+            }
             let at = clock.now();
             handle_actions(
                 &telemetry,
@@ -221,11 +392,12 @@ fn net_peer_main(
                 at,
                 actions,
                 |to, msg| {
-                    if transport.send(to, msg).is_ok() {
+                    if transport.send(to, msg, ctx).is_ok() {
                         telemetry.lock().messages += 1;
                     }
                 },
             );
+            status.update_summary(&node);
         }
         let timeout = pending
             .peek()
@@ -307,6 +479,16 @@ impl NetCluster {
                 config,
                 Arc::clone(&telemetry),
             );
+            // Serve the introspection plane: the provider reads the peer's
+            // live status and the transport's own counters. A weak handle
+            // avoids a transport → provider → transport cycle.
+            let status = peer.status();
+            let weak = Arc::downgrade(&transport);
+            let book = routes.clone();
+            transport.set_status_provider(Box::new(move |req| {
+                let stats = weak.upgrade().map(|t| t.stats()).unwrap_or_default();
+                status.report(req.include_trace, stats, book.clone())
+            }));
             peers.push((peer, transport));
         }
         Ok(Self {
@@ -324,6 +506,15 @@ impl NetCluster {
     /// Ids of all peers, in spawn order.
     pub fn ids(&self) -> Vec<NodeId> {
         self.peers.iter().map(|(p, _)| p.id()).collect()
+    }
+
+    /// Listen addresses of all peers, in spawn order (for observers:
+    /// `arm top` / `arm trace` dial these).
+    pub fn listen_addrs(&self) -> Vec<(NodeId, String)> {
+        self.peers
+            .iter()
+            .map(|(p, t)| (p.id(), t.listen_addr().to_string()))
+            .collect()
     }
 
     /// Submits a task at the given peer.
@@ -480,6 +671,53 @@ mod tests {
         }
         let stats = cluster.shutdown();
         assert!(stats.iter().all(|s| s.decode_errors == 0), "{stats:?}");
+    }
+
+    #[test]
+    fn cluster_serves_status_reports() {
+        use arm_wire::query_status;
+        let config = NetPeerConfig {
+            protocol: fast_protocol(),
+            ..NetPeerConfig::default()
+        };
+        let spawns = (1..=3u64)
+            .map(|i| spawn_spec(i, (i > 1).then_some(1)))
+            .collect();
+        let cluster = NetCluster::start(spawns, &config, TcpOptions::default()).unwrap();
+        let addrs = cluster.listen_addrs();
+        assert_eq!(addrs.len(), 3);
+        // Wait for the overlay to form, then interrogate the founder.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let report = loop {
+            let report =
+                query_status(&addrs[0].1, NodeId::new(99), true, Duration::from_secs(2)).unwrap();
+            if report.role == "rm" && report.domain_size == Some(3) {
+                break report;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "overlay never formed: {report:?}"
+            );
+            std::thread::sleep(Duration::from_millis(30));
+        };
+        assert_eq!(report.node, NodeId::new(1));
+        assert_eq!(report.rm, Some(NodeId::new(1)));
+        // The flight recorder was requested and carries protocol events.
+        let trace = report.trace.as_deref().unwrap_or_default();
+        assert!(!trace.is_empty(), "rm ring is empty");
+        // The address book covers the whole cluster (observer discovery).
+        assert_eq!(report.peers.len(), 3);
+        // Handler profiling surfaces per-kind latency series.
+        assert!(
+            report
+                .metrics
+                .histograms
+                .iter()
+                .any(|h| h.key.starts_with(arm_core::HANDLE_METRIC)),
+            "no handle_seconds series in {:?}",
+            report.metrics.histograms.len()
+        );
+        cluster.shutdown();
     }
 
     #[test]

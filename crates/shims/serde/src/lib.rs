@@ -284,6 +284,18 @@ impl Serialize for str {
     }
 }
 
+impl Serialize for std::borrow::Cow<'_, str> {
+    fn to_value(&self) -> Value {
+        Value::Str(self.as_ref().to_owned())
+    }
+}
+
+impl Deserialize for std::borrow::Cow<'static, str> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        String::from_value(v).map(std::borrow::Cow::Owned)
+    }
+}
+
 impl Serialize for char {
     fn to_value(&self) -> Value {
         Value::Str(self.to_string())

@@ -13,6 +13,19 @@
 //!   `Unit` → `"Unit"`, `Tuple(a, b)` → `{"Tuple": [a, b]}`,
 //!   `Struct { x }` → `{"Struct": {"x": ...}}`
 //!
+//! Named fields additionally honour two field-level `#[serde(...)]`
+//! attributes, matching the real serde's semantics closely enough for this
+//! workspace's versioned wire/trace formats:
+//!
+//! * `#[serde(default)]` — a missing (or `null`) field deserializes via
+//!   `Default::default()` instead of erroring;
+//! * `#[serde(skip_serializing_if = "path")]` — the field is omitted from
+//!   the serialized object when `path(&field)` returns true (`path`
+//!   resolves in the deriving type's scope, as with real serde).
+//!
+//! Other `#[serde(...)]` contents are rejected with a compile error rather
+//! than silently ignored.
+//!
 //! Generic types are rejected with a compile error: nothing in this
 //! workspace derives serde traits on generics, and supporting them without
 //! `syn` is not worth the complexity.
@@ -21,10 +34,17 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Parsed shape of the deriving type.
 enum Data {
-    NamedStruct(Vec<String>),
+    NamedStruct(Vec<Field>),
     TupleStruct(usize),
     UnitStruct,
     Enum(Vec<Variant>),
+}
+
+/// One named field plus its recognised `#[serde(...)]` options.
+struct Field {
+    name: String,
+    default: bool,
+    skip_if: Option<String>,
 }
 
 struct Variant {
@@ -35,7 +55,7 @@ struct Variant {
 enum VariantKind {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 struct Input {
@@ -63,6 +83,57 @@ fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
         i += 2;
     }
     i
+}
+
+/// Skips attributes starting at `i` like [`skip_attrs`], but parses any
+/// `#[serde(...)]` among them into `(default, skip_serializing_if)`.
+fn parse_field_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool, Option<String>) {
+    let mut default = false;
+    let mut skip_if = None;
+    while i + 1 < tokens.len() && is_punct(&tokens[i], '#') {
+        let TokenTree::Group(attr) = &tokens[i + 1] else {
+            break;
+        };
+        if attr.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let attr_tokens: Vec<TokenTree> = attr.stream().into_iter().collect();
+        if attr_tokens.first().and_then(ident_text).as_deref() == Some("serde") {
+            let inner = match attr_tokens.get(1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+                other => panic!("expected `#[serde(...)]`, found {other:?}"),
+            };
+            let items: Vec<TokenTree> = inner.into_iter().collect();
+            let mut j = 0;
+            while j < items.len() {
+                match ident_text(&items[j]).as_deref() {
+                    Some("default") => {
+                        default = true;
+                        j += 1;
+                    }
+                    Some("skip_serializing_if") => {
+                        assert!(
+                            j + 2 < items.len() && is_punct(&items[j + 1], '='),
+                            "expected `skip_serializing_if = \"path\"`"
+                        );
+                        let lit = items[j + 2].to_string();
+                        skip_if = Some(lit.trim_matches('"').to_string());
+                        j += 3;
+                    }
+                    _ => panic!(
+                        "serde shim derive only supports `default` and \
+                         `skip_serializing_if` field attributes, found {:?}",
+                        items[j]
+                    ),
+                }
+                if j < items.len() && is_punct(&items[j], ',') {
+                    j += 1;
+                }
+            }
+        }
+        i += 2;
+    }
+    (i, default, skip_if)
 }
 
 /// Skips a visibility qualifier (`pub`, `pub(crate)`, ...) starting at `i`.
@@ -94,19 +165,24 @@ fn skip_past_comma(tokens: &[TokenTree], mut i: usize) -> usize {
     i
 }
 
-/// Parses `{ a: T, b: U }` named-field contents into field names.
-fn parse_named_fields(group: &TokenStream) -> Vec<String> {
+/// Parses `{ a: T, b: U }` named-field contents into fields with their
+/// recognised `#[serde(...)]` options.
+fn parse_named_fields(group: &TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = group.clone().into_iter().collect();
-    let mut names = Vec::new();
+    let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        i = skip_attrs(&tokens, i);
-        i = skip_vis(&tokens, i);
+        let (next, default, skip_if) = parse_field_attrs(&tokens, i);
+        i = skip_vis(&tokens, next);
         if i >= tokens.len() {
             break;
         }
         let name = ident_text(&tokens[i]).expect("expected field name");
-        names.push(name.trim_start_matches("r#").to_string());
+        fields.push(Field {
+            name: name.trim_start_matches("r#").to_string(),
+            default,
+            skip_if,
+        });
         i += 1;
         assert!(
             i < tokens.len() && is_punct(&tokens[i], ':'),
@@ -114,7 +190,7 @@ fn parse_named_fields(group: &TokenStream) -> Vec<String> {
         );
         i = skip_past_comma(&tokens, i + 1);
     }
-    names
+    fields
 }
 
 /// Counts the fields of `( T, U, ... )` tuple contents.
@@ -204,17 +280,36 @@ fn parse_input(input: TokenStream) -> Input {
 
 // ------------------------------------------------------------------ codegen
 
+/// Statements building `entries` for a named-field object, honouring
+/// `skip_serializing_if`. `access` maps a field name to the expression the
+/// serializer reads it through (`&self.x` for structs, `x` for match binds).
+fn named_entries(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let mut stmts =
+        vec!["let mut entries: Vec<(String, ::serde::Value)> = Vec::new();".to_string()];
+    for f in fields {
+        let n = &f.name;
+        let push = format!(
+            "entries.push((\"{n}\".to_string(), ::serde::Serialize::to_value({})));",
+            access(n)
+        );
+        match &f.skip_if {
+            Some(path) => stmts.push(format!("if !{path}({}) {{ {push} }}", access(n))),
+            None => stmts.push(push),
+        }
+    }
+    stmts.join("\n")
+}
+
 /// `#[derive(Serialize)]` — see the crate docs for the mapping.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let Input { name, data } = parse_input(input);
     let body = match &data {
         Data::NamedStruct(fields) => {
-            let entries: Vec<String> = fields
-                .iter()
-                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
-                .collect();
-            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+            format!(
+                "{{ {} ::serde::Value::Object(entries) }}",
+                named_entries(fields, |n| format!("&self.{n}"))
+            )
         }
         Data::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
         Data::TupleStruct(n) => {
@@ -249,18 +344,12 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                             )
                         }
                         VariantKind::Named(fields) => {
-                            let binds = fields.join(", ");
-                            let entries: Vec<String> = fields
-                                .iter()
-                                .map(|f| {
-                                    format!(
-                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
-                                    )
-                                })
-                                .collect();
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
                             format!(
-                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(vec![{entries}]))]),",
-                                entries = entries.join(", ")
+                                "{name}::{vn} {{ {binds} }} => {{ {entries} ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(entries))]) }}",
+                                binds = binds.join(", "),
+                                entries = named_entries(fields, |n| n.to_string())
                             )
                         }
                     }
@@ -278,20 +367,35 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     .expect("generated Serialize impl parses")
 }
 
+/// One `name: value` initializer for a named field read out of `source`,
+/// honouring `#[serde(default)]` for missing/`null` fields.
+fn named_init(f: &Field, ctx: &str, source: &str) -> String {
+    let n = &f.name;
+    if f.default {
+        format!(
+            "{n}: match {source}.field(\"{n}\") {{\n\
+                 ::serde::Value::Null => ::core::default::Default::default(),\n\
+                 present => <_ as ::serde::Deserialize>::from_value(present)\
+                     .map_err(|e| e.context(\"{ctx}.{n}\"))?,\n\
+             }}"
+        )
+    } else {
+        format!(
+            "{n}: <_ as ::serde::Deserialize>::from_value({source}.field(\"{n}\"))\
+                 .map_err(|e| e.context(\"{ctx}.{n}\"))?"
+        )
+    }
+}
+
 /// `#[derive(Deserialize)]` — see the crate docs for the mapping.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let Input { name, data } = parse_input(input);
     let body = match &data {
         Data::NamedStruct(fields) => {
             let inits: Vec<String> = fields
                 .iter()
-                .map(|f| {
-                    format!(
-                        "{f}: <_ as ::serde::Deserialize>::from_value(v.field(\"{f}\"))\
-                             .map_err(|e| e.context(\"{name}.{f}\"))?"
-                    )
-                })
+                .map(|f| named_init(f, &name, "v"))
                 .collect();
             format!(
                 "if v.as_object().is_none() {{ return Err(::serde::Error::expected(\"object ({name})\", v)); }}\n\
@@ -359,11 +463,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                         VariantKind::Named(fields) => {
                             let inits: Vec<String> = fields
                                 .iter()
-                                .map(|f| {
-                                    format!(
-                                        "{f}: <_ as ::serde::Deserialize>::from_value(inner.field(\"{f}\")).map_err(|e| e.context(\"{name}::{vn}.{f}\"))?"
-                                    )
-                                })
+                                .map(|f| named_init(f, &format!("{name}::{vn}"), "inner"))
                                 .collect();
                             format!(
                                 "\"{vn}\" => return Ok({name}::{vn} {{ {} }}),",

@@ -2,12 +2,13 @@
 
 use crate::report::SimReport;
 use crate::scenario::ScenarioConfig;
-use arm_core::{Action, Event, PeerNode, Role};
+use arm_core::{Action, Event, HandleProfiler, PeerNode, Role};
 use arm_des::Simulator;
 use arm_model::task::TaskOutcome;
 use arm_net::churn::{ChurnEvent, ChurnKind, ChurnTrace};
 use arm_net::{NetworkModel, Topology};
-use arm_telemetry::{Labels, Recorder, TraceKind};
+use arm_proto::TraceCtx;
+use arm_telemetry::{FixedHistogram, Labels, Recorder, TraceKind};
 use arm_util::{DetRng, NodeId, SimTime};
 use arm_workload::{generate_inventories, generate_tasks, Inventory};
 use std::collections::{BTreeMap, BTreeSet};
@@ -34,6 +35,11 @@ pub struct Simulation {
     rejoin_counts: BTreeMap<NodeId, u64>,
     report: SimReport,
     recorder: Recorder,
+    profiler: HandleProfiler,
+    /// Peer-utilization samples batched outside the registry (one
+    /// observation per alive peer per sample tick); merged into the
+    /// recorder once, at finalize.
+    util_hist: FixedHistogram,
 }
 
 impl Simulation {
@@ -102,12 +108,12 @@ impl Simulation {
                         intro_time,
                         SimEvent::Node(
                             a,
-                            Event::Msg {
-                                from: b,
-                                msg: arm_proto::Message::GossipDigest {
+                            Event::msg(
+                                b,
+                                arm_proto::Message::GossipDigest {
                                     summaries: vec![stub],
                                 },
-                            },
+                            ),
                         ),
                     );
                 }
@@ -201,6 +207,8 @@ impl Simulation {
             rejoin_counts: BTreeMap::new(),
             report,
             recorder: Recorder::disabled(),
+            profiler: HandleProfiler::disabled(),
+            util_hist: FixedHistogram::new(arm_profiler::UTILIZATION_BOUNDS),
         }
     }
 
@@ -215,6 +223,10 @@ impl Simulation {
     /// ring keeps the most recent `trace_capacity` events in memory.
     pub fn enable_telemetry(&mut self, trace_capacity: usize) {
         self.recorder = Recorder::enabled(trace_capacity);
+        // Stride-sampled: two clock reads per dispatch would otherwise be
+        // a measurable share of the tracing overhead budget (the DES
+        // drains hundreds of thousands of events per wall second).
+        self.profiler = HandleProfiler::sampled(32);
         for node in self.nodes.values_mut() {
             node.set_tracing(true);
         }
@@ -256,13 +268,32 @@ impl Simulation {
                 self.recorder.task_submitted(task.id, now);
             }
         }
+        let msg_kind = match &event {
+            Event::Msg { msg, .. } => Some(msg.kind()),
+            _ => None,
+        };
+        let handle_started = if msg_kind.is_some() && self.profiler.should_sample() {
+            // arm-lint: allow(determinism) -- wall-clock only feeds the
+            // handler profiler's exported histograms; nothing the
+            // simulation schedules or decides ever reads it (sampling is
+            // a deterministic counter, not time-based).
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
         let actions = node.on_event(now, event);
+        if let (Some(kind), Some(started)) = (msg_kind, handle_started) {
+            self.profiler.record(kind, started.elapsed().as_secs_f64());
+        }
+        // All sends of one handling batch share the node's outbound trace
+        // context, so causality survives the simulated network hop.
+        let ctx = node.out_ctx();
         for action in actions {
-            self.apply_action(now, target, action);
+            self.apply_action(now, target, action, ctx);
         }
     }
 
-    fn apply_action(&mut self, now: SimTime, from: NodeId, action: Action) {
+    fn apply_action(&mut self, now: SimTime, from: NodeId, action: Action, ctx: TraceCtx) {
         match action {
             Action::Send { to, msg } => {
                 if msg.kind() == "task_redirect" {
@@ -280,8 +311,10 @@ impl Simulation {
                             .or_insert((0, 0));
                         entry.0 += 1;
                         entry.1 += msg.size_bytes() as u64;
-                        self.sim
-                            .schedule_at(now + delay, SimEvent::Node(to, Event::Msg { from, msg }));
+                        self.sim.schedule_at(
+                            now + delay,
+                            SimEvent::Node(to, Event::Msg { from, msg, ctx }),
+                        );
                     }
                     None => {
                         self.report.messages_lost += 1;
@@ -413,8 +446,13 @@ impl Simulation {
                 .set_gauge("des_queue_depth", Labels::NONE, self.sim.pending() as f64);
             self.recorder
                 .set_gauge("peers_alive", Labels::NONE, self.alive.len() as f64);
+            // Per-peer series are batched: utilization into a local
+            // histogram here, load gauges (last-value-wins anyway) once at
+            // finalize. Touching the registry per peer per tick costs a
+            // map lookup each and dominates tracing overhead.
             for id in &self.alive {
-                self.nodes[id].profiler().record_metrics(&mut self.recorder);
+                self.util_hist
+                    .observe(self.nodes[id].profiler().utilization());
             }
         }
         let mut loads = Vec::with_capacity(self.alive.len());
@@ -572,6 +610,14 @@ impl Simulation {
         if self.recorder.is_enabled() {
             self.recorder
                 .add("des_events_processed", Labels::NONE, self.sim.processed());
+            self.recorder
+                .merge_histogram("peer_utilization", Labels::NONE, &self.util_hist);
+            for id in &self.alive {
+                let p = self.nodes[id].profiler();
+                self.recorder
+                    .set_gauge("peer_load", Labels::peer(*id), p.load());
+            }
+            self.profiler.export_into(&mut self.recorder);
             self.report.metrics = Some(self.recorder.snapshot());
             self.report.trace_counts = self
                 .recorder
@@ -580,6 +626,7 @@ impl Simulation {
                 .iter()
                 .map(|(k, v)| (k.to_string(), *v))
                 .collect();
+            self.report.traces_dropped = self.recorder.trace.dropped();
         }
         (self.report, self.recorder)
     }

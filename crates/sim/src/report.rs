@@ -109,6 +109,10 @@ pub struct SimReport {
     /// Structured trace events recorded per kind, *including* events the
     /// in-memory ring buffer evicted. Empty when telemetry was off.
     pub trace_counts: BTreeMap<String, u64>,
+    /// Trace events evicted from the bounded ring before export (absent in
+    /// pre-tracing reports, hence the default).
+    #[serde(default)]
+    pub traces_dropped: u64,
 }
 
 impl SimReport {
@@ -193,6 +197,7 @@ impl SimReport {
         for (kind, count) in &other.trace_counts {
             *self.trace_counts.entry(kind.clone()).or_insert(0) += count;
         }
+        self.traces_dropped += other.traces_dropped;
     }
 }
 

@@ -31,7 +31,7 @@ pub use metrics::{
     LATENCY_BUCKETS_SECS,
 };
 pub use span::{SpanTracker, TaskPhase, PHASE_METRIC, TOTAL_METRIC};
-pub use trace::{TraceEvent, TraceKind, TraceLog};
+pub use trace::{merge_timeline, write_jsonl, TraceEvent, TraceKind, TraceLog, TRACE_SCHEMA};
 
 use arm_util::SimTime;
 
@@ -123,6 +123,15 @@ impl Recorder {
         }
     }
 
+    /// Merges a pre-aggregated histogram into a series (no-op when
+    /// disabled).
+    #[inline]
+    pub fn merge_histogram(&mut self, name: &'static str, labels: Labels, hist: &FixedHistogram) {
+        if self.enabled {
+            self.metrics.merge_histogram(name, labels, hist);
+        }
+    }
+
     /// Opens a task span (no-op when disabled).
     #[inline]
     pub fn task_submitted(&mut self, task: arm_util::TaskId, now: SimTime) {
@@ -135,7 +144,7 @@ impl Recorder {
     #[inline]
     pub fn task_phase(&mut self, task: arm_util::TaskId, phase: TaskPhase, now: SimTime) {
         if self.enabled {
-            self.spans.advance(&mut self.metrics, task, phase, now);
+            self.spans.advance(task, phase, now);
         }
     }
 
@@ -143,13 +152,20 @@ impl Recorder {
     #[inline]
     pub fn task_finished(&mut self, task: arm_util::TaskId, outcome: &'static str, now: SimTime) {
         if self.enabled {
-            self.spans.finish(&mut self.metrics, task, outcome, now);
+            self.spans.finish(task, outcome, now);
         }
     }
 
-    /// Freezes the metric state into a serialisable snapshot.
+    /// Freezes the metric state into a serialisable snapshot, folding in
+    /// the span tracker's buffered phase/total latency histograms (the hot
+    /// path batches those locally instead of touching the registry).
     pub fn snapshot(&self) -> MetricsSnapshot {
-        self.metrics.snapshot()
+        if !self.enabled {
+            return self.metrics.snapshot();
+        }
+        let mut merged = self.metrics.clone();
+        self.spans.flush_into(&mut merged);
+        merged.snapshot()
     }
 }
 

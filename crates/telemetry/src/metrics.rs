@@ -255,6 +255,17 @@ impl MetricsRegistry {
             .observe(value);
     }
 
+    /// Merges a pre-aggregated histogram into the series, creating it (with
+    /// the incoming bounds) on first use. Components that batch observations
+    /// locally — e.g. the per-message-kind handle profiler — flush through
+    /// this at snapshot time instead of paying a map lookup per observation.
+    pub fn merge_histogram(&mut self, name: &'static str, labels: Labels, hist: &FixedHistogram) {
+        self.histograms
+            .entry(MetricKey { name, labels })
+            .and_modify(|h| h.merge(hist))
+            .or_insert_with(|| hist.clone());
+    }
+
     /// Reads a counter (0 when the series doesn't exist).
     pub fn counter(&self, name: &'static str, labels: Labels) -> u64 {
         self.counters
@@ -307,7 +318,7 @@ impl MetricsRegistry {
 }
 
 /// One exported counter series.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CounterEntry {
     /// Rendered `name{labels}` key.
     pub key: String,
@@ -316,7 +327,7 @@ pub struct CounterEntry {
 }
 
 /// One exported gauge series.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GaugeEntry {
     /// Rendered `name{labels}` key.
     pub key: String,
@@ -327,7 +338,7 @@ pub struct GaugeEntry {
 }
 
 /// One exported histogram series.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HistogramEntry {
     /// Rendered `name{labels}` key.
     pub key: String,
@@ -339,7 +350,7 @@ pub struct HistogramEntry {
 ///
 /// Snapshots from repeated runs of the same scenario merge entry-wise:
 /// counters and histogram buckets add, gauges average.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
     /// All counter series, sorted by key.
     pub counters: Vec<CounterEntry>,

@@ -14,16 +14,23 @@
 //! actually entered.
 
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeSet, VecDeque};
 
 use arm_util::{SimTime, TaskId};
 
-use crate::metrics::{Labels, MetricsRegistry, LATENCY_BUCKETS_SECS};
+use crate::metrics::{FixedHistogram, Labels, MetricsRegistry, LATENCY_BUCKETS_SECS};
+
+/// How many closed task ids the tracker remembers to suppress duplicate or
+/// out-of-order terminal events (FIFO-bounded so long runs can't grow it).
+const CLOSED_MEMORY: usize = 16_384;
 
 /// Histogram name for time spent inside each phase.
 pub const PHASE_METRIC: &str = "task_phase_seconds";
 /// Histogram name for end-to-end task latency, labelled by outcome.
 pub const TOTAL_METRIC: &str = "task_total_seconds";
+
+/// Number of [`TaskPhase`] variants (array-index upper bound).
+const PHASE_COUNT: usize = 6;
 
 /// The lifecycle phases of a task, in order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
@@ -64,9 +71,33 @@ struct OpenSpan {
 }
 
 /// Tracks open task spans and records phase/total latencies on transition.
+///
+/// Terminal events are deduplicated: once a task's span is closed, further
+/// terminal (or phase) events for the same task id are dropped instead of
+/// double-counting the histograms — distributed drivers can deliver the
+/// same outcome twice or out of order. A fresh [`SpanTracker::submit`]
+/// clears the memory (a genuine task restart reopens the span).
+///
+/// Latency observations accumulate in tracker-local fixed histograms — a
+/// phase transition is an array index plus a bucket scan, never a registry
+/// map lookup — and reach a [`MetricsRegistry`] only when
+/// [`SpanTracker::flush_into`] folds them in (drivers call it once per
+/// snapshot, not per observation).
 #[derive(Debug, Clone, Default)]
 pub struct SpanTracker {
-    open: BTreeMap<TaskId, OpenSpan>,
+    /// In-flight spans, most-recently-touched first. A task's phase events
+    /// arrive in bursts and only a handful of tasks are in flight at once,
+    /// so a move-to-front vec resolves the common lookup at index 0.
+    open: Vec<(TaskId, OpenSpan)>,
+    /// Recently closed task ids, insertion-ordered for FIFO eviction.
+    closed_fifo: VecDeque<TaskId>,
+    closed: BTreeSet<TaskId>,
+    /// Per-phase residence-time histograms, indexed by [`TaskPhase`].
+    phase_hist: [Option<FixedHistogram>; PHASE_COUNT],
+    /// End-to-end latency histograms, keyed by outcome label. Outcome
+    /// labels come from a handful of `&'static str` call sites, so a
+    /// pointer-first linear scan beats any map.
+    total_hist: Vec<(&'static str, FixedHistogram)>,
 }
 
 impl SpanTracker {
@@ -80,73 +111,129 @@ impl SpanTracker {
         self.open.len()
     }
 
+    /// Iterates over the in-flight spans: `(task, current phase, opened
+    /// at)`, ordered by task id.
+    pub fn open_spans(&self) -> impl Iterator<Item = (TaskId, TaskPhase, SimTime)> + '_ {
+        let mut spans: Vec<_> = self
+            .open
+            .iter()
+            .map(|(t, s)| (*t, s.phase, s.started))
+            .collect();
+        spans.sort_by_key(|(t, _, _)| *t);
+        spans.into_iter()
+    }
+
+    /// Index of `task` in the open table, moved to the front on a hit.
+    #[inline]
+    fn promote(&mut self, task: TaskId) -> Option<usize> {
+        let i = self.open.iter().position(|(t, _)| *t == task)?;
+        self.open.swap(0, i);
+        Some(0)
+    }
+
     /// Opens a span for `task` in the [`TaskPhase::Submit`] phase.
-    /// Re-submitting an in-flight task restarts its span.
+    /// Re-submitting an in-flight task restarts its span, and re-submitting
+    /// a finished task id reopens it (clearing the duplicate-terminal
+    /// suppression for it).
     pub fn submit(&mut self, task: TaskId, now: SimTime) {
-        self.open.insert(
-            task,
-            OpenSpan {
-                started: now,
-                phase: TaskPhase::Submit,
-                phase_started: now,
-            },
-        );
+        if self.closed.remove(&task) {
+            self.closed_fifo.retain(|t| *t != task);
+        }
+        let span = OpenSpan {
+            started: now,
+            phase: TaskPhase::Submit,
+            phase_started: now,
+        };
+        match self.promote(task) {
+            Some(i) => self.open[i].1 = span,
+            None => self.open.insert(0, (task, span)),
+        }
+    }
+
+    fn remember_closed(&mut self, task: TaskId) {
+        if self.closed.insert(task) {
+            self.closed_fifo.push_back(task);
+            if self.closed_fifo.len() > CLOSED_MEMORY {
+                if let Some(evicted) = self.closed_fifo.pop_front() {
+                    self.closed.remove(&evicted);
+                }
+            }
+        }
     }
 
     /// Moves `task` into `phase`, recording the time spent in the phase it
-    /// is leaving. Unknown tasks and no-op transitions (already in `phase`)
-    /// are ignored, so emitters don't need to dedup.
-    pub fn advance(
-        &mut self,
-        registry: &mut MetricsRegistry,
-        task: TaskId,
-        phase: TaskPhase,
-        now: SimTime,
-    ) {
-        let Some(span) = self.open.get_mut(&task) else {
+    /// is leaving. Unknown tasks, no-op transitions (already in `phase`)
+    /// and out-of-order transitions (to an *earlier* phase than the current
+    /// one — merged distributed streams deliver with arbitrary skew) are
+    /// all ignored, so emitters don't need to dedup.
+    pub fn advance(&mut self, task: TaskId, phase: TaskPhase, now: SimTime) {
+        let Some(i) = self.promote(task) else {
             return;
         };
-        if span.phase == phase {
+        let span = &mut self.open[i].1;
+        if phase <= span.phase {
             return;
         }
         let spent = now.saturating_since(span.phase_started).as_secs_f64();
-        registry.observe(
-            PHASE_METRIC,
-            Labels::kind(span.phase.name()),
-            &LATENCY_BUCKETS_SECS,
-            spent,
-        );
+        let leaving = span.phase;
         span.phase = phase;
         span.phase_started = now;
+        self.phase_hist[leaving as usize]
+            .get_or_insert_with(|| FixedHistogram::new(&LATENCY_BUCKETS_SECS))
+            .observe(spent);
     }
 
     /// Closes `task`'s span with the given outcome label (`"on_time"`,
     /// `"late"`, `"rejected"`, `"failed"`, ...): records the final phase's
-    /// residence time and the end-to-end latency. Unknown tasks are ignored.
-    pub fn finish(
-        &mut self,
-        registry: &mut MetricsRegistry,
-        task: TaskId,
-        outcome: &'static str,
-        now: SimTime,
-    ) {
-        let Some(span) = self.open.remove(&task) else {
+    /// residence time and the end-to-end latency. Unknown tasks and
+    /// duplicate terminals (the task already finished) are ignored.
+    pub fn finish(&mut self, task: TaskId, outcome: &'static str, now: SimTime) {
+        let Some(i) = self.open.iter().position(|(t, _)| *t == task) else {
             return;
         };
+        let (_, span) = self.open.swap_remove(i);
+        self.remember_closed(task);
         let spent = now.saturating_since(span.phase_started).as_secs_f64();
-        registry.observe(
-            PHASE_METRIC,
-            Labels::kind(span.phase.name()),
-            &LATENCY_BUCKETS_SECS,
-            spent,
-        );
+        self.phase_hist[span.phase as usize]
+            .get_or_insert_with(|| FixedHistogram::new(&LATENCY_BUCKETS_SECS))
+            .observe(spent);
         let total = now.saturating_since(span.started).as_secs_f64();
-        registry.observe(
-            TOTAL_METRIC,
-            Labels::kind(outcome),
-            &LATENCY_BUCKETS_SECS,
-            total,
-        );
+        let hist = match self.total_hist.iter_mut().position(|(k, _)| {
+            std::ptr::eq(*k as *const str, outcome as *const str) || *k == outcome
+        }) {
+            Some(i) => &mut self.total_hist[i].1,
+            None => {
+                self.total_hist
+                    .push((outcome, FixedHistogram::new(&LATENCY_BUCKETS_SECS)));
+                &mut self.total_hist.last_mut().expect("just pushed").1
+            }
+        };
+        hist.observe(total);
+    }
+
+    /// Folds the buffered latency histograms into `registry` as
+    /// `task_phase_seconds{kind=<phase>}` and
+    /// `task_total_seconds{kind=<outcome>}` series. Observations stay
+    /// buffered, so flushing twice into *different* registries is fine;
+    /// flushing twice into the *same* registry double-counts — drivers
+    /// flush into a fresh snapshot target (see `Recorder::snapshot`).
+    pub fn flush_into(&self, registry: &mut MetricsRegistry) {
+        const PHASES: [TaskPhase; PHASE_COUNT] = [
+            TaskPhase::Submit,
+            TaskPhase::Query,
+            TaskPhase::Allocation,
+            TaskPhase::Composition,
+            TaskPhase::Stream,
+            TaskPhase::Terminal,
+        ];
+        for phase in PHASES {
+            if let Some(hist) = &self.phase_hist[phase as usize] {
+                registry.merge_histogram(PHASE_METRIC, Labels::kind(phase.name()), hist);
+            }
+        }
+        for (outcome, hist) in &self.total_hist {
+            registry.merge_histogram(TOTAL_METRIC, Labels::kind(outcome), hist);
+        }
     }
 }
 
@@ -160,16 +247,17 @@ mod tests {
 
     #[test]
     fn phases_and_total_are_recorded() {
-        let mut reg = MetricsRegistry::new();
         let mut spans = SpanTracker::new();
         let task = TaskId::new(1);
         spans.submit(task, t(0.0));
-        spans.advance(&mut reg, task, TaskPhase::Query, t(0.010));
-        spans.advance(&mut reg, task, TaskPhase::Allocation, t(0.030));
-        spans.advance(&mut reg, task, TaskPhase::Stream, t(0.080));
-        spans.finish(&mut reg, task, "on_time", t(2.080));
+        spans.advance(task, TaskPhase::Query, t(0.010));
+        spans.advance(task, TaskPhase::Allocation, t(0.030));
+        spans.advance(task, TaskPhase::Stream, t(0.080));
+        spans.finish(task, "on_time", t(2.080));
         assert_eq!(spans.open_count(), 0);
 
+        let mut reg = MetricsRegistry::new();
+        spans.flush_into(&mut reg);
         let submit = reg.histogram(PHASE_METRIC, Labels::kind("submit")).unwrap();
         assert_eq!(submit.total(), 1);
         assert!((submit.sum() - 0.010).abs() < 1e-9);
@@ -186,26 +274,225 @@ mod tests {
 
     #[test]
     fn unknown_tasks_and_noop_transitions_ignored() {
-        let mut reg = MetricsRegistry::new();
         let mut spans = SpanTracker::new();
-        spans.advance(&mut reg, TaskId::new(9), TaskPhase::Query, t(1.0));
-        spans.finish(&mut reg, TaskId::new(9), "failed", t(1.0));
-        assert!(reg
-            .histogram(PHASE_METRIC, Labels::kind("submit"))
-            .is_none());
+        spans.advance(TaskId::new(9), TaskPhase::Query, t(1.0));
+        spans.finish(TaskId::new(9), "failed", t(1.0));
+        assert_eq!(phase_records(&spans), 0);
 
         let task = TaskId::new(1);
         spans.submit(task, t(0.0));
-        spans.advance(&mut reg, task, TaskPhase::Submit, t(5.0));
+        spans.advance(task, TaskPhase::Submit, t(5.0));
         // Still in Submit, nothing recorded yet.
-        assert!(reg
-            .histogram(PHASE_METRIC, Labels::kind("submit"))
-            .is_none());
+        assert_eq!(phase_records(&spans), 0);
     }
 
     #[test]
     fn phase_names_are_stable() {
         assert_eq!(TaskPhase::Allocation.name(), "allocation");
         assert_eq!(TaskPhase::Terminal.name(), "terminal");
+    }
+
+    fn records_with_prefix(spans: &SpanTracker, prefix: &str) -> u64 {
+        let mut reg = MetricsRegistry::new();
+        spans.flush_into(&mut reg);
+        reg.snapshot()
+            .histograms
+            .iter()
+            .filter(|h| h.key.starts_with(prefix))
+            .map(|h| h.histogram.total())
+            .sum()
+    }
+
+    fn total_records(spans: &SpanTracker) -> u64 {
+        records_with_prefix(spans, TOTAL_METRIC)
+    }
+
+    fn phase_records(spans: &SpanTracker) -> u64 {
+        records_with_prefix(spans, PHASE_METRIC)
+    }
+
+    #[test]
+    fn duplicate_terminal_does_not_double_count() {
+        let mut spans = SpanTracker::new();
+        let task = TaskId::new(1);
+        spans.submit(task, t(0.0));
+        spans.finish(task, "on_time", t(1.0));
+        spans.finish(task, "on_time", t(2.0));
+        spans.finish(task, "failed", t(3.0));
+        assert_eq!(
+            total_records(&spans),
+            1,
+            "duplicate terminals must be dropped"
+        );
+        assert_eq!(phase_records(&spans), 1);
+    }
+
+    #[test]
+    fn late_phase_event_after_terminal_is_ignored() {
+        let mut spans = SpanTracker::new();
+        let task = TaskId::new(1);
+        spans.submit(task, t(0.0));
+        spans.finish(task, "on_time", t(1.0));
+        // A straggling phase event from another node's ring arrives late.
+        spans.advance(task, TaskPhase::Stream, t(1.5));
+        assert_eq!(phase_records(&spans), 1);
+        assert_eq!(spans.open_count(), 0);
+    }
+
+    #[test]
+    fn out_of_order_phase_regression_is_ignored() {
+        let mut spans = SpanTracker::new();
+        let task = TaskId::new(1);
+        spans.submit(task, t(0.0));
+        spans.advance(task, TaskPhase::Stream, t(0.5));
+        // Skewed delivery: an Allocation event arrives after Stream.
+        spans.advance(task, TaskPhase::Allocation, t(0.6));
+        assert_eq!(
+            phase_records(&spans),
+            1,
+            "backward transition must not record"
+        );
+        spans.finish(task, "on_time", t(1.0));
+        assert_eq!(total_records(&spans), 1);
+    }
+
+    #[test]
+    fn resubmit_after_terminal_reopens_the_span() {
+        let mut spans = SpanTracker::new();
+        let task = TaskId::new(1);
+        spans.submit(task, t(0.0));
+        spans.finish(task, "on_time", t(1.0));
+        // Genuine restart of the same task id: a fresh lifecycle counts.
+        spans.submit(task, t(2.0));
+        spans.finish(task, "on_time", t(3.0));
+        assert_eq!(total_records(&spans), 2);
+    }
+
+    #[test]
+    fn open_spans_lists_in_flight_tasks() {
+        let mut spans = SpanTracker::new();
+        spans.submit(TaskId::new(2), t(1.0));
+        spans.submit(TaskId::new(1), t(0.0));
+        spans.advance(TaskId::new(1), TaskPhase::Query, t(0.5));
+        let open: Vec<_> = spans.open_spans().collect();
+        assert_eq!(
+            open,
+            vec![
+                (TaskId::new(1), TaskPhase::Query, t(0.0)),
+                (TaskId::new(2), TaskPhase::Submit, t(1.0)),
+            ]
+        );
+    }
+}
+
+#[cfg(test)]
+mod interleaving_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Submit(u64),
+        Advance(u64, TaskPhase),
+        Finish(u64),
+    }
+
+    fn phase_strategy() -> impl Strategy<Value = TaskPhase> {
+        prop_oneof![
+            Just(TaskPhase::Submit),
+            Just(TaskPhase::Query),
+            Just(TaskPhase::Allocation),
+            Just(TaskPhase::Composition),
+            Just(TaskPhase::Stream),
+            Just(TaskPhase::Terminal),
+        ]
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        let task = 1u64..4;
+        prop_oneof![
+            task.clone().prop_map(Op::Submit),
+            (task.clone(), phase_strategy()).prop_map(|(t, p)| Op::Advance(t, p)),
+            task.prop_map(Op::Finish),
+        ]
+    }
+
+    /// Reference model of the intended span semantics, tracking only the
+    /// record counts (what the histograms must agree with).
+    #[derive(Default)]
+    struct Model {
+        open: std::collections::BTreeMap<u64, TaskPhase>,
+        phase_records: u64,
+        total_records: u64,
+    }
+
+    impl Model {
+        fn apply(&mut self, op: &Op) {
+            match op {
+                Op::Submit(t) => {
+                    self.open.insert(*t, TaskPhase::Submit);
+                }
+                Op::Advance(t, p) => {
+                    if let Some(cur) = self.open.get_mut(t) {
+                        if *p > *cur {
+                            self.phase_records += 1;
+                            *cur = *p;
+                        }
+                    }
+                }
+                Op::Finish(t) => {
+                    if self.open.remove(t).is_some() {
+                        self.phase_records += 1;
+                        self.total_records += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Arbitrary interleavings of submit/advance/finish over a small
+        /// task-id space never double-count: histogram totals match a
+        /// straightforward reference model, closed terminals stay closed,
+        /// and per-task end-to-end records never exceed submits.
+        #[test]
+        fn arbitrary_interleavings_match_model(
+            ops in proptest::collection::vec(op_strategy(), 1..120)
+        ) {
+            let mut spans = SpanTracker::new();
+            let mut model = Model::default();
+            let mut submits = 0u64;
+            for (i, op) in ops.iter().enumerate() {
+                let now = SimTime::from_millis(i as u64 + 1);
+                match op {
+                    Op::Submit(t) => {
+                        submits += 1;
+                        spans.submit(TaskId::new(*t), now);
+                    }
+                    Op::Advance(t, p) => {
+                        spans.advance(TaskId::new(*t), *p, now);
+                    }
+                    Op::Finish(t) => {
+                        spans.finish(TaskId::new(*t), "on_time", now);
+                    }
+                }
+                model.apply(op);
+            }
+            let mut reg = MetricsRegistry::new();
+            spans.flush_into(&mut reg);
+            let snap = reg.snapshot();
+            let totals: u64 = snap.histograms.iter()
+                .filter(|h| h.key.starts_with(TOTAL_METRIC))
+                .map(|h| h.histogram.total()).sum();
+            let phases: u64 = snap.histograms.iter()
+                .filter(|h| h.key.starts_with(PHASE_METRIC))
+                .map(|h| h.histogram.total()).sum();
+            prop_assert_eq!(totals, model.total_records);
+            prop_assert_eq!(phases, model.phase_records);
+            prop_assert!(totals <= submits);
+            prop_assert_eq!(spans.open_count(), model.open.len());
+        }
     }
 }

@@ -84,7 +84,9 @@ pub enum TraceKind {
         /// The rejected task.
         task: TaskId,
         /// Why it was turned away (e.g. `"no_capacity"`, `"deadline"`).
-        reason: String,
+        /// Borrowed from the emitter's static vocabulary on the hot path;
+        /// owned only after deserialization.
+        reason: std::borrow::Cow<'static, str>,
     },
     /// The local least-laxity-first scheduler dispatched a new job.
     SchedDecision {
@@ -108,12 +110,30 @@ pub enum TraceKind {
         /// Fairness-index improvement the move achieved.
         fairness_gain: f64,
     },
+    /// A session reached the end of its negotiated duration and the RM
+    /// released its resources, notifying every participant.
+    SessionClosed {
+        /// The session that ended.
+        session: SessionId,
+    },
     /// A task crossed into a new lifecycle phase.
     TaskPhase {
         /// The task in question.
         task: TaskId,
         /// The phase it entered.
         phase: TaskPhase,
+    },
+    /// A traced protocol message arrived at the emitting peer: one causal
+    /// hop of a distributed operation. Only emitted for messages carrying a
+    /// live trace context (periodic traffic rides an empty context and stays
+    /// silent).
+    Hop {
+        /// The wire kind of the message that arrived (`Message::kind()`).
+        /// Borrowed (`Cow::Borrowed`) when emitted — hop events fire once
+        /// per traced message, so the hot path must not allocate.
+        msg: std::borrow::Cow<'static, str>,
+        /// The peer the message came from.
+        from: NodeId,
     },
 }
 
@@ -134,9 +154,23 @@ impl TraceKind {
             TraceKind::SchedDecision { .. } => "sched_decision",
             TraceKind::SessionRepair { .. } => "session_repair",
             TraceKind::SessionReassigned { .. } => "session_reassigned",
+            TraceKind::SessionClosed { .. } => "session_closed",
             TraceKind::TaskPhase { .. } => "task_phase",
+            TraceKind::Hop { .. } => "hop",
         }
     }
+}
+
+/// Version of the JSONL trace export format. Bumped whenever the line
+/// schema changes; the export's first line is `{"schema":<N>}`.
+///
+/// * **1** — implicit (headerless) format: `at`/`peer`/`domain`/`kind`.
+/// * **2** — adds the header line plus optional causal fields
+///   (`trace_id`/`span`/`parent`, omitted when zero) and the `hop` kind.
+pub const TRACE_SCHEMA: u32 = 2;
+
+fn is_zero(v: &u64) -> bool {
+    *v == 0
 }
 
 /// One structured trace event.
@@ -148,20 +182,56 @@ pub struct TraceEvent {
     pub peer: NodeId,
     /// The domain it concerns, when attributable.
     pub domain: Option<DomainId>,
+    /// The distributed trace this event belongs to (0 = untraced).
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub trace_id: u64,
+    /// The span (one event-handling episode on one peer) the event was
+    /// recorded under (0 = untraced).
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub span: u64,
+    /// The causal parent span — the handling episode (usually on another
+    /// peer) whose message triggered this one (0 = root or untraced).
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub parent: u64,
     /// What happened.
     pub kind: TraceKind,
 }
 
 impl TraceEvent {
-    /// Convenience constructor.
+    /// Convenience constructor for an uncorrelated (causality-free) event.
     pub fn new(at: SimTime, peer: NodeId, domain: Option<DomainId>, kind: TraceKind) -> Self {
         TraceEvent {
             at,
             peer,
             domain,
+            trace_id: 0,
+            span: 0,
+            parent: 0,
             kind,
         }
     }
+
+    /// Attaches causal links: the trace the event belongs to, the span it
+    /// was recorded under, and that span's parent.
+    pub fn causal(mut self, trace_id: u64, span: u64, parent: u64) -> Self {
+        self.trace_id = trace_id;
+        self.span = span;
+        self.parent = parent;
+        self
+    }
+}
+
+/// Merges per-node trace rings into one causally-orderable timeline with a
+/// deterministic total order: time, then emitting peer, then span id. Two
+/// collections containing the same events produce byte-identical timelines
+/// regardless of collection order.
+pub fn merge_timeline(mut events: Vec<TraceEvent>) -> Vec<TraceEvent> {
+    events.sort_by(|a, b| {
+        (a.at, a.peer, a.span)
+            .cmp(&(b.at, b.peer, b.span))
+            .then_with(|| a.kind.name().cmp(b.kind.name()))
+    });
+    events
 }
 
 /// A bounded ring buffer of trace events.
@@ -173,7 +243,11 @@ pub struct TraceLog {
     capacity: usize,
     events: VecDeque<TraceEvent>,
     dropped: u64,
-    by_kind: BTreeMap<&'static str, u64>,
+    /// Per-kind push tallies. Kind names are interned `&'static str`s from
+    /// a small fixed vocabulary, so a pointer-first linear scan (with a
+    /// string-equality fallback for unequal statics) outruns a map on the
+    /// per-event hot path; [`TraceLog::kind_counts`] sorts on demand.
+    by_kind: Vec<(&'static str, u64)>,
 }
 
 impl TraceLog {
@@ -184,15 +258,26 @@ impl TraceLog {
     pub fn new(capacity: usize) -> Self {
         TraceLog {
             capacity: capacity.max(1),
-            events: VecDeque::new(),
+            // Pre-size the ring (capped: callers pass capacities up to
+            // hundreds of thousands) so steady-state pushes never pause
+            // to reallocate mid-run.
+            events: VecDeque::with_capacity(capacity.clamp(1, 8_192)),
             dropped: 0,
-            by_kind: BTreeMap::new(),
+            by_kind: Vec::new(),
         }
     }
 
     /// Appends an event, evicting the oldest if at capacity.
     pub fn push(&mut self, event: TraceEvent) {
-        *self.by_kind.entry(event.kind.name()).or_insert(0) += 1;
+        let name = event.kind.name();
+        match self
+            .by_kind
+            .iter_mut()
+            .find(|(k, _)| std::ptr::eq(*k, name) || *k == name)
+        {
+            Some((_, n)) => *n += 1,
+            None => self.by_kind.push((name, 1)),
+        }
         if self.events.len() == self.capacity {
             self.events.pop_front();
             self.dropped += 1;
@@ -221,35 +306,79 @@ impl TraceLog {
     }
 
     /// Total pushes per event kind, *including* evicted events — eviction
-    /// loses payloads, not the tally.
-    pub fn kind_counts(&self) -> &BTreeMap<&'static str, u64> {
-        &self.by_kind
+    /// loses payloads, not the tally. Sorted by kind name.
+    pub fn kind_counts(&self) -> BTreeMap<&'static str, u64> {
+        self.by_kind.iter().copied().collect()
     }
 
     /// Total pushes of one event kind (see [`kind_counts`](Self::kind_counts)).
     pub fn count_of(&self, kind_name: &str) -> u64 {
-        self.by_kind.get(kind_name).copied().unwrap_or(0)
+        self.by_kind
+            .iter()
+            .find(|(k, _)| *k == kind_name)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
     }
 
-    /// Writes every retained event as one JSON object per line.
+    /// Writes the retained events as a schema-versioned JSONL export: a
+    /// `{"schema":N}` header line followed by one JSON object per event.
     pub fn write_jsonl<W: Write>(&self, out: &mut W) -> io::Result<()> {
-        for event in &self.events {
-            let line = serde_json::to_string(event)
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-            out.write_all(line.as_bytes())?;
-            out.write_all(b"\n")?;
-        }
-        Ok(())
+        write_jsonl(out, self.events.iter())
     }
 
     /// Parses events back from JSONL text (the inverse of
-    /// [`write_jsonl`](Self::write_jsonl)); blank lines are skipped.
+    /// [`write_jsonl`](Self::write_jsonl)); the `{"schema":N}` header is
+    /// validated when present (schema-1 exports were headerless), and blank
+    /// lines are skipped.
     pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
-        text.lines()
-            .filter(|l| !l.trim().is_empty())
-            .map(|l| serde_json::from_str::<TraceEvent>(l).map_err(|e| e.to_string()))
-            .collect()
+        let mut events = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if i == 0 && line.starts_with("{\"schema\"") {
+                let header: SchemaHeader = serde_json::from_str(line).map_err(|e| e.to_string())?;
+                if header.schema > TRACE_SCHEMA {
+                    return Err(format!(
+                        "trace export schema {} is newer than supported {}",
+                        header.schema, TRACE_SCHEMA
+                    ));
+                }
+                continue;
+            }
+            events.push(serde_json::from_str::<TraceEvent>(line).map_err(|e| e.to_string())?);
+        }
+        Ok(events)
     }
+}
+
+#[derive(Serialize, Deserialize)]
+struct SchemaHeader {
+    schema: u32,
+}
+
+/// Writes any event sequence as a schema-versioned JSONL export (header
+/// line `{"schema":N}`, then one JSON object per event). [`TraceLog`] and
+/// the merged cross-node timeline share this one format.
+pub fn write_jsonl<'a, W, I>(out: &mut W, events: I) -> io::Result<()>
+where
+    W: Write,
+    I: IntoIterator<Item = &'a TraceEvent>,
+{
+    let header = serde_json::to_string(&SchemaHeader {
+        schema: TRACE_SCHEMA,
+    })
+    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    out.write_all(header.as_bytes())?;
+    out.write_all(b"\n")?;
+    for event in events {
+        let line = serde_json::to_string(event)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        out.write_all(line.as_bytes())?;
+        out.write_all(b"\n")?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -306,12 +435,70 @@ mod tests {
         let mut buf = Vec::new();
         log.write_jsonl(&mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
-        assert_eq!(text.lines().count(), 3);
+        // Header line plus one line per event.
+        assert_eq!(text.lines().count(), 4);
+        assert_eq!(text.lines().next().unwrap(), "{\"schema\":2}");
         let parsed = TraceLog::parse_jsonl(&text).unwrap();
         assert_eq!(parsed.len(), 3);
         for (orig, back) in log.iter().zip(&parsed) {
             assert_eq!(orig, back);
         }
+    }
+
+    #[test]
+    fn headerless_legacy_exports_still_parse() {
+        // Schema-1 exports had no header line; parse_jsonl must accept them.
+        let event = ev(10, TraceKind::GossipRound { fanout: 3 });
+        let line = serde_json::to_string(&event).unwrap();
+        let parsed = TraceLog::parse_jsonl(&format!("{line}\n")).unwrap();
+        assert_eq!(parsed, vec![event]);
+    }
+
+    #[test]
+    fn newer_schema_is_rejected() {
+        let err = TraceLog::parse_jsonl("{\"schema\":99}\n").unwrap_err();
+        assert!(err.contains("newer than supported"));
+    }
+
+    #[test]
+    fn causal_fields_roundtrip_and_default_to_zero() {
+        let event = ev(5, TraceKind::GossipRound { fanout: 1 }).causal(7, 8, 9);
+        let line = serde_json::to_string(&event).unwrap();
+        assert!(line.contains("\"trace_id\":7"));
+        let back: TraceEvent = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, event);
+
+        // Untraced events omit the causal fields entirely, and lines
+        // without them decode to zeros (old exports stay readable).
+        let bare = ev(5, TraceKind::GossipRound { fanout: 1 });
+        let line = serde_json::to_string(&bare).unwrap();
+        assert!(!line.contains("trace_id"));
+        let back: TraceEvent = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.span, 0);
+    }
+
+    #[test]
+    fn merge_timeline_is_order_invariant() {
+        let mk = |t: u64, peer: u64, span: u64| {
+            TraceEvent::new(
+                SimTime::from_micros(t),
+                NodeId::new(peer),
+                None,
+                TraceKind::GossipRound { fanout: 1 },
+            )
+            .causal(1, span, 0)
+        };
+        let a = vec![mk(2, 1, 10), mk(1, 2, 20), mk(1, 1, 30)];
+        let mut b = a.clone();
+        b.reverse();
+        let merged_a = merge_timeline(a);
+        let merged_b = merge_timeline(b);
+        assert_eq!(merged_a, merged_b);
+        let order: Vec<(u64, u64)> = merged_a
+            .iter()
+            .map(|e| (e.at.as_micros(), e.peer.raw()))
+            .collect();
+        assert_eq!(order, vec![(1, 1), (1, 2), (2, 1)]);
     }
 
     #[test]

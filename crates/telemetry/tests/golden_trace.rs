@@ -1,0 +1,91 @@
+//! Golden-file pin of the JSONL trace export format (schema 2).
+//!
+//! The export format is a public interface: `arm trace` artifacts, CI
+//! uploads and external tooling all consume it. This test compares a
+//! representative export byte-for-byte against a committed fixture so any
+//! change to the line schema — field names, ordering, the header, zero-field
+//! omission — shows up as a reviewable fixture diff instead of drifting
+//! silently. If you change the format deliberately, bump
+//! [`TRACE_SCHEMA`](arm_telemetry::TRACE_SCHEMA), regenerate the fixture
+//! (the failure message prints the new export), and document the bump in
+//! DESIGN.md §11.
+
+use arm_telemetry::{TraceEvent, TraceKind, TraceLog, TRACE_SCHEMA};
+use arm_util::{DomainId, NodeId, SimTime, TaskId};
+
+const GOLDEN: &str = include_str!("golden/trace_schema2.jsonl");
+
+/// A fixed export exercising every serialisation feature of the format:
+/// causal fields present and omitted, `parent` omitted while `trace_id`/
+/// `span` are set, a `null` domain, a string payload, and the `hop` kind.
+fn exemplar_events() -> Vec<TraceEvent> {
+    let trace = 7u64;
+    let span = |node: u64, counter: u64| (node << 32) | counter;
+    vec![
+        TraceEvent::new(
+            SimTime::from_micros(1000),
+            NodeId::new(3),
+            Some(DomainId::new(1)),
+            TraceKind::TaskPhase {
+                task: TaskId::new(42),
+                phase: arm_telemetry::TaskPhase::Submit,
+            },
+        )
+        .causal(trace, span(3, 1), 0),
+        TraceEvent::new(
+            SimTime::from_micros(2000),
+            NodeId::new(5),
+            None,
+            TraceKind::Hop {
+                msg: "task_query".into(),
+                from: NodeId::new(3),
+            },
+        )
+        .causal(trace, span(5, 1), span(3, 1)),
+        TraceEvent::new(
+            SimTime::from_micros(3000),
+            NodeId::new(5),
+            Some(DomainId::new(1)),
+            TraceKind::GossipRound { fanout: 4 },
+        ),
+        TraceEvent::new(
+            SimTime::from_micros(4000),
+            NodeId::new(5),
+            Some(DomainId::new(1)),
+            TraceKind::AdmissionRejected {
+                task: TaskId::new(42),
+                reason: "no_capacity".into(),
+            },
+        )
+        .causal(trace, span(5, 2), span(3, 1)),
+    ]
+}
+
+#[test]
+fn export_matches_golden_fixture_byte_for_byte() {
+    let mut log = TraceLog::new(16);
+    for ev in exemplar_events() {
+        log.push(ev);
+    }
+    let mut buf = Vec::new();
+    log.write_jsonl(&mut buf).unwrap();
+    let export = String::from_utf8(buf).unwrap();
+    assert_eq!(
+        export, GOLDEN,
+        "JSONL trace export drifted from the schema-{TRACE_SCHEMA} golden \
+         fixture; if intentional, bump TRACE_SCHEMA and regenerate \
+         tests/golden/trace_schema2.jsonl with the export above"
+    );
+}
+
+#[test]
+fn golden_fixture_parses_back_to_the_same_events() {
+    let parsed = TraceLog::parse_jsonl(GOLDEN).unwrap();
+    assert_eq!(parsed, exemplar_events());
+}
+
+#[test]
+fn golden_fixture_header_names_the_current_schema() {
+    let header = GOLDEN.lines().next().unwrap();
+    assert_eq!(header, format!("{{\"schema\":{TRACE_SCHEMA}}}"));
+}

@@ -179,6 +179,8 @@ pub fn message_tag(payload: &WirePayload) -> u8 {
             Message::ComposeNack { .. } => 20,
             Message::RenegotiateQos { .. } => 21,
         },
+        WirePayload::StatusRequest(_) => 22,
+        WirePayload::StatusReport(_) => 23,
     }
 }
 
@@ -327,14 +329,14 @@ mod tests {
     use arm_util::{NodeId, SimTime};
 
     fn heartbeat_env() -> WirePayload {
-        WirePayload::Envelope(Envelope {
-            from: NodeId::new(1),
-            to: NodeId::new(2),
-            msg: Message::Heartbeat {
+        WirePayload::Envelope(Envelope::untraced(
+            NodeId::new(1),
+            NodeId::new(2),
+            Message::Heartbeat {
                 from: NodeId::new(1),
                 sent_at: SimTime::from_millis(125),
             },
-        })
+        ))
     }
 
     #[test]

@@ -22,6 +22,7 @@
 
 pub mod frame;
 pub mod mem;
+pub mod status;
 pub mod tcp;
 pub mod transport;
 
@@ -30,6 +31,7 @@ pub use frame::{
     PROTOCOL_VERSION,
 };
 pub use mem::{InMemoryTransport, MemHub};
+pub use status::{query_status, StatusProvider, StatusReport, StatusRequest};
 pub use tcp::{TcpOptions, TcpTransport};
 pub use transport::{
     InboundSink, LinkCounters, LinkStats, Transport, TransportError, TransportStats,
@@ -59,4 +61,11 @@ pub enum WirePayload {
     Hello(Hello),
     /// A routed protocol message.
     Envelope(Envelope),
+    /// Introspection: an observer (`arm top`, `arm trace`) asks for a
+    /// status snapshot. Answered on the same connection; no handshake or
+    /// link registration required.
+    StatusRequest(StatusRequest),
+    /// Introspection: the queried node's snapshot (boxed — it dwarfs every
+    /// other payload).
+    StatusReport(Box<StatusReport>),
 }

@@ -13,7 +13,7 @@
 use crate::frame::{encode, FrameDecoder};
 use crate::transport::{InboundSink, LinkCounters, Transport, TransportError, TransportStats};
 use crate::WirePayload;
-use arm_proto::{Envelope, Message};
+use arm_proto::{Envelope, Message, TraceCtx};
 use arm_util::NodeId;
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
@@ -98,7 +98,7 @@ impl Transport for InMemoryTransport {
         self.node
     }
 
-    fn send(&self, to: NodeId, msg: Message) -> Result<(), TransportError> {
+    fn send(&self, to: NodeId, msg: Message, ctx: TraceCtx) -> Result<(), TransportError> {
         if self.down.load(Ordering::SeqCst) {
             return Err(TransportError::Shutdown);
         }
@@ -116,6 +116,7 @@ impl Transport for InMemoryTransport {
         let bytes = encode(&WirePayload::Envelope(Envelope {
             from: self.node,
             to,
+            trace: ctx,
             msg,
         }));
         counters.msgs_out.fetch_add(1, Ordering::Relaxed);
@@ -131,7 +132,7 @@ impl Transport for InMemoryTransport {
                 in_counters
                     .bytes_in
                     .fetch_add(bytes.len() as u64, Ordering::Relaxed);
-                (endpoint.sink)(env.from, env.msg);
+                (endpoint.sink)(env.from, env.msg, env.trace);
                 Ok(())
             }
             other => {
@@ -199,14 +200,14 @@ mod tests {
     fn synchronous_delivery_through_codec() {
         let hub = MemHub::new();
         let (tx, rx) = channel();
-        let a = hub.register(NodeId::new(1), Box::new(|_, _| {}));
+        let a = hub.register(NodeId::new(1), Box::new(|_, _, _| {}));
         let _b = hub.register(
             NodeId::new(2),
-            Box::new(move |from, msg| {
+            Box::new(move |from, msg, _ctx| {
                 let _ = tx.send((from, msg));
             }),
         );
-        a.send(NodeId::new(2), hb(1)).unwrap();
+        a.send(NodeId::new(2), hb(1), TraceCtx::NONE).unwrap();
         // Delivery is synchronous: already in the channel.
         let (from, msg) = rx.try_recv().unwrap();
         assert_eq!(from, NodeId::new(1));
@@ -220,9 +221,9 @@ mod tests {
     #[test]
     fn unknown_destination_is_unroutable() {
         let hub = MemHub::new();
-        let a = hub.register(NodeId::new(1), Box::new(|_, _| {}));
+        let a = hub.register(NodeId::new(1), Box::new(|_, _, _| {}));
         assert_eq!(
-            a.send(NodeId::new(9), hb(1)),
+            a.send(NodeId::new(9), hb(1), TraceCtx::NONE),
             Err(TransportError::Unroutable(NodeId::new(9)))
         );
     }
@@ -231,28 +232,49 @@ mod tests {
     fn partition_drops_and_heal_restores() {
         let hub = MemHub::new();
         let (tx, rx) = channel();
-        let a = hub.register(NodeId::new(1), Box::new(|_, _| {}));
+        let a = hub.register(NodeId::new(1), Box::new(|_, _, _| {}));
         let _b = hub.register(
             NodeId::new(2),
-            Box::new(move |from, msg| {
+            Box::new(move |from, msg, _ctx| {
                 let _ = tx.send((from, msg));
             }),
         );
         hub.partition(NodeId::new(1), NodeId::new(2));
-        a.send(NodeId::new(2), hb(1)).unwrap();
+        a.send(NodeId::new(2), hb(1), TraceCtx::NONE).unwrap();
         assert!(rx.try_recv().is_err());
         assert_eq!(a.stats().dropped(), 1);
         hub.heal(NodeId::new(1), NodeId::new(2));
-        a.send(NodeId::new(2), hb(1)).unwrap();
+        a.send(NodeId::new(2), hb(1), TraceCtx::NONE).unwrap();
         assert!(rx.try_recv().is_ok());
+    }
+
+    #[test]
+    fn trace_context_survives_the_codec() {
+        let hub = MemHub::new();
+        let (tx, rx) = channel();
+        let a = hub.register(NodeId::new(1), Box::new(|_, _, _| {}));
+        let _b = hub.register(
+            NodeId::new(2),
+            Box::new(move |from, msg, ctx| {
+                let _ = tx.send((from, msg, ctx));
+            }),
+        );
+        let ctx = TraceCtx {
+            trace_id: 7,
+            parent_span: (1u64 << 32) | 3,
+            flags: 1,
+        };
+        a.send(NodeId::new(2), hb(1), ctx).unwrap();
+        let (_, _, got) = rx.try_recv().unwrap();
+        assert_eq!(got, ctx);
     }
 
     #[test]
     fn inbound_counters_appear_in_stats() {
         let hub = MemHub::new();
-        let a = hub.register(NodeId::new(1), Box::new(|_, _| {}));
-        let b = hub.register(NodeId::new(2), Box::new(|_, _| {}));
-        a.send(NodeId::new(2), hb(1)).unwrap();
+        let a = hub.register(NodeId::new(1), Box::new(|_, _, _| {}));
+        let b = hub.register(NodeId::new(2), Box::new(|_, _, _| {}));
+        a.send(NodeId::new(2), hb(1), TraceCtx::NONE).unwrap();
         let stats = b.stats();
         assert_eq!(stats.msgs_in(), 1);
         assert!(stats.bytes_in() > 0);

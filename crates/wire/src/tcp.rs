@@ -28,9 +28,10 @@
 //! dropping under pressure beats unbounded buffering.
 
 use crate::frame::{encode, FrameDecoder};
+use crate::status::StatusProvider;
 use crate::transport::{InboundSink, LinkCounters, Transport, TransportError, TransportStats};
 use crate::{Hello, WirePayload};
-use arm_proto::{Envelope, Message};
+use arm_proto::{Envelope, Message, TraceCtx};
 use arm_util::NodeId;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -98,6 +99,9 @@ struct Inner {
     listen: SocketAddr,
     opts: TcpOptions,
     sink: InboundSink,
+    /// Answers inbound `StatusRequest` frames (introspection plane); unset
+    /// transports simply ignore them.
+    status: Mutex<Option<StatusProvider>>,
     links: Mutex<HashMap<NodeId, Link>>,
     book: Mutex<HashMap<NodeId, SocketAddr>>,
     decode_errors: AtomicU64,
@@ -130,6 +134,7 @@ impl TcpTransport {
             listen: local,
             opts,
             sink,
+            status: Mutex::new(None),
             links: Mutex::new(HashMap::new()),
             book: Mutex::new(HashMap::new()),
             decode_errors: AtomicU64::new(0),
@@ -190,8 +195,12 @@ impl TcpTransport {
                             Ok(None) => break,
                             Ok(Some(WirePayload::Hello(h))) => break 'hello h,
                             Ok(Some(WirePayload::Envelope(env))) => {
-                                (inner.sink)(env.from, env.msg);
+                                (inner.sink)(env.from, env.msg, env.trace);
                             }
+                            // Introspection frames are not expected during a
+                            // handshake; skip them.
+                            Ok(Some(WirePayload::StatusRequest(_)))
+                            | Ok(Some(WirePayload::StatusReport(_))) => {}
                             Err(e) => {
                                 inner.decode_errors.fetch_add(1, Ordering::Relaxed);
                                 if dec.is_poisoned() {
@@ -244,6 +253,13 @@ impl TcpTransport {
         self.inner.book.lock().insert(node, sockaddr);
         Ok(())
     }
+
+    /// Installs the answerer for inbound [`StatusRequest`](crate::StatusRequest)
+    /// frames. The provider runs on reader threads, so it must be cheap and
+    /// must not call back into the transport.
+    pub fn set_status_provider(&self, provider: StatusProvider) {
+        *self.inner.status.lock() = Some(provider);
+    }
 }
 
 impl Transport for TcpTransport {
@@ -251,14 +267,14 @@ impl Transport for TcpTransport {
         self.inner.node
     }
 
-    fn send(&self, to: NodeId, msg: Message) -> Result<(), TransportError> {
+    fn send(&self, to: NodeId, msg: Message, ctx: TraceCtx) -> Result<(), TransportError> {
         let inner = &self.inner;
         if inner.shutdown.load(Ordering::SeqCst) {
             return Err(TransportError::Shutdown);
         }
         if to == inner.node {
             // Loopback short-circuit: no frame, no socket.
-            (inner.sink)(inner.node, msg);
+            (inner.sink)(inner.node, msg, ctx);
             return Ok(());
         }
         let routable = inner.links.lock().contains_key(&to) || inner.book.lock().contains_key(&to);
@@ -268,6 +284,7 @@ impl Transport for TcpTransport {
         let bytes = encode(&WirePayload::Envelope(Envelope {
             from: inner.node,
             to,
+            trace: ctx,
             msg,
         }));
         let link = inner.ensure_link(to);
@@ -508,7 +525,21 @@ fn reader_main(inner: Arc<Inner>, mut stream: TcpStream, peer: Option<NodeId>, a
                             if let Some(c) = &counters {
                                 c.msgs_in.fetch_add(1, Ordering::Relaxed);
                             }
-                            (inner.sink)(env.from, env.msg);
+                            (inner.sink)(env.from, env.msg, env.trace);
+                        }
+                        Ok(Some(WirePayload::StatusRequest(req))) => {
+                            // Introspection: answer on this same socket. An
+                            // unset provider ignores the probe.
+                            let report = inner.status.lock().as_ref().map(|p| p(&req));
+                            if let Some(report) = report {
+                                let frame = encode(&WirePayload::StatusReport(Box::new(report)));
+                                if stream.write_all(&frame).is_err() {
+                                    return;
+                                }
+                            }
+                        }
+                        Ok(Some(WirePayload::StatusReport(_))) => {
+                            // Unsolicited report; nothing to do with it here.
                         }
                         Err(_) => {
                             inner.decode_errors.fetch_add(1, Ordering::Relaxed);
@@ -697,7 +728,7 @@ mod tests {
         let a = TcpTransport::bind(
             NodeId::new(1),
             "127.0.0.1:0",
-            Box::new(move |from, msg| {
+            Box::new(move |from, msg, _ctx| {
                 let _ = tx_a.send((from, msg));
             }),
             quick_opts(),
@@ -707,7 +738,7 @@ mod tests {
         let b = TcpTransport::bind(
             NodeId::new(2),
             "127.0.0.1:0",
-            Box::new(move |from, msg| {
+            Box::new(move |from, msg, _ctx| {
                 let _ = tx_b.send((from, msg));
             }),
             quick_opts(),
@@ -718,13 +749,13 @@ mod tests {
         assert_eq!(remote, NodeId::new(1));
 
         // b → a over the dialed socket.
-        b.send(NodeId::new(1), hb(2)).unwrap();
+        b.send(NodeId::new(1), hb(2), TraceCtx::NONE).unwrap();
         let (from, msg) = rx_a.recv_timeout(Duration::from_secs(5)).unwrap();
         assert_eq!(from, NodeId::new(2));
         assert_eq!(msg, hb(2));
 
         // a → b over the accepted socket (adopted write half).
-        a.send(NodeId::new(2), hb(1)).unwrap();
+        a.send(NodeId::new(2), hb(1), TraceCtx::NONE).unwrap();
         let (from, msg) = rx_b.recv_timeout(Duration::from_secs(5)).unwrap();
         assert_eq!(from, NodeId::new(1));
         assert_eq!(msg, hb(1));
@@ -742,12 +773,12 @@ mod tests {
         let a = TcpTransport::bind(
             NodeId::new(1),
             "127.0.0.1:0",
-            Box::new(|_, _| {}),
+            Box::new(|_, _, _| {}),
             quick_opts(),
         )
         .unwrap();
         assert_eq!(
-            a.send(NodeId::new(99), hb(1)),
+            a.send(NodeId::new(99), hb(1), TraceCtx::NONE),
             Err(TransportError::Unroutable(NodeId::new(99)))
         );
         a.shutdown();
@@ -759,7 +790,7 @@ mod tests {
         let a = TcpTransport::bind(
             NodeId::new(1),
             "127.0.0.1:0",
-            Box::new(move |from, msg| {
+            Box::new(move |from, msg, _ctx| {
                 let _ = tx_a.send((from, msg));
             }),
             quick_opts(),
@@ -768,12 +799,12 @@ mod tests {
         let b = TcpTransport::bind(
             NodeId::new(2),
             "127.0.0.1:0",
-            Box::new(|_, _| {}),
+            Box::new(|_, _, _| {}),
             quick_opts(),
         )
         .unwrap();
         b.connect(&a.listen_addr().to_string()).unwrap();
-        b.send(NodeId::new(1), hb(2)).unwrap();
+        b.send(NodeId::new(1), hb(2), TraceCtx::NONE).unwrap();
         rx_a.recv_timeout(Duration::from_secs(5)).unwrap();
 
         b.kill_link(NodeId::new(1));
@@ -783,7 +814,7 @@ mod tests {
         let deadline = std::time::Instant::now() + Duration::from_secs(10);
         let mut delivered = false;
         while std::time::Instant::now() < deadline {
-            let _ = b.send(NodeId::new(1), hb(2));
+            let _ = b.send(NodeId::new(1), hb(2), TraceCtx::NONE);
             if rx_a.recv_timeout(Duration::from_millis(200)).is_ok() {
                 delivered = true;
                 break;
@@ -811,7 +842,7 @@ mod tests {
         let a = TcpTransport::bind(
             NodeId::new(1),
             "127.0.0.1:0",
-            Box::new(|_, _| {}),
+            Box::new(|_, _, _| {}),
             quick_opts(),
         )
         .unwrap();
@@ -832,18 +863,56 @@ mod tests {
     }
 
     #[test]
+    fn status_provider_answers_query_status() {
+        use crate::status::{query_status, tests::sample_report};
+        let a = TcpTransport::bind(
+            NodeId::new(7),
+            "127.0.0.1:0",
+            Box::new(|_, _, _| {}),
+            quick_opts(),
+        )
+        .unwrap();
+        // No provider installed yet: the probe times out quietly.
+        let early = query_status(
+            &a.listen_addr().to_string(),
+            NodeId::new(99),
+            false,
+            Duration::from_millis(300),
+        );
+        assert!(early.is_err(), "unset provider must not answer: {early:?}");
+        a.set_status_provider(Box::new(|req| {
+            let mut report = sample_report(NodeId::new(7));
+            report.open_spans = u64::from(req.include_trace);
+            report
+        }));
+        let report = query_status(
+            &a.listen_addr().to_string(),
+            NodeId::new(99),
+            true,
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(report.node, NodeId::new(7));
+        assert_eq!(report.open_spans, 1, "request fields must reach provider");
+        // The status socket never handshook: no link, no decode errors.
+        let stats = a.stats();
+        assert_eq!(stats.decode_errors, 0);
+        a.shutdown();
+    }
+
+    #[test]
     fn loopback_send_short_circuits() {
         let (tx, rx) = channel::<(NodeId, Message)>();
         let a = TcpTransport::bind(
             NodeId::new(1),
             "127.0.0.1:0",
-            Box::new(move |from, msg| {
+            Box::new(move |from, msg, _ctx| {
                 let _ = tx.send((from, msg));
             }),
             quick_opts(),
         )
         .unwrap();
-        a.send(NodeId::new(1), hb(1)).unwrap();
+        a.send(NodeId::new(1), hb(1), TraceCtx::NONE).unwrap();
         assert_eq!(
             rx.recv_timeout(Duration::from_secs(1)).unwrap().0,
             NodeId::new(1)

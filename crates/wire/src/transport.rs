@@ -19,15 +19,17 @@
 //!   and connection churn, exposed by [`Transport::stats`] and recordable
 //!   into an `arm-telemetry` registry.
 
-use arm_proto::Message;
+use arm_proto::{Message, TraceCtx};
 use arm_telemetry::{Labels, Recorder};
 use arm_util::NodeId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-/// Callback receiving inbound protocol messages `(from, msg)`.
-pub type InboundSink = Box<dyn Fn(NodeId, Message) + Send + Sync>;
+/// Callback receiving inbound protocol messages `(from, msg, trace)`. The
+/// trace context is whatever the sender's envelope carried
+/// ([`TraceCtx::NONE`] for legacy frames), so causality survives the wire.
+pub type InboundSink = Box<dyn Fn(NodeId, Message, TraceCtx) + Send + Sync>;
 
 /// Why a send was not accepted.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,8 +62,10 @@ pub trait Transport: Send + Sync {
     /// The local peer this transport speaks for.
     fn node(&self) -> NodeId;
 
-    /// Queues `msg` for delivery to `to`. Never blocks on the network.
-    fn send(&self, to: NodeId, msg: Message) -> Result<(), TransportError>;
+    /// Queues `msg` for delivery to `to`, stamping the envelope with the
+    /// sender's causal trace context (`TraceCtx::NONE` for untraced
+    /// traffic). Never blocks on the network.
+    fn send(&self, to: NodeId, msg: Message, ctx: TraceCtx) -> Result<(), TransportError>;
 
     /// Snapshot of per-link and transport-wide counters.
     fn stats(&self) -> TransportStats;

@@ -1,10 +1,9 @@
-//! Satellite: reconcile `Message::size_bytes` with reality.
+//! Satellite: the traced envelope must round-trip for every `Message`
+//! variant, and legacy frames (no `trace` field) must still decode.
 //!
-//! The bandwidth model and the E5/E10/E12 overhead experiments charge
-//! message costs from `Message::size_bytes`. Now that messages actually
-//! cross a wire, the estimate must stay honest: for every variant the
-//! estimate must be within 2× of the actual encoded frame size (in both
-//! directions).
+//! The `arm-lint` `proto-exhaustive` rule pins `exemplars` below as a
+//! registry site: adding a `Message` variant without extending this list
+//! fails CI by name.
 
 use arm_model::{
     Codec, MediaFormat, MediaObject, QosSpec, Resolution, ResourceGraph, ServiceGraph, ServiceSpec,
@@ -12,12 +11,12 @@ use arm_model::{
 };
 use arm_profiler::LoadReport;
 use arm_proto::{
-    DomainSummary, Envelope, Message, NackReason, RmCandidacy, RmSnapshot, TaskReplyKind,
+    DomainSummary, Envelope, Message, NackReason, RmCandidacy, RmSnapshot, TaskReplyKind, TraceCtx,
 };
 use arm_util::{
     BloomFilter, DomainId, NodeId, ObjectId, ServiceId, SessionId, SimDuration, SimTime, TaskId,
 };
-use arm_wire::{encode, WirePayload};
+use arm_wire::{encode, FrameDecoder, WirePayload};
 
 fn candidacy(id: u64) -> RmCandidacy {
     RmCandidacy {
@@ -39,7 +38,7 @@ fn task_spec() -> TaskSpec {
         name: "demo-movie".into(),
         requester: NodeId::new(4),
         initial_format: MediaFormat::paper_source(),
-        acceptable_formats: vec![MediaFormat::paper_target(), MediaFormat::paper_source()],
+        acceptable_formats: vec![MediaFormat::paper_target()],
         qos: QosSpec::with_deadline(SimDuration::from_secs(10)),
         submitted_at: SimTime::from_secs(1),
         session_secs: 60.0,
@@ -49,7 +48,7 @@ fn task_spec() -> TaskSpec {
 fn summary(seed: u64) -> DomainSummary {
     let mut objects = BloomFilter::with_capacity(64, 0.01);
     let mut services = BloomFilter::with_capacity(64, 0.01);
-    for i in 0..32u64 {
+    for i in 0..16u64 {
         objects.insert_u64(seed.wrapping_mul(1000) + i);
         services.insert_u64(seed.wrapping_mul(2000) + i);
     }
@@ -66,7 +65,7 @@ fn summary(seed: u64) -> DomainSummary {
 fn snapshot() -> RmSnapshot {
     use arm_model::{PeerInfo, PeerView};
     let mut view = PeerView::new();
-    for i in 1..=6u64 {
+    for i in 1..=3u64 {
         view.upsert(NodeId::new(i), PeerInfo::idle(100.0, 10_000));
     }
     let (gr, _) = ResourceGraph::figure1();
@@ -75,17 +74,14 @@ fn snapshot() -> RmSnapshot {
         rm: NodeId::new(1),
         view,
         resource_graph: gr,
-        sessions: vec![
-            (SessionId::new(1), service_graph()),
-            (SessionId::new(2), service_graph()),
-        ],
-        candidates: vec![candidacy(2), candidacy(3)],
+        sessions: vec![(SessionId::new(1), service_graph())],
+        candidates: vec![candidacy(2)],
         version: 12,
     }
 }
 
-/// One representative value per `Message` variant, content-bearing where
-/// the variant can carry content.
+/// One representative value per `Message` variant. The lint's
+/// `proto-exhaustive` rule requires every variant to appear here.
 fn exemplars() -> Vec<Message> {
     vec![
         Message::JoinRequest {
@@ -95,12 +91,9 @@ fn exemplars() -> Vec<Message> {
         Message::JoinAccept {
             domain: DomainId::new(1),
             rm: NodeId::new(1),
-            as_new_rm: true,
-            new_domain: Some(DomainId::new(2)),
-            known_rms: vec![
-                (DomainId::new(1), NodeId::new(1)),
-                (DomainId::new(3), NodeId::new(9)),
-            ],
+            as_new_rm: false,
+            new_domain: None,
+            known_rms: vec![(DomainId::new(1), NodeId::new(1))],
         },
         Message::Advertise {
             objects: vec![MediaObject::new(
@@ -144,22 +137,16 @@ fn exemplars() -> Vec<Message> {
             queue_len: 3,
         }),
         Message::GossipDigest {
-            summaries: vec![summary(1), summary(2)],
+            summaries: vec![summary(1)],
         },
         Message::TaskQuery { task: task_spec() },
         Message::TaskRedirect {
             task: task_spec(),
-            tried_domains: vec![DomainId::new(1), DomainId::new(2)],
+            tried_domains: vec![DomainId::new(1)],
         },
         Message::TaskReply {
             task: TaskId::new(1),
             reply: TaskReplyKind::Allocated(service_graph()),
-        },
-        Message::TaskReply {
-            task: TaskId::new(2),
-            reply: TaskReplyKind::Rejected {
-                reason: "no feasible allocation".into(),
-            },
         },
         Message::Compose {
             session: SessionId::new(1),
@@ -192,17 +179,17 @@ fn exemplars() -> Vec<Message> {
     ]
 }
 
-fn frame_len(msg: &Message) -> usize {
-    encode(&WirePayload::Envelope(Envelope::untraced(
-        NodeId::new(1),
-        NodeId::new(2),
-        msg.clone(),
-    )))
-    .len()
+fn roundtrip(payload: &WirePayload) -> WirePayload {
+    let bytes = encode(payload);
+    let mut dec = FrameDecoder::new();
+    dec.push(&bytes);
+    dec.next_frame()
+        .expect("frame decodes")
+        .expect("one whole frame")
 }
 
 #[test]
-fn every_variant_estimate_within_2x_of_encoded_frame() {
+fn every_variant_round_trips_with_trace_context() {
     let exemplars = exemplars();
     // Every Message variant must be covered; bump this when adding one.
     assert_eq!(
@@ -214,35 +201,43 @@ fn every_variant_estimate_within_2x_of_encoded_frame() {
         20,
         "exemplar list no longer covers every variant"
     );
-    let mut failures = Vec::new();
-    for msg in &exemplars {
-        let estimate = msg.size_bytes();
-        let actual = frame_len(msg);
-        if estimate * 2 < actual || actual * 2 < estimate {
-            failures.push(format!(
-                "{}: estimate {estimate} vs actual {actual} ({:.2}x)",
-                msg.kind(),
-                actual as f64 / estimate as f64
-            ));
+    for (i, msg) in exemplars.into_iter().enumerate() {
+        let ctx = TraceCtx {
+            trace_id: (7u64 << 32) | (i as u64 + 1),
+            parent_span: (3u64 << 32) | (i as u64),
+            flags: 1,
+        };
+        let mut env = Envelope::untraced(NodeId::new(1), NodeId::new(2), msg);
+        env.trace = ctx;
+        let payload = WirePayload::Envelope(env);
+        let got = roundtrip(&payload);
+        assert_eq!(got, payload);
+        match got {
+            WirePayload::Envelope(env) => assert_eq!(env.trace, ctx),
+            other => panic!("decoded to non-envelope {other:?}"),
         }
     }
-    assert!(
-        failures.is_empty(),
-        "size_bytes drifted beyond 2x:\n  {}",
-        failures.join("\n  ")
-    );
 }
 
 #[test]
-fn estimate_tracks_content_growth() {
-    // The estimator must scale with content, not just sit inside the 2x
-    // window for one exemplar size.
-    let small = Message::GossipDigest {
-        summaries: vec![summary(1)],
-    };
-    let large = Message::GossipDigest {
-        summaries: (0..8).map(summary).collect(),
-    };
-    assert!(large.size_bytes() > small.size_bytes() * 4);
-    assert!(frame_len(&large) > frame_len(&small) * 4);
+fn untraced_envelopes_omit_the_field_and_legacy_json_still_decodes() {
+    // An untraced envelope serializes without a `trace` key — byte-for-byte
+    // what a pre-tracing peer would emit...
+    let env = Envelope::untraced(
+        NodeId::new(1),
+        NodeId::new(2),
+        Message::Heartbeat {
+            from: NodeId::new(1),
+            sent_at: SimTime::from_millis(5),
+        },
+    );
+    let json = serde_json::to_string(&env).expect("envelope serializes");
+    assert!(
+        !json.contains("trace"),
+        "untraced envelope leaked a trace field: {json}"
+    );
+    // ...and that legacy shape decodes with TraceCtx defaulting to NONE.
+    let back: Envelope = serde_json::from_str(&json).expect("legacy envelope decodes");
+    assert_eq!(back.trace, TraceCtx::NONE);
+    assert_eq!(back, env);
 }

@@ -158,11 +158,7 @@ fn arb_message() -> impl Strategy<Value = Message> {
 }
 
 fn envelope(msg: Message) -> WirePayload {
-    WirePayload::Envelope(Envelope {
-        from: NodeId::new(1),
-        to: NodeId::new(2),
-        msg,
-    })
+    WirePayload::Envelope(Envelope::untraced(NodeId::new(1), NodeId::new(2), msg))
 }
 
 /// Drains every decodable frame, tolerating (and counting) errors; panics
