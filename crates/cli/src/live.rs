@@ -8,7 +8,7 @@
 
 use arm_core::ProtocolConfig;
 use arm_model::{Codec, MediaFormat, MediaObject, QosSpec, Resolution, ServiceSpec, TaskSpec};
-use arm_runtime::net::{NetClock, NetCluster, NetMailbox, NetPeer, NetPeerConfig};
+use arm_runtime::net::{NetClock, NetCluster, NetMailbox, NetPeer, NetPeerConfig, PulseConfig};
 use arm_runtime::{PeerSpawn, Telemetry};
 use arm_telemetry::Recorder;
 use arm_util::{NodeId, ObjectId, ServiceId, SimDuration, SimTime, TaskId};
@@ -161,6 +161,12 @@ pub fn cluster(flags: &BTreeMap<String, String>) -> Result<(), String> {
         protocol: live_protocol(),
         seed,
         tracing: true,
+        // Sample fast enough that `arm watch` shows movement during the
+        // short demo hold window.
+        pulse: Some(PulseConfig {
+            period: Duration::from_millis(250),
+            ..PulseConfig::default()
+        }),
     };
     println!("starting {peers} live peers on loopback TCP (seed {seed})...");
     let cluster = NetCluster::start(demo_spawns(peers), &config, TcpOptions::default())
@@ -282,6 +288,7 @@ pub fn node(flags: &BTreeMap<String, String>) -> Result<(), String> {
         protocol: live_protocol(),
         seed,
         tracing: true,
+        pulse: Some(PulseConfig::default()),
     };
     let peer = NetPeer::start(
         mailbox,

@@ -19,10 +19,16 @@
 //! arm node --listen ADDR [--id N]           one live peer over TCP
 //!          [--bootstrap ADDR] [--secs S]
 //! arm top --addr HOST:PORT [--iters N]      live cluster table over the wire
+//!         [--json]                          machine-readable cluster view
 //! arm trace --addr HOST:PORT                merge every node's trace ring
 //!           [--out merged.jsonl]            into one causal JSONL timeline
 //!           [--expect-chain]                fail unless a submit→terminal
 //!                                           cross-node chain is complete
+//! arm watch --addr HOST:PORT                live per-node sparklines of the
+//!           [--metric SUBSTR]               retained series (incremental
+//!           [--iters N] [--period-ms MS]    cursor scrape) + firing rules
+//! arm health --addr HOST:PORT [--json]      one-shot fleet health probe;
+//!                                           exits non-zero on firing rules
 //! ```
 //!
 //! Argument parsing is deliberately dependency-free (no CLI crates in the
@@ -52,6 +58,8 @@ fn main() -> ExitCode {
         "node" => live::node(&flags),
         "top" => obs::top(&flags),
         "trace" => obs::trace(&flags),
+        "watch" => obs::watch(&flags),
+        "health" => obs::health(&flags),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -78,8 +86,10 @@ USAGE:
   arm experiment <e01..e14|all> [--quick]
   arm cluster [--peers N] [--seed S] [--metrics out.json] [--hold-secs S] [--addr-file path]
   arm node --listen ADDR [--id N] [--bootstrap ADDR] [--secs S] [--metrics out.json]
-  arm top --addr HOST:PORT [--iters N] [--period-ms MS]
-  arm trace --addr HOST:PORT [--out merged.jsonl] [--expect-chain]";
+  arm top --addr HOST:PORT [--iters N] [--period-ms MS] [--json]
+  arm trace --addr HOST:PORT [--out merged.jsonl] [--expect-chain]
+  arm watch --addr HOST:PORT [--metric SUBSTR] [--iters N] [--period-ms MS]
+  arm health --addr HOST:PORT [--json]";
 
 /// `--name value` pairs (a trailing flag without a value maps to "true").
 fn parse_flags(args: &[String]) -> BTreeMap<String, String> {

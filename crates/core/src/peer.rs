@@ -96,6 +96,9 @@ pub struct PeerNode {
     /// would bounce a joiner (and its accumulated retry chains) forever.
     join_hops_left: u8,
     last_rm_heard: SimTime,
+    /// When the last inter-domain gossip digest arrived (`None` until the
+    /// first). Surfaced to the pulse health plane as gossip staleness.
+    last_gossip_heard: Option<SimTime>,
 
     profiler: Profiler,
     sched: LocalScheduler,
@@ -169,6 +172,7 @@ impl PeerNode {
             bootstrap: None,
             join_hops_left: 0,
             last_rm_heard: started_at,
+            last_gossip_heard: None,
             profiler,
             sched,
             sched_poll_armed: false,
@@ -240,6 +244,18 @@ impl PeerNode {
     /// Number of session hops this peer currently executes.
     pub fn active_hops(&self) -> usize {
         self.local_hops.len()
+    }
+
+    /// When this node last heard from its resource manager (its own start
+    /// time until it has one; refreshed by any message from the RM).
+    pub fn last_rm_heard(&self) -> SimTime {
+        self.last_rm_heard
+    }
+
+    /// When the last inter-domain gossip digest arrived, if ever. Single-
+    /// domain clusters legitimately never gossip, hence the `Option`.
+    pub fn last_gossip_heard(&self) -> Option<SimTime> {
+        self.last_gossip_heard
     }
 
     fn candidacy(&self, now: SimTime) -> RmCandidacy {
@@ -514,6 +530,7 @@ impl PeerNode {
             }
             Message::GossipDigest { summaries } => {
                 if let Some(state) = self.rm_state.as_mut() {
+                    self.last_gossip_heard = Some(now);
                     for s in summaries {
                         state.merge_summary(s);
                     }

@@ -20,6 +20,18 @@ pub struct EnumSite {
     pub name: String,
 }
 
+/// One exhaustiveness audit: an enum plus every registry function that
+/// must mention all of its variants. The workspace runs one audit per
+/// protocol vocabulary (`Message` for the overlay protocol, `WirePayload`
+/// for the framed wire/status vocabulary).
+#[derive(Debug, Clone)]
+pub struct EnumAudit {
+    /// The enum whose variants are audited.
+    pub site: EnumSite,
+    /// Functions that must mention every variant of it.
+    pub registries: Vec<RegistrySite>,
+}
+
 /// Full linter configuration. [`Config::workspace`] is the checked-in
 /// policy for this repository; tests build bespoke configs over fixtures.
 #[derive(Debug, Clone)]
@@ -34,10 +46,8 @@ pub struct Config {
     /// while holding one that appears later in this list is a violation,
     /// as is re-acquiring a held lock.
     pub lock_order: Vec<String>,
-    /// The enum whose variants are audited (`None` disables the rule).
-    pub enum_site: Option<EnumSite>,
-    /// Functions that must mention every variant of the audited enum.
-    pub registry_sites: Vec<RegistrySite>,
+    /// Exhaustiveness audits to run (empty disables the rule).
+    pub audits: Vec<EnumAudit>,
     /// Path prefixes excluded from the scan entirely.
     pub scan_exclude: Vec<String>,
     /// Directories (relative to the root) to walk for `.rs` files.
@@ -78,47 +88,81 @@ impl Config {
                 "senders".into(),
                 "telemetry".into(),
             ],
-            enum_site: Some(EnumSite {
-                file: proto.into(),
-                name: "Message".into(),
-            }),
-            registry_sites: vec![
-                RegistrySite {
-                    file: "crates/wire/src/frame.rs".into(),
-                    func: "message_tag".into(),
-                    desc: "wire codec frame-tag match (crates/wire/src/frame.rs::message_tag)"
-                        .into(),
+            audits: vec![
+                EnumAudit {
+                    site: EnumSite {
+                        file: proto.into(),
+                        name: "Message".into(),
+                    },
+                    registries: vec![
+                        RegistrySite {
+                            file: "crates/wire/src/frame.rs".into(),
+                            func: "message_tag".into(),
+                            desc: "wire codec frame-tag match \
+                                   (crates/wire/src/frame.rs::message_tag)"
+                                .into(),
+                        },
+                        RegistrySite {
+                            file: proto.into(),
+                            func: "size_bytes".into(),
+                            desc: "bandwidth model (crates/proto/src/lib.rs::Message::size_bytes)"
+                                .into(),
+                        },
+                        RegistrySite {
+                            file: proto.into(),
+                            func: "kind".into(),
+                            desc: "telemetry trace vocabulary \
+                                   (crates/proto/src/lib.rs::Message::kind)"
+                                .into(),
+                        },
+                        RegistrySite {
+                            file: "crates/wire/tests/size_estimate.rs".into(),
+                            func: "exemplars".into(),
+                            desc: "wire size-estimate exemplar list \
+                                   (crates/wire/tests/size_estimate.rs)"
+                                .into(),
+                        },
+                        RegistrySite {
+                            file: proto.into(),
+                            func: "trace_category".into(),
+                            desc: "causal trace vocabulary \
+                                   (crates/proto/src/lib.rs::Message::trace_category)"
+                                .into(),
+                        },
+                        RegistrySite {
+                            file: "crates/wire/tests/envelope_roundtrip.rs".into(),
+                            func: "exemplars".into(),
+                            desc: "trace-context envelope round-trip exemplar list \
+                                   (crates/wire/tests/envelope_roundtrip.rs)"
+                                .into(),
+                        },
+                    ],
                 },
-                RegistrySite {
-                    file: proto.into(),
-                    func: "size_bytes".into(),
-                    desc: "bandwidth model (crates/proto/src/lib.rs::Message::size_bytes)".into(),
-                },
-                RegistrySite {
-                    file: proto.into(),
-                    func: "kind".into(),
-                    desc: "telemetry trace vocabulary (crates/proto/src/lib.rs::Message::kind)"
-                        .into(),
-                },
-                RegistrySite {
-                    file: "crates/wire/tests/size_estimate.rs".into(),
-                    func: "exemplars".into(),
-                    desc: "wire size-estimate exemplar list (crates/wire/tests/size_estimate.rs)"
-                        .into(),
-                },
-                RegistrySite {
-                    file: proto.into(),
-                    func: "trace_category".into(),
-                    desc: "causal trace vocabulary \
-                           (crates/proto/src/lib.rs::Message::trace_category)"
-                        .into(),
-                },
-                RegistrySite {
-                    file: "crates/wire/tests/envelope_roundtrip.rs".into(),
-                    func: "exemplars".into(),
-                    desc: "trace-context envelope round-trip exemplar list \
-                           (crates/wire/tests/envelope_roundtrip.rs)"
-                        .into(),
+                // The framed wire vocabulary: every `WirePayload` variant
+                // (Hello, Envelope, StatusRequest, StatusReport) must keep
+                // a frame tag and a version-skew exemplar. Deleting a
+                // status/series codec arm fails the lint by name.
+                EnumAudit {
+                    site: EnumSite {
+                        file: "crates/wire/src/lib.rs".into(),
+                        name: "WirePayload".into(),
+                    },
+                    registries: vec![
+                        RegistrySite {
+                            file: "crates/wire/src/frame.rs".into(),
+                            func: "message_tag".into(),
+                            desc: "wire codec frame-tag match \
+                                   (crates/wire/src/frame.rs::message_tag)"
+                                .into(),
+                        },
+                        RegistrySite {
+                            file: "crates/wire/tests/status_skew.rs".into(),
+                            func: "exemplars".into(),
+                            desc: "status version-skew exemplar list \
+                                   (crates/wire/tests/status_skew.rs)"
+                                .into(),
+                        },
+                    ],
                 },
             ],
             scan_exclude: vec!["crates/shims/".into(), "crates/lint/tests/fixtures/".into()],

@@ -25,7 +25,7 @@ pub mod report;
 pub mod rules;
 pub mod scan;
 
-pub use config::{Config, EnumSite, RegistrySite};
+pub use config::{Config, EnumAudit, EnumSite, RegistrySite};
 pub use report::{Diagnostic, Report};
 pub use scan::SourceFile;
 

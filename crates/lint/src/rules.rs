@@ -255,17 +255,25 @@ pub fn determinism(file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
     }
 }
 
-/// Rule 3: every variant of the audited enum must appear in each registry
-/// site (wire codec tag, size model, trace vocabulary, exemplars).
+/// Rule 3: every variant of each audited enum must appear in each of that
+/// audit's registry sites (wire codec tag, size model, trace vocabulary,
+/// exemplars).
 pub fn proto_exhaustive(
     files: &BTreeMap<String, SourceFile>,
     cfg: &Config,
     out: &mut Vec<Diagnostic>,
 ) {
-    let site = match &cfg.enum_site {
-        Some(s) => s,
-        None => return,
-    };
+    for audit in &cfg.audits {
+        audit_enum(files, audit, out);
+    }
+}
+
+fn audit_enum(
+    files: &BTreeMap<String, SourceFile>,
+    audit: &crate::config::EnumAudit,
+    out: &mut Vec<Diagnostic>,
+) {
+    let site = &audit.site;
     let enum_file = match files.get(&site.file) {
         Some(f) => f,
         None => {
@@ -290,7 +298,7 @@ pub fn proto_exhaustive(
         });
         return;
     }
-    for reg in &cfg.registry_sites {
+    for reg in &audit.registries {
         let file = match files.get(&reg.file) {
             Some(f) => f,
             None => {

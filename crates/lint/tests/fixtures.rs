@@ -2,7 +2,7 @@
 //! violation at its exact `file:line:rule`, honor inline suppressions,
 //! leave guarded/test code alone — and pass the real workspace cleanly.
 
-use arm_lint::{run, Config, EnumSite, RegistrySite, SourceFile};
+use arm_lint::{run, Config, EnumAudit, EnumSite, RegistrySite, SourceFile};
 use std::path::{Path, PathBuf};
 
 fn fixture_root() -> PathBuf {
@@ -22,14 +22,16 @@ fn fixture_config() -> Config {
         determinism_paths: vec!["src/det/".into()],
         lock_files: vec!["src/locks.rs".into()],
         lock_order: vec!["links".into(), "book".into()],
-        enum_site: Some(EnumSite {
-            file: "src/proto.rs".into(),
-            name: "Message".into(),
-        }),
-        registry_sites: vec![RegistrySite {
-            file: "src/codec.rs".into(),
-            func: "encode_tag".into(),
-            desc: "fixture codec tag match (src/codec.rs::encode_tag)".into(),
+        audits: vec![EnumAudit {
+            site: EnumSite {
+                file: "src/proto.rs".into(),
+                name: "Message".into(),
+            },
+            registries: vec![RegistrySite {
+                file: "src/codec.rs".into(),
+                func: "encode_tag".into(),
+                desc: "fixture codec tag match (src/codec.rs::encode_tag)".into(),
+            }],
         }],
         scan_exclude: vec![],
         scan_dirs: vec!["src".into()],
@@ -205,5 +207,35 @@ fn removing_a_wire_codec_arm_fails_lint() {
             && d.message.contains("`RenegotiateQos`")
             && d.suppressed.is_none()),
         "dropped codec arm not detected: {after:?}"
+    );
+}
+
+/// The status/series vocabulary is audited too: dropping the
+/// `StatusReport` exemplar from the version-skew suite must fail the
+/// `WirePayload` audit by name.
+#[test]
+fn removing_a_status_skew_exemplar_fails_lint() {
+    let root = workspace_root();
+    let cfg = Config::workspace();
+    let mut files = arm_lint::collect_files(&root, &cfg);
+
+    let skew_rel = "crates/wire/tests/status_skew.rs";
+    let src = std::fs::read_to_string(root.join(skew_rel)).expect("status_skew.rs");
+    assert!(
+        src.contains("WirePayload::StatusReport"),
+        "fixture premise broken"
+    );
+    let cut = src.replace("WirePayload::StatusReport", "WirePayload::Hello");
+    files.insert(skew_rel.into(), SourceFile::parse(skew_rel, &cut));
+
+    let mut after = Vec::new();
+    arm_lint::rules::proto_exhaustive(&files, &cfg, &mut after);
+    assert!(
+        after.iter().any(|d| d.file == skew_rel
+            && d.rule == "proto-exhaustive"
+            && d.message.contains("`StatusReport`")
+            && d.message.contains("status version-skew exemplar list")
+            && d.suppressed.is_none()),
+        "dropped status exemplar not detected: {after:?}"
     );
 }

@@ -18,9 +18,14 @@
 use crate::{handle_actions, Delivery, PeerSpawn, Telemetry, TimerEntry};
 use arm_core::{Action, Event, HandleProfiler, PeerNode, ProtocolConfig, Role};
 use arm_model::TaskSpec;
-use arm_telemetry::{Recorder, TraceEvent, TraceKind};
+use arm_telemetry::{
+    health::pulse_metrics, HealthThresholds, Labels, Pulse, Recorder, SeriesStore, TraceEvent,
+    TraceKind,
+};
 use arm_util::{DomainId, NodeId, SimTime};
-use arm_wire::{InboundSink, StatusReport, TcpOptions, TcpTransport, Transport, TransportStats};
+use arm_wire::{
+    InboundSink, StatusReport, StatusRequest, TcpOptions, TcpTransport, Transport, TransportStats,
+};
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use std::collections::BinaryHeap;
@@ -109,10 +114,13 @@ struct StatusInner {
     active_hops: u64,
     recorder: Recorder,
     profiler: HandleProfiler,
+    /// The arm-pulse plane, when sampling is configured (`None` = pulse
+    /// disabled; scrapes then answer with empty series, like an old node).
+    pulse: Option<Pulse>,
 }
 
 impl NodeStatus {
-    fn new(node: NodeId, tracing: bool) -> Self {
+    fn new(node: NodeId, tracing: bool, pulse: Option<&PulseConfig>) -> Self {
         Self {
             node,
             inner: Mutex::new(StatusInner {
@@ -123,7 +131,10 @@ impl NodeStatus {
                 sessions: None,
                 load: 0.0,
                 active_hops: 0,
-                recorder: if tracing {
+                // Pulse sampling reads the recorder's registry, so a
+                // configured pulse keeps the recorder on even without
+                // protocol tracing (the ring then only sees health edges).
+                recorder: if tracing || pulse.is_some() {
                     Recorder::enabled(TRACE_RING_CAPACITY)
                 } else {
                     Recorder::disabled()
@@ -133,6 +144,7 @@ impl NodeStatus {
                 } else {
                     HandleProfiler::disabled()
                 },
+                pulse: pulse.map(|cfg| Pulse::new(cfg.capacity, &cfg.thresholds)),
             }),
         }
     }
@@ -175,13 +187,57 @@ impl NodeStatus {
         self.inner.lock().profiler.record(kind, secs);
     }
 
-    /// Freezes everything into one wire-serialisable [`StatusReport`].
+    /// One arm-pulse sampling tick (no-op when pulse is not configured):
+    /// publishes the pulse gauges from the live peer state, sweeps the
+    /// whole registry into the retained series, and re-evaluates the
+    /// health rules — edges land in the flight recorder as `health` trace
+    /// events plus the `health_alerts_total` / `health_firing` metrics.
+    fn pulse_tick(&self, now: SimTime, node: &PeerNode, queue_depth: usize, reconnects: u64) {
+        let mut inner = self.inner.lock();
+        // Take the pulse out so the evaluator can borrow the recorder
+        // mutably alongside it (both live behind the same lock).
+        let Some(mut pulse) = inner.pulse.take() else {
+            return;
+        };
+        let r = &mut inner.recorder;
+        r.set_gauge(
+            pulse_metrics::HAS_RM,
+            Labels::NONE,
+            if node.rm().is_some() { 1.0 } else { 0.0 },
+        );
+        // The RM is never stale to itself; a node without an RM is the
+        // election-stalled rule's business, not this gauge's.
+        let silence = if node.role() == Role::Rm || node.rm().is_none() {
+            0.0
+        } else {
+            now.saturating_since(node.last_rm_heard()).as_secs_f64()
+        };
+        r.set_gauge(pulse_metrics::RM_SILENCE_SECS, Labels::NONE, silence);
+        // 0 until the first digest: single-domain clusters never gossip
+        // and must not trip the staleness rule.
+        let gossip_age = node
+            .last_gossip_heard()
+            .map_or(0.0, |t| now.saturating_since(t).as_secs_f64());
+        r.set_gauge(pulse_metrics::GOSSIP_AGE_SECS, Labels::NONE, gossip_age);
+        r.set_gauge(pulse_metrics::QUEUE_DEPTH, Labels::NONE, queue_depth as f64);
+        r.set_gauge(
+            pulse_metrics::LINK_RECONNECTS,
+            Labels::NONE,
+            reconnects as f64,
+        );
+        pulse.tick(now, r, self.node, node.domain());
+        inner.pulse = Some(pulse);
+    }
+
+    /// Freezes everything into one wire-serialisable [`StatusReport`],
+    /// answering the request's trace and series-scrape options.
     pub fn report(
         &self,
-        include_trace: bool,
+        request: &StatusRequest,
         transport: TransportStats,
         peers: Vec<(NodeId, String)>,
     ) -> StatusReport {
+        let include_trace = request.include_trace;
         let inner = self.inner.lock();
         // Snapshot through a clone so the profiler's histograms appear in
         // the exported metrics without disturbing the live recorder.
@@ -207,7 +263,38 @@ impl NodeStatus {
             metrics: recorder.snapshot(),
             transport,
             trace: include_trace.then(|| inner.recorder.trace.iter().cloned().collect()),
+            series: match (&inner.pulse, request.series_cursor) {
+                (Some(pulse), Some(cursor)) => pulse.store.collect_since(cursor),
+                _ => Default::default(),
+            },
+            health: inner
+                .pulse
+                .as_ref()
+                .map(|p| p.evaluator.statuses())
+                .unwrap_or_default(),
             peers,
+        }
+    }
+}
+
+/// arm-pulse sampling parameters for a live peer.
+#[derive(Debug, Clone)]
+pub struct PulseConfig {
+    /// Wall interval between sample ticks.
+    pub period: Duration,
+    /// Retained samples per series.
+    pub capacity: usize,
+    /// Health-rule thresholds (tune `rm_silence_secs` etc. to the
+    /// protocol's heartbeat cadence).
+    pub thresholds: HealthThresholds,
+}
+
+impl Default for PulseConfig {
+    fn default() -> Self {
+        Self {
+            period: Duration::from_secs(1),
+            capacity: SeriesStore::DEFAULT_CAPACITY,
+            thresholds: HealthThresholds::default(),
         }
     }
 }
@@ -221,6 +308,9 @@ pub struct NetPeerConfig {
     pub seed: u64,
     /// Whether the peer emits structured trace events into telemetry.
     pub tracing: bool,
+    /// Retained-series sampling and health evaluation (`None` disables the
+    /// pulse plane entirely — zero overhead, empty series on scrape).
+    pub pulse: Option<PulseConfig>,
 }
 
 impl Default for NetPeerConfig {
@@ -229,6 +319,7 @@ impl Default for NetPeerConfig {
             protocol: ProtocolConfig::default(),
             seed: 7,
             tracing: true,
+            pulse: Some(PulseConfig::default()),
         }
     }
 }
@@ -268,7 +359,7 @@ impl NetPeer {
         .expect("own mailbox");
         let config = config.clone();
         let thread_clock = clock.clone();
-        let status = Arc::new(NodeStatus::new(id, config.tracing));
+        let status = Arc::new(NodeStatus::new(id, config.tracing, config.pulse.as_ref()));
         let thread_status = Arc::clone(&status);
         // Thread exhaustion at startup: the closure (and with it `rx`) is
         // dropped, every later send on `tx` fails silently, and `stop`/`Drop`
@@ -360,6 +451,10 @@ fn net_peer_main(
     );
     node.set_tracing(config.tracing);
     let mut pending: BinaryHeap<TimerEntry> = BinaryHeap::new();
+    let pulse_period = config.pulse.as_ref().map(|p| p.period);
+    let mut next_pulse = pulse_period.map(|p| {
+        SimTime::from_micros(clock.now().as_micros().saturating_add(p.as_micros() as u64))
+    });
 
     loop {
         let now = clock.now();
@@ -399,12 +494,34 @@ fn net_peer_main(
             );
             status.update_summary(&node);
         }
-        let timeout = pending
+        // The arm-pulse sampling tick: driver-timed, so the state machine
+        // stays wall-clock-free. Queue depth counts both the undelivered
+        // mailbox and the due-timer heap.
+        if let (Some(period), Some(due)) = (pulse_period, next_pulse) {
+            let now = clock.now();
+            if now >= due {
+                status.pulse_tick(
+                    now,
+                    &node,
+                    rx.len() + pending.len(),
+                    transport.stats().reconnects(),
+                );
+                next_pulse = Some(SimTime::from_micros(
+                    now.as_micros().saturating_add(period.as_micros() as u64),
+                ));
+            }
+        }
+        let mut timeout = pending
             .peek()
             .map(|t| {
                 Duration::from_micros(t.at.as_micros().saturating_sub(clock.now().as_micros()))
             })
             .unwrap_or(Duration::from_millis(50));
+        if let Some(due) = next_pulse {
+            let until_pulse =
+                Duration::from_micros(due.as_micros().saturating_sub(clock.now().as_micros()));
+            timeout = timeout.min(until_pulse);
+        }
         match rx.recv_timeout(timeout.max(Duration::from_micros(100))) {
             Ok(Delivery::At(at, event)) => {
                 pending.push(TimerEntry { at, event });
@@ -487,7 +604,7 @@ impl NetCluster {
             let book = routes.clone();
             transport.set_status_provider(Box::new(move |req| {
                 let stats = weak.upgrade().map(|t| t.stats()).unwrap_or_default();
-                status.report(req.include_trace, stats, book.clone())
+                status.report(req, stats, book.clone())
             }));
             peers.push((peer, transport));
         }
@@ -540,6 +657,21 @@ impl NetCluster {
         if let Some((_, t)) = self.peers.iter().find(|(p, _)| p.id() == from) {
             t.kill_link(to);
         }
+    }
+
+    /// Permanently stops one peer and tears down its transport (fault
+    /// injection: a crash, not a graceful leave — unlike [`kill_link`],
+    /// nothing redials). Returns false if the peer is not in the cluster.
+    ///
+    /// [`kill_link`]: NetCluster::kill_link
+    pub fn stop_peer(&mut self, node: NodeId) -> bool {
+        let Some(idx) = self.peers.iter().position(|(p, _)| p.id() == node) else {
+            return false;
+        };
+        let (peer, transport) = self.peers.remove(idx);
+        peer.stop(false);
+        transport.shutdown();
+        true
     }
 
     /// Stops all peers (gracefully), then tears down all transports.

@@ -3,58 +3,109 @@
 //! Since Rust 1.72 `std`'s mpsc sender is `Sync`, which covers the
 //! multi-producer sharing pattern the runtime uses. Only the API surface
 //! the workspace needs is provided: `unbounded`, `Sender::send`,
-//! `Receiver::{recv, try_recv, recv_timeout}`.
+//! `Receiver::{recv, try_recv, recv_timeout, len}`.
+//!
+//! `len()` (real crossbeam has it too) is backed by a shared counter the
+//! senders bump and the receiver decrements — approximate under races,
+//! exact whenever all sends happen-before the read, which is all the
+//! workspace needs (queue-depth gauges).
 
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
 pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
 /// The sending half of an unbounded channel.
-pub struct Sender<T>(mpsc::Sender<T>);
+pub struct Sender<T> {
+    tx: mpsc::Sender<T>,
+    depth: Arc<AtomicUsize>,
+}
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
-        Sender(self.0.clone())
+        Sender {
+            tx: self.tx.clone(),
+            depth: Arc::clone(&self.depth),
+        }
     }
 }
 
 impl<T> Sender<T> {
     /// Sends a message; errors if all receivers are gone.
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-        self.0.send(value)
+        self.tx.send(value)?;
+        self.depth.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 }
 
 /// The receiving half of an unbounded channel.
-pub struct Receiver<T>(mpsc::Receiver<T>);
+pub struct Receiver<T> {
+    rx: mpsc::Receiver<T>,
+    depth: Arc<AtomicUsize>,
+}
 
 impl<T> Receiver<T> {
+    fn took(&self) {
+        // Saturating decrement: send() bumps after the enqueue, so a racing
+        // reader may observe the message before the counter.
+        let _ = self
+            .depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| d.checked_sub(1));
+    }
+
     /// Blocks until a message arrives or all senders are gone.
     pub fn recv(&self) -> Result<T, RecvError> {
-        self.0.recv()
+        let v = self.rx.recv()?;
+        self.took();
+        Ok(v)
     }
 
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
-        self.0.try_recv()
+        let v = self.rx.try_recv()?;
+        self.took();
+        Ok(v)
     }
 
     /// Blocks up to `timeout` for a message.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-        self.0.recv_timeout(timeout)
+        let v = self.rx.recv_timeout(timeout)?;
+        self.took();
+        Ok(v)
     }
 
-    /// Drains currently queued messages without blocking.
+    /// Messages currently queued (approximate under concurrent sends).
+    pub fn len(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Whether the queue is currently empty (see [`Receiver::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drains currently queued messages without blocking. Bypasses the
+    /// depth counter — callers that also use `len()` should prefer
+    /// repeated `try_recv` (the workspace only ever uses one or the
+    /// other on a given channel).
     pub fn try_iter(&self) -> mpsc::TryIter<'_, T> {
-        self.0.try_iter()
+        self.rx.try_iter()
     }
 }
 
 /// Creates an unbounded FIFO channel.
 pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
     let (tx, rx) = mpsc::channel();
-    (Sender(tx), Receiver(rx))
+    let depth = Arc::new(AtomicUsize::new(0));
+    (
+        Sender {
+            tx,
+            depth: Arc::clone(&depth),
+        },
+        Receiver { rx, depth },
+    )
 }
 
 #[cfg(test)]

@@ -8,7 +8,9 @@ use arm_model::task::TaskOutcome;
 use arm_net::churn::{ChurnEvent, ChurnKind, ChurnTrace};
 use arm_net::{NetworkModel, Topology};
 use arm_proto::TraceCtx;
-use arm_telemetry::{FixedHistogram, Labels, Recorder, TraceKind};
+use arm_telemetry::{
+    health::pulse_metrics, FixedHistogram, HealthThresholds, Labels, Pulse, Recorder, TraceKind,
+};
 use arm_util::{DetRng, NodeId, SimTime};
 use arm_workload::{generate_inventories, generate_tasks, Inventory};
 use std::collections::{BTreeMap, BTreeSet};
@@ -36,6 +38,9 @@ pub struct Simulation {
     report: SimReport,
     recorder: Recorder,
     profiler: HandleProfiler,
+    /// Retained time-series/health plane; sampled at every [`SimEvent::Sample`]
+    /// tick when enabled via [`enable_pulse`](Self::enable_pulse).
+    pulse: Option<Pulse>,
     /// Peer-utilization samples batched outside the registry (one
     /// observation per alive peer per sample tick); merged into the
     /// recorder once, at finalize.
@@ -208,6 +213,7 @@ impl Simulation {
             report,
             recorder: Recorder::disabled(),
             profiler: HandleProfiler::disabled(),
+            pulse: None,
             util_hist: FixedHistogram::new(arm_profiler::UTILIZATION_BOUNDS),
         }
     }
@@ -230,6 +236,20 @@ impl Simulation {
         for node in self.nodes.values_mut() {
             node.set_tracing(true);
         }
+    }
+
+    /// Switches on the retained time-series and health plane: every sample
+    /// tick also snapshots the metrics registry into bounded per-metric
+    /// series and evaluates the standard health rules over them. Implies
+    /// [`enable_telemetry`](Self::enable_telemetry) (the series sampler
+    /// reads the recorder's registry). The final report then carries the
+    /// full retained window in [`SimReport::series`] for convergence
+    /// curves.
+    pub fn enable_pulse(&mut self, capacity: usize) {
+        if !self.recorder.is_enabled() {
+            self.enable_telemetry(1 << 14);
+        }
+        self.pulse = Some(Pulse::new(capacity, &HealthThresholds::default()));
     }
 
     /// Runs to the horizon and returns the report.
@@ -455,6 +475,9 @@ impl Simulation {
                     .observe(self.nodes[id].profiler().utilization());
             }
         }
+        if self.pulse.is_some() {
+            self.pulse_tick(now);
+        }
         let mut loads = Vec::with_capacity(self.alive.len());
         let mut utils = Vec::with_capacity(self.alive.len());
         for id in &self.alive {
@@ -470,6 +493,51 @@ impl Simulation {
                 .push((now.as_secs_f64(), arm_util::fairness_index(&loads)));
             let mu = utils.iter().sum::<f64>() / utils.len() as f64;
             self.report.utilization_series.push((now.as_secs_f64(), mu));
+        }
+    }
+
+    /// One pulse tick: publishes fleet-level health gauges (worst case
+    /// across alive peers, so a single stalled domain is visible), then
+    /// samples every registered metric into the retained series and
+    /// evaluates the health rules. Everything here derives from sim time
+    /// and node state — two identically seeded runs produce bit-identical
+    /// series.
+    fn pulse_tick(&mut self, now: SimTime) {
+        let mut has_rm = 0.0;
+        let mut rm_silence = 0.0f64;
+        let mut gossip_age = 0.0f64;
+        for id in &self.alive {
+            let node = &self.nodes[id];
+            match node.role() {
+                Role::Rm => {
+                    has_rm = 1.0;
+                    if let Some(heard) = node.last_gossip_heard() {
+                        gossip_age = gossip_age.max(now.saturating_since(heard).as_secs_f64());
+                    }
+                }
+                Role::Member => {
+                    if node.rm().is_some() {
+                        has_rm = 1.0;
+                        rm_silence = rm_silence
+                            .max(now.saturating_since(node.last_rm_heard()).as_secs_f64());
+                    }
+                }
+                Role::Idle | Role::Joining => {}
+            }
+        }
+        self.recorder
+            .set_gauge(pulse_metrics::HAS_RM, Labels::NONE, has_rm);
+        self.recorder
+            .set_gauge(pulse_metrics::RM_SILENCE_SECS, Labels::NONE, rm_silence);
+        self.recorder
+            .set_gauge(pulse_metrics::GOSSIP_AGE_SECS, Labels::NONE, gossip_age);
+        self.recorder.set_gauge(
+            pulse_metrics::QUEUE_DEPTH,
+            Labels::NONE,
+            self.sim.pending() as f64,
+        );
+        if let Some(pulse) = self.pulse.as_mut() {
+            pulse.tick(now, &mut self.recorder, NodeId::new(0), None);
         }
     }
 
@@ -627,6 +695,10 @@ impl Simulation {
                 .map(|(k, v)| (k.to_string(), *v))
                 .collect();
             self.report.traces_dropped = self.recorder.trace.dropped();
+        }
+        if let Some(pulse) = &self.pulse {
+            self.report.series = pulse.store.collect_since(0);
+            self.report.health = pulse.evaluator.statuses();
         }
         (self.report, self.recorder)
     }
@@ -838,6 +910,49 @@ mod tests {
         assert_eq!(baseline.events_processed, report.events_processed);
         assert!(baseline.metrics.is_none());
         assert!(baseline.trace_counts.is_empty());
+    }
+
+    #[test]
+    fn pulse_retains_series_and_is_deterministic() {
+        let run = |seed| {
+            let mut sim = Simulation::new(small_scenario(seed));
+            sim.enable_pulse(256);
+            sim.run()
+        };
+        let report = run(1);
+        // The retained window covers the run's sample ticks and carries
+        // both the harness gauges and the pulse health gauges.
+        assert!(!report.series.is_empty());
+        assert!(report.series.tick_count() > 10);
+        let keys: Vec<&str> = report
+            .series
+            .series
+            .iter()
+            .map(|s| s.key.as_str())
+            .collect();
+        assert!(
+            keys.iter().any(|k| k.starts_with("peers_alive")),
+            "{keys:?}"
+        );
+        assert!(
+            keys.iter().any(|k| k.starts_with("pulse_has_rm")),
+            "{keys:?}"
+        );
+        // A healthy overlay ends with no rule firing.
+        assert!(
+            report.health.iter().all(|h| !h.firing),
+            "{:?}",
+            report.health
+        );
+        // Bit-identical series across identically seeded runs: the sampler
+        // only ever reads sim time and node state.
+        let again = run(1);
+        assert!(report.series == again.series, "series differ across runs");
+        // Pulse must not perturb the simulation itself.
+        let baseline = Simulation::new(small_scenario(1)).run();
+        assert_eq!(baseline.outcomes, report.outcomes);
+        assert_eq!(baseline.events_processed, report.events_processed);
+        assert!(baseline.series.is_empty());
     }
 
     #[test]

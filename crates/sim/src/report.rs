@@ -1,7 +1,7 @@
 //! Run results.
 
 use arm_core::AllocMetrics;
-use arm_telemetry::MetricsSnapshot;
+use arm_telemetry::{HealthStatus, MetricsSnapshot, SeriesBatch};
 use arm_util::stats::Summary;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -113,6 +113,14 @@ pub struct SimReport {
     /// pre-tracing reports, hence the default).
     #[serde(default)]
     pub traces_dropped: u64,
+    /// The full retained time-series window (delta-encoded, shared tick
+    /// axis) when the run had the pulse plane enabled — the raw material
+    /// for convergence curves. Empty (and omitted from JSON) otherwise.
+    #[serde(default, skip_serializing_if = "SeriesBatch::is_empty")]
+    pub series: SeriesBatch,
+    /// Final health-rule evaluations when the pulse plane was enabled.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub health: Vec<HealthStatus>,
 }
 
 impl SimReport {
@@ -198,6 +206,13 @@ impl SimReport {
             *self.trace_counts.entry(kind.clone()).or_insert(0) += count;
         }
         self.traces_dropped += other.traces_dropped;
+        // Series rings have per-run tick axes that don't concatenate
+        // meaningfully; keep the first non-empty window. Health statuses
+        // pool (each carries its rule name).
+        if self.series.is_empty() && !other.series.is_empty() {
+            self.series = other.series.clone();
+        }
+        self.health.extend(other.health.iter().cloned());
     }
 }
 

@@ -22,18 +22,27 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod health;
 pub mod metrics;
+pub mod series;
 pub mod span;
 pub mod trace;
 
+pub use health::{
+    standard_rules, HealthEvaluator, HealthRule, HealthStatus, HealthThresholds, HealthTransition,
+    Predicate, HEALTH_ALERTS_TOTAL, HEALTH_FIRING,
+};
 pub use metrics::{
     FixedHistogram, Labels, MetricKey, MetricsRegistry, MetricsSnapshot, COUNT_BUCKETS,
     LATENCY_BUCKETS_SECS,
 };
+pub use series::{SeriesBatch, SeriesKind, SeriesSlice, SeriesStore};
 pub use span::{SpanTracker, TaskPhase, PHASE_METRIC, TOTAL_METRIC};
-pub use trace::{merge_timeline, write_jsonl, TraceEvent, TraceKind, TraceLog, TRACE_SCHEMA};
+pub use trace::{
+    merge_timeline, merge_timelines, write_jsonl, TraceEvent, TraceKind, TraceLog, TRACE_SCHEMA,
+};
 
-use arm_util::SimTime;
+use arm_util::{DomainId, NodeId, SimTime};
 
 /// One handle bundling the metrics registry, trace log and span tracker.
 ///
@@ -169,6 +178,75 @@ impl Recorder {
     }
 }
 
+/// The arm-pulse driver state: a retained-series store plus a health
+/// evaluator, advanced by one [`Pulse::tick`] per sampling period.
+///
+/// Drivers (the net-peer event loop, the sim harness) create a `Pulse`
+/// only when sampling is enabled — its absence is the zero-cost path,
+/// mirroring how a disabled [`Recorder`] drops everything.
+#[derive(Debug, Clone)]
+pub struct Pulse {
+    /// Retained per-metric series.
+    pub store: SeriesStore,
+    /// Health rules evaluated after every sample.
+    pub evaluator: HealthEvaluator,
+}
+
+impl Pulse {
+    /// A pulse retaining `capacity` samples per series, running the
+    /// standard rule set with the given thresholds.
+    pub fn new(capacity: usize, thresholds: &HealthThresholds) -> Self {
+        Pulse {
+            store: SeriesStore::new(capacity),
+            evaluator: HealthEvaluator::standard(thresholds),
+        }
+    }
+
+    /// A pulse with a caller-supplied rule set.
+    pub fn with_rules(capacity: usize, rules: Vec<HealthRule>) -> Self {
+        Pulse {
+            store: SeriesStore::new(capacity),
+            evaluator: HealthEvaluator::new(rules),
+        }
+    }
+
+    /// One sampling tick: sweeps the recorder's registry into the series
+    /// store, re-evaluates every health rule, and records each rule edge
+    /// back into the recorder as a `health` trace event plus the
+    /// `health_alerts_total` / `health_firing` metrics. Returns the edges.
+    pub fn tick(
+        &mut self,
+        now: SimTime,
+        recorder: &mut Recorder,
+        peer: NodeId,
+        domain: Option<DomainId>,
+    ) -> Vec<HealthTransition> {
+        self.store.sample(now, &recorder.metrics);
+        let edges = self.evaluator.evaluate(&self.store);
+        for edge in &edges {
+            if edge.firing {
+                recorder.inc(HEALTH_ALERTS_TOTAL, Labels::kind(edge.rule));
+            }
+            recorder.set_gauge(
+                HEALTH_FIRING,
+                Labels::kind(edge.rule),
+                if edge.firing { 1.0 } else { 0.0 },
+            );
+            recorder.record(TraceEvent::new(
+                now,
+                peer,
+                domain,
+                TraceKind::Health {
+                    rule: edge.rule.into(),
+                    firing: edge.firing,
+                    value: edge.value,
+                },
+            ));
+        }
+        edges
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +268,43 @@ mod tests {
         assert!(r.trace.is_empty());
         assert_eq!(r.spans.open_count(), 0);
         assert!(r.snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn pulse_tick_samples_and_reports_rule_edges() {
+        let mut r = Recorder::enabled(64);
+        let mut pulse = Pulse::new(
+            32,
+            &HealthThresholds {
+                sustain: 2,
+                queue_depth: 10.0,
+                ..Default::default()
+            },
+        );
+        let me = NodeId::new(1);
+        r.set_gauge(health::pulse_metrics::QUEUE_DEPTH, Labels::NONE, 100.0);
+        assert!(pulse.tick(SimTime::ZERO, &mut r, me, None).is_empty());
+        let edges = pulse.tick(SimTime::from_secs(1), &mut r, me, None);
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].rule, "queue_saturated");
+        assert!(pulse.evaluator.any_firing());
+        assert_eq!(
+            r.metrics
+                .counter(HEALTH_ALERTS_TOTAL, Labels::kind("queue_saturated")),
+            1
+        );
+        assert_eq!(r.trace.count_of("health"), 1);
+        // Recovery clears the rule and traces the clear edge.
+        r.set_gauge(health::pulse_metrics::QUEUE_DEPTH, Labels::NONE, 0.0);
+        let edges = pulse.tick(SimTime::from_secs(2), &mut r, me, None);
+        assert_eq!(edges.len(), 1);
+        assert!(!edges[0].firing);
+        assert_eq!(
+            r.metrics
+                .gauge(HEALTH_FIRING, Labels::kind("queue_saturated")),
+            Some(0.0)
+        );
+        assert_eq!(pulse.store.samples_taken(), 3);
     }
 
     #[test]

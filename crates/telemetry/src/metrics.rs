@@ -284,6 +284,22 @@ impl MetricsRegistry {
         self.histograms.get(&MetricKey { name, labels })
     }
 
+    /// Iterates all counter series in key order. Cheap (no rendering) —
+    /// this is what the pulse sampler sweeps every tick.
+    pub fn counters(&self) -> impl Iterator<Item = (&MetricKey, u64)> {
+        self.counters.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// Iterates all gauge series in key order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&MetricKey, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// Iterates all histogram series in key order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&MetricKey, &FixedHistogram)> {
+        self.histograms.iter()
+    }
+
     /// Freezes the registry into a serialisable, mergeable snapshot with
     /// rendered string keys.
     pub fn snapshot(&self) -> MetricsSnapshot {

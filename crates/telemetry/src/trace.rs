@@ -135,6 +135,17 @@ pub enum TraceKind {
         /// The peer the message came from.
         from: NodeId,
     },
+    /// A health rule changed state (raised or cleared) on the emitting
+    /// peer's pulse evaluator.
+    Health {
+        /// Rule identifier (`rm_stale`, `queue_saturated`, ...). Borrowed
+        /// from the rule's static vocabulary when emitted.
+        rule: std::borrow::Cow<'static, str>,
+        /// `true` when the rule started firing, `false` when it cleared.
+        firing: bool,
+        /// The observed value the predicate judged at the edge.
+        value: f64,
+    },
 }
 
 impl TraceKind {
@@ -157,6 +168,7 @@ impl TraceKind {
             TraceKind::SessionClosed { .. } => "session_closed",
             TraceKind::TaskPhase { .. } => "task_phase",
             TraceKind::Hop { .. } => "hop",
+            TraceKind::Health { .. } => "health",
         }
     }
 }
@@ -232,6 +244,54 @@ pub fn merge_timeline(mut events: Vec<TraceEvent>) -> Vec<TraceEvent> {
             .then_with(|| a.kind.name().cmp(b.kind.name()))
     });
     events
+}
+
+/// Streaming k-way merge of per-node trace rings into one timeline, with
+/// exactly the same total order as [`merge_timeline`] on the concatenation
+/// — but O(n log k) instead of a full O(n log n) re-sort, because each
+/// ring is already time-ordered (nodes append events as they happen).
+///
+/// Rings that turn out *not* to be ordered (e.g. a clock step on a live
+/// node) are sorted individually first, so the result is always correct;
+/// the common case pays only a linear ordered-check per ring.
+pub fn merge_timelines(mut rings: Vec<Vec<TraceEvent>>) -> Vec<TraceEvent> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    fn sort_key(e: &TraceEvent) -> (SimTime, NodeId, u64, &'static str) {
+        (e.at, e.peer, e.span, e.kind.name())
+    }
+
+    for ring in &mut rings {
+        if !ring.windows(2).all(|w| sort_key(&w[0]) <= sort_key(&w[1])) {
+            ring.sort_by(|a, b| sort_key(a).cmp(&sort_key(b)));
+        }
+    }
+    let total = rings.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut cursors: Vec<std::vec::IntoIter<TraceEvent>> =
+        rings.into_iter().map(Vec::into_iter).collect();
+    let mut heads: Vec<Option<TraceEvent>> = cursors.iter_mut().map(Iterator::next).collect();
+    // Heap entries carry only the Copy sort key plus the ring index; the
+    // index doubles as the final tiebreak, making the merge stable across
+    // equal keys — so with rings supplied in concatenation order the
+    // output is identical to `merge_timeline` (a stable sort) on the
+    // concatenation.
+    let mut heap = BinaryHeap::with_capacity(heads.len());
+    for (i, head) in heads.iter().enumerate() {
+        if let Some(e) = head {
+            heap.push(Reverse((sort_key(e), i)));
+        }
+    }
+    while let Some(Reverse((_, i))) = heap.pop() {
+        let event = heads[i].take().expect("heap entry without a head");
+        out.push(event);
+        if let Some(next) = cursors[i].next() {
+            heap.push(Reverse((sort_key(&next), i)));
+            heads[i] = Some(next);
+        }
+    }
+    out
 }
 
 /// A bounded ring buffer of trace events.
@@ -499,6 +559,47 @@ mod tests {
             .map(|e| (e.at.as_micros(), e.peer.raw()))
             .collect();
         assert_eq!(order, vec![(1, 1), (1, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn kway_merge_matches_full_sort() {
+        let mk = |t: u64, peer: u64, span: u64| {
+            TraceEvent::new(
+                SimTime::from_micros(t),
+                NodeId::new(peer),
+                None,
+                TraceKind::GossipRound { fanout: 1 },
+            )
+            .causal(1, span, 0)
+        };
+        // Three ordered per-node rings with interleaved and equal stamps.
+        let rings = vec![
+            vec![mk(1, 1, 5), mk(3, 1, 6), mk(3, 1, 7), mk(9, 1, 8)],
+            vec![mk(2, 2, 1), mk(3, 2, 2), mk(4, 2, 3)],
+            vec![],
+            vec![mk(1, 3, 9), mk(9, 3, 10)],
+        ];
+        let concat: Vec<TraceEvent> = rings.iter().flatten().cloned().collect();
+        assert_eq!(merge_timelines(rings), merge_timeline(concat));
+    }
+
+    #[test]
+    fn kway_merge_repairs_an_unsorted_ring() {
+        let mk = |t: u64, span: u64| {
+            TraceEvent::new(
+                SimTime::from_micros(t),
+                NodeId::new(1),
+                None,
+                TraceKind::GossipRound { fanout: 1 },
+            )
+            .causal(1, span, 0)
+        };
+        let rings = vec![vec![mk(5, 1), mk(2, 2)], vec![mk(3, 3)]];
+        let concat: Vec<TraceEvent> = rings.iter().flatten().cloned().collect();
+        let merged = merge_timelines(rings);
+        assert_eq!(merged, merge_timeline(concat));
+        let times: Vec<u64> = merged.iter().map(|e| e.at.as_micros()).collect();
+        assert_eq!(times, vec![2, 3, 5]);
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub use frame::{
     PROTOCOL_VERSION,
 };
 pub use mem::{InMemoryTransport, MemHub};
-pub use status::{query_status, StatusProvider, StatusReport, StatusRequest};
+pub use status::{query_status, query_status_with, StatusProvider, StatusReport, StatusRequest};
 pub use tcp::{TcpOptions, TcpTransport};
 pub use transport::{
     InboundSink, LinkCounters, LinkStats, Transport, TransportError, TransportStats,

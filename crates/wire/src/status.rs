@@ -16,7 +16,7 @@
 use crate::frame::{encode, FrameDecoder};
 use crate::transport::{TransportError, TransportStats};
 use crate::WirePayload;
-use arm_telemetry::{MetricsSnapshot, TraceEvent};
+use arm_telemetry::{HealthStatus, MetricsSnapshot, SeriesBatch, TraceEvent};
 use arm_util::{DomainId, NodeId};
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
@@ -31,6 +31,14 @@ pub struct StatusRequest {
     /// Also dump the node's trace ring (the flight recorder). Costly on
     /// busy nodes — `arm top` leaves it off, `arm trace` turns it on.
     pub include_trace: bool,
+    /// Scrape retained series at or after this sample cursor. `None` skips
+    /// series entirely (cheapest); `Some(0)` fetches the full retained
+    /// window; `Some(report.series.next_cursor)` of a previous answer
+    /// fetches only new points — how `arm watch` polls without re-shipping
+    /// history. Decodes to `None` on pre-pulse nodes' requests, and
+    /// pre-pulse nodes asked with a cursor simply answer with no series.
+    #[serde(default)]
+    pub series_cursor: Option<u64>,
 }
 
 /// One node's full introspection snapshot.
@@ -63,6 +71,14 @@ pub struct StatusReport {
     pub transport: TransportStats,
     /// Flight-recorder dump of the trace ring, when requested.
     pub trace: Option<Vec<TraceEvent>>,
+    /// Retained-series scrape answering the request's `series_cursor`
+    /// (empty when not asked, when the node predates pulse, or when pulse
+    /// is disabled — observers cannot tell these apart, by design).
+    #[serde(default, skip_serializing_if = "SeriesBatch::is_empty")]
+    pub series: SeriesBatch,
+    /// Current health-rule states (empty on pre-pulse / pulse-off nodes).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub health: Vec<HealthStatus>,
     /// The node's address book (`NodeId → listen addr`), for cluster
     /// discovery by observers.
     pub peers: Vec<(NodeId, String)>,
@@ -84,6 +100,24 @@ pub fn query_status(
     include_trace: bool,
     timeout: Duration,
 ) -> Result<StatusReport, TransportError> {
+    query_status_with(
+        addr,
+        StatusRequest {
+            observer,
+            include_trace,
+            series_cursor: None,
+        },
+        timeout,
+    )
+}
+
+/// [`query_status`] with a caller-built request — the way to ask for a
+/// retained-series scrape (`series_cursor`) alongside the snapshot.
+pub fn query_status_with(
+    addr: &str,
+    request: StatusRequest,
+    timeout: Duration,
+) -> Result<StatusReport, TransportError> {
     let sockaddr = addr
         .to_socket_addrs()
         .map_err(|e| TransportError::Io(format!("resolving {addr}: {e}")))?
@@ -93,10 +127,7 @@ pub fn query_status(
         .map_err(|e| TransportError::Io(format!("dialing {addr}: {e}")))?;
     let _ = stream.set_nodelay(true);
     stream
-        .write_all(&encode(&WirePayload::StatusRequest(StatusRequest {
-            observer,
-            include_trace,
-        })))
+        .write_all(&encode(&WirePayload::StatusRequest(request)))
         .map_err(|e| TransportError::Io(format!("status request to {addr}: {e}")))?;
     let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
     let deadline = std::time::Instant::now() + timeout;
@@ -159,6 +190,8 @@ pub(crate) mod tests {
             metrics: MetricsSnapshot::default(),
             transport: TransportStats::default(),
             trace: None,
+            series: SeriesBatch::default(),
+            health: Vec::new(),
             peers: vec![(NodeId::new(1), "127.0.0.1:9000".into())],
         }
     }
@@ -168,6 +201,7 @@ pub(crate) mod tests {
         let req = WirePayload::StatusRequest(StatusRequest {
             observer: NodeId::new(99),
             include_trace: true,
+            series_cursor: Some(42),
         });
         let rep = WirePayload::StatusReport(Box::new(sample_report(NodeId::new(3))));
         for payload in [req, rep] {
@@ -179,11 +213,30 @@ pub(crate) mod tests {
     }
 
     #[test]
+    fn pre_pulse_frames_decode_with_empty_series_and_health() {
+        // A report serialised without the series/health extension (what a
+        // pre-pulse node sends — `skip_serializing_if` reproduces those
+        // bytes exactly for an empty batch) must decode to the defaults.
+        let report = sample_report(NodeId::new(5));
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(!json.contains("\"series\""));
+        assert!(!json.contains("\"health\""));
+        let back: StatusReport = serde_json::from_str(&json).unwrap();
+        assert!(back.series.is_empty());
+        assert!(back.health.is_empty());
+        // Likewise an old observer's request with no cursor field.
+        let old_req = "{\"observer\":7,\"include_trace\":false}";
+        let req: StatusRequest = serde_json::from_str(old_req).unwrap();
+        assert_eq!(req.series_cursor, None);
+    }
+
+    #[test]
     fn status_frames_have_their_own_tags() {
         use crate::frame::message_tag;
         let req = WirePayload::StatusRequest(StatusRequest {
             observer: NodeId::new(1),
             include_trace: false,
+            series_cursor: None,
         });
         let rep = WirePayload::StatusReport(Box::new(sample_report(NodeId::new(1))));
         assert_eq!(message_tag(&req), 22);

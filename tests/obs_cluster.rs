@@ -15,7 +15,7 @@
 
 use adaptive_p2p_rm::core::ProtocolConfig;
 use adaptive_p2p_rm::model::{MediaFormat, MediaObject, QosSpec, ServiceSpec, TaskSpec};
-use adaptive_p2p_rm::runtime::net::{NetCluster, NetPeerConfig};
+use adaptive_p2p_rm::runtime::net::{NetCluster, NetPeerConfig, PulseConfig};
 use adaptive_p2p_rm::runtime::PeerSpawn;
 use adaptive_p2p_rm::telemetry::{merge_timeline, TaskPhase, TraceEvent, TraceKind};
 use adaptive_p2p_rm::util::{NodeId, ObjectId, ServiceId, SimDuration, SimTime, TaskId};
@@ -202,6 +202,7 @@ fn run_once() -> ChainShape {
         protocol: fast_protocol(),
         seed: 7,
         tracing: true,
+        pulse: Some(PulseConfig::default()),
     };
     let cluster =
         NetCluster::start(spawns(), &config, TcpOptions::default()).expect("cluster binds");
