@@ -8,13 +8,16 @@
 
 use arm_core::ProtocolConfig;
 use arm_model::{Codec, MediaFormat, MediaObject, QosSpec, Resolution, ServiceSpec, TaskSpec};
-use arm_runtime::net::{NetClock, NetCluster, NetMailbox, NetPeer, NetPeerConfig, PulseConfig};
+use arm_runtime::net::{
+    NetClock, NetCluster, NetMailbox, NetPeer, NetPeerConfig, PulseConfig, StoreConfig,
+};
 use arm_runtime::{PeerSpawn, Telemetry};
 use arm_telemetry::Recorder;
 use arm_util::{NodeId, ObjectId, ServiceId, SimDuration, SimTime, TaskId};
 use arm_wire::{TcpOptions, TcpTransport, Transport, TransportStats};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -35,6 +38,20 @@ fn live_protocol() -> ProtocolConfig {
     }
 }
 
+/// The live protocol with operator overrides applied. `--heartbeat-timeout-ms`
+/// stretches the failover trigger: the CI recovery-smoke job sets it above
+/// its kill window so a crashed RM is *recovered* (from its state dir)
+/// rather than failed over, and `arm health` visibly reports `rm_stale`
+/// in between.
+fn tuned_protocol(flags: &BTreeMap<String, String>) -> Result<ProtocolConfig, String> {
+    let mut protocol = live_protocol();
+    let timeout = parse_u64(flags, "heartbeat-timeout-ms", 0)?;
+    if timeout > 0 {
+        protocol.heartbeat_timeout = SimDuration::from_millis(timeout);
+    }
+    Ok(protocol)
+}
+
 fn parse_u64(flags: &BTreeMap<String, String>, name: &str, default: u64) -> Result<u64, String> {
     flags
         .get(name)
@@ -45,6 +62,54 @@ fn parse_u64(flags: &BTreeMap<String, String>, name: &str, default: u64) -> Resu
 
 fn intermediate_format() -> MediaFormat {
     MediaFormat::new(Codec::Mpeg2, Resolution::VGA, 256)
+}
+
+/// `--state-dir DIR [--snapshot-ms MS]` → crash-safe persistence config.
+fn store_config(flags: &BTreeMap<String, String>) -> Result<Option<StoreConfig>, String> {
+    let Some(dir) = flags.get("state-dir") else {
+        return Ok(None);
+    };
+    let mut cfg = StoreConfig::new(dir);
+    if let Some(ms) = flags.get("snapshot-ms") {
+        let ms: u64 = ms.parse().map_err(|e| format!("bad --snapshot-ms: {e}"))?;
+        if ms == 0 {
+            return Err("--snapshot-ms must be positive".into());
+        }
+        cfg.snapshot_period = Duration::from_millis(ms);
+    }
+    Ok(Some(cfg))
+}
+
+/// Set by the `SIGINT`/`SIGTERM` handler; polled by the `arm node` hold
+/// loop to turn an asynchronous signal into a graceful shutdown.
+static STOP_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    /// libc `signal(2)`, already linked through std. Dependency-free
+    /// signal handling: the approved crate set has no `signal-hook`/`ctrlc`.
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+extern "C" fn on_stop_signal(_sig: i32) {
+    // Only an atomic store: the one async-signal-safe thing a handler may
+    // do. Everything else (snapshot flush, link teardown) happens on the
+    // main thread once the hold loop observes the flag.
+    STOP_REQUESTED.store(true, Ordering::SeqCst);
+}
+
+/// Routes Ctrl-C and SIGTERM into [`STOP_REQUESTED`]. After this, killing
+/// the node politely gives it a clean exit (final snapshot, `Leave`
+/// announcement, exit code 0); only SIGKILL still simulates a crash.
+fn install_stop_handlers() {
+    // SAFETY: `on_stop_signal` is async-signal-safe (a single atomic
+    // store) and has the exact type signal(2) expects.
+    unsafe {
+        signal(SIGINT, on_stop_signal as extern "C" fn(i32) as usize);
+        signal(SIGTERM, on_stop_signal as extern "C" fn(i32) as usize);
+    }
 }
 
 /// The demo task: fetch "demo-movie" transcoded to the paper's target
@@ -158,7 +223,7 @@ pub fn cluster(flags: &BTreeMap<String, String>) -> Result<(), String> {
     }
     let seed = parse_u64(flags, "seed", 7)?;
     let config = NetPeerConfig {
-        protocol: live_protocol(),
+        protocol: tuned_protocol(flags)?,
         seed,
         tracing: true,
         // Sample fast enough that `arm watch` shows movement during the
@@ -167,6 +232,7 @@ pub fn cluster(flags: &BTreeMap<String, String>) -> Result<(), String> {
             period: Duration::from_millis(250),
             ..PulseConfig::default()
         }),
+        store: store_config(flags)?,
     };
     println!("starting {peers} live peers on loopback TCP (seed {seed})...");
     let cluster = NetCluster::start(demo_spawns(peers), &config, TcpOptions::default())
@@ -284,11 +350,21 @@ pub fn node(flags: &BTreeMap<String, String>) -> Result<(), String> {
 
     let mut spawn = plain_spawn(id, None);
     spawn.bootstrap = bootstrap;
+    let store = store_config(flags)?;
+    if let Some(cfg) = &store {
+        let dir = cfg.node_dir(me);
+        if dir.join(arm_store::SNAPSHOT_FILE).exists() || dir.join(arm_store::LOG_FILE).exists() {
+            println!("state dir {} has prior state; recovering", dir.display());
+        } else {
+            println!("persisting state under {}", dir.display());
+        }
+    }
     let config = NetPeerConfig {
-        protocol: live_protocol(),
+        protocol: tuned_protocol(flags)?,
         seed,
         tracing: true,
         pulse: Some(PulseConfig::default()),
+        store,
     };
     let peer = NetPeer::start(
         mailbox,
@@ -297,9 +373,43 @@ pub fn node(flags: &BTreeMap<String, String>) -> Result<(), String> {
         &config,
         Arc::clone(&telemetry),
     );
+    // Serve the introspection plane so `arm top/trace/watch/health` can
+    // interrogate hand-assembled multi-process clusters too. The address
+    // book only knows this node (and its bootstrap); observers merge the
+    // books they collect.
+    {
+        let status = peer.status();
+        let weak = Arc::downgrade(&transport);
+        let mut book = vec![(me, transport.listen_addr().to_string())];
+        if let (Some(remote), Some(addr)) = (bootstrap, flags.get("bootstrap")) {
+            book.push((remote, addr.clone()));
+        }
+        transport.set_status_provider(Box::new(move |req| {
+            let stats = weak.upgrade().map(|t| t.stats()).unwrap_or_default();
+            status.report(req, stats, book.clone())
+        }));
+    }
 
-    println!("running for {secs}s...");
-    std::thread::sleep(Duration::from_secs(secs));
+    install_stop_handlers();
+    println!("running for {secs}s (Ctrl-C / SIGTERM stops gracefully)...");
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    let stopped_by_signal = loop {
+        if STOP_REQUESTED.load(Ordering::SeqCst) {
+            break true;
+        }
+        if Instant::now() >= deadline {
+            break false;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    };
+    if stopped_by_signal {
+        println!("stop signal received; flushing state and leaving gracefully...");
+    }
+    // Graceful stop: the peer announces its departure and — with a state
+    // dir — compacts everything into one final *clean* snapshot before the
+    // thread joins; the transport then closes every link. Reaching exit
+    // code 0 therefore certifies a clean stop; a crash (SIGKILL, panic,
+    // power loss) can't get here and leaves a dirty state dir behind.
     peer.stop(true);
     let stats = vec![transport.stats()];
     transport.shutdown();

@@ -16,8 +16,11 @@
 //!             [--metrics out.json]          the demo workload end-to-end
 //!             [--hold-secs S]               keep serving status after the demo
 //!             [--addr-file path]            write "id addr" lines on boot
+//!             [--state-dir DIR]             crash-safe state under DIR/node-<id>/
 //! arm node --listen ADDR [--id N]           one live peer over TCP
 //!          [--bootstrap ADDR] [--secs S]
+//!          [--state-dir DIR]                WAL + snapshots; restart recovers
+//!          [--snapshot-ms MS]               snapshot cadence (default 5000)
 //! arm top --addr HOST:PORT [--iters N]      live cluster table over the wire
 //!         [--json]                          machine-readable cluster view
 //! arm trace --addr HOST:PORT                merge every node's trace ring
@@ -85,7 +88,11 @@ USAGE:
   arm topology [--clusters N] [--per-cluster M] [--seed S]
   arm experiment <e01..e14|all> [--quick]
   arm cluster [--peers N] [--seed S] [--metrics out.json] [--hold-secs S] [--addr-file path]
+              [--state-dir DIR] [--snapshot-ms MS]
   arm node --listen ADDR [--id N] [--bootstrap ADDR] [--secs S] [--metrics out.json]
+           [--state-dir DIR] [--snapshot-ms MS] [--heartbeat-timeout-ms MS]
+           (SIGTERM/Ctrl-C stop gracefully: final snapshot, links closed, exit 0;
+            a crash leaves a dirty state dir that the next run recovers from)
   arm top --addr HOST:PORT [--iters N] [--period-ms MS] [--json]
   arm trace --addr HOST:PORT [--out merged.jsonl] [--expect-chain]
   arm watch --addr HOST:PORT [--metric SUBSTR] [--iters N] [--period-ms MS]

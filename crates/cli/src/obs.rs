@@ -622,6 +622,7 @@ mod tests {
                 period: Duration::from_millis(100),
                 ..PulseConfig::default()
             }),
+            store: None,
         }
     }
 

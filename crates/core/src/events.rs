@@ -3,6 +3,7 @@
 use arm_model::task::TaskOutcome;
 use arm_model::TaskSpec;
 use arm_proto::{Message, TraceCtx};
+use arm_store::{Intent, StoreSnapshot};
 use arm_telemetry::TraceEvent;
 use arm_util::{DomainId, NodeId, SessionId, SimDuration, SimTime, TaskId};
 use serde::{Deserialize, Serialize};
@@ -70,6 +71,16 @@ pub enum Event {
     Shutdown {
         /// Whether departure is announced.
         graceful: bool,
+    },
+    /// The node boots from persisted state instead of cold ([`Event::Start`]):
+    /// the driver loaded the snapshot and replayed the write-ahead log from
+    /// `--state-dir`. The node restores its lifecycle phases, re-announces
+    /// itself, and reconciles with the live overlay (stale epochs yield).
+    Recover {
+        /// The last committed snapshot, if one survived.
+        snapshot: Box<StoreSnapshot>,
+        /// Intents logged after that snapshot, in append order.
+        intents: Vec<Intent>,
     },
 }
 
@@ -156,6 +167,11 @@ pub enum Action {
     /// [`PeerNode::set_tracing`](crate::PeerNode::set_tracing); the driver
     /// forwards these to its [`arm_telemetry::Recorder`].
     Trace(TraceEvent),
+    /// Durability: append this lifecycle intent to the write-ahead log
+    /// before (or as) the driver executes the batch's other actions.
+    /// Drivers without a `--state-dir` simply drop it — persistence is
+    /// opt-in and the state machine never blocks on it.
+    Persist(Intent),
 }
 
 impl Action {

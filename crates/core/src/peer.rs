@@ -18,6 +18,8 @@ use arm_model::{MediaObject, PeerInfo, ServiceSpec, TaskSpec};
 use arm_profiler::Profiler;
 use arm_proto::{Message, RmCandidacy, RmSnapshot, TaskReplyKind, TraceCtx};
 use arm_sched::{Job, JobId, LocalScheduler, SchedulerConfig};
+use arm_store::snapshot::{node_phase_tag, session_phase_tag};
+use arm_store::{Intent, NodePhase, StateController, StoreSnapshot, SNAPSHOT_FORMAT};
 use arm_telemetry::{TaskPhase, TraceEvent, TraceKind};
 use arm_util::{DetRng, DomainId, NodeId, SessionId, SimTime};
 use std::collections::BTreeMap;
@@ -45,6 +47,15 @@ fn push_trace(
         }
         actions.push(Action::Trace(event));
     }
+}
+
+/// Queues a lifecycle intent with the state controller *and* emits it as
+/// an [`Action::Persist`] for the driver's write-ahead log. A free
+/// function so callsites can use it while `self.rm_state` is mutably
+/// borrowed (the controller is a disjoint field).
+fn intend(controller: &mut StateController, actions: &mut Vec<Action>, intent: Intent) {
+    controller.enqueue(intent.clone());
+    actions.push(Action::Persist(intent));
 }
 
 /// The node's current overlay role.
@@ -134,6 +145,16 @@ pub struct PeerNode {
     /// (`SessionEnd`, `ComposeTimeout`) and late acks re-enter the trace
     /// that allocated the session with a deterministic parent.
     session_traces: BTreeMap<SessionId, (u64, u64)>,
+    /// The lifecycle state controller (arm-store). Protocol handlers only
+    /// enqueue intents; the controller's tick at the end of every
+    /// [`PeerNode::on_event`] is the single place lifecycle phases change.
+    controller: StateController,
+    /// Last information-base version persisted via
+    /// [`Intent::EpochAdvanced`], so the epilogue only logs changes.
+    last_logged_version: u64,
+    /// Highest RM epoch witnessed in a `PromoteAnnounce` (member side),
+    /// so stale announcements from superseded RMs are ignored.
+    rm_epoch: u64,
 }
 
 impl PeerNode {
@@ -191,6 +212,9 @@ impl PeerNode {
             cur_trace: 0,
             cur_parent: 0,
             session_traces: BTreeMap::new(),
+            controller: StateController::new(),
+            last_logged_version: 0,
+            rm_epoch: 0,
             cfg,
         }
     }
@@ -229,6 +253,44 @@ impl PeerNode {
     /// RM state, when this node leads a domain.
     pub fn rm_state(&self) -> Option<&RmState> {
         self.rm_state.as_ref()
+    }
+
+    /// The lifecycle state controller (arm-store).
+    pub fn controller(&self) -> &StateController {
+        &self.controller
+    }
+
+    /// Builds the durable snapshot of this node for `--state-dir`
+    /// persistence: lifecycle phases from the controller, plus the full
+    /// RM information base when this node leads a domain. `pulse_cursor`
+    /// is the driver's retained-metrics sequence; `clean` marks a
+    /// graceful-shutdown flush; `written_at_us` is informational
+    /// wall-clock (never fed back into protocol time).
+    pub fn store_snapshot(
+        &self,
+        now: SimTime,
+        pulse_cursor: u64,
+        clean: bool,
+        written_at_us: u64,
+    ) -> StoreSnapshot {
+        StoreSnapshot {
+            format: SNAPSHOT_FORMAT,
+            node: self.id,
+            phase: node_phase_tag(self.controller.node_phase()),
+            domain: self.domain,
+            rm: self.rm,
+            rm_state: self.rm_state.as_ref().map(|s| s.snapshot(&self.cfg, now)),
+            sessions: self
+                .controller
+                .live_sessions()
+                .into_iter()
+                .map(|(s, p)| (s, session_phase_tag(p)))
+                .collect(),
+            pulse_cursor,
+            wal_seq: 0,
+            clean,
+            written_at_us,
+        }
     }
 
     /// The node's profiler.
@@ -329,7 +391,56 @@ impl PeerNode {
                 _ => {}
             },
             Event::Shutdown { graceful } => self.on_shutdown(graceful, &mut actions),
+            Event::Recover { snapshot, intents } => {
+                self.on_recover(now, *snapshot, intents, &mut actions)
+            }
         }
+        // Durability epilogue. Telemetry actions mark exactly the terminal
+        // and repair transitions, so derive their intents centrally instead
+        // of scattering them through every handler.
+        let mut derived: Vec<Intent> = Vec::new();
+        for a in actions.iter() {
+            match a {
+                Action::Outcome { task, outcome, .. } => derived.push(Intent::TaskResolved {
+                    task: *task,
+                    outcome: *outcome,
+                }),
+                Action::SessionRepaired { session, ok, .. } => {
+                    derived.push(Intent::RepairFinished {
+                        session: *session,
+                        ok: *ok,
+                    })
+                }
+                Action::SessionReassigned { session, .. } => {
+                    derived.push(Intent::SessionMigrated { session: *session })
+                }
+                Action::Promoted { domain, .. } => derived.push(Intent::RmAssumed {
+                    domain: *domain,
+                    version: self.rm_state.as_ref().map(|s| s.version).unwrap_or(0),
+                }),
+                _ => {}
+            }
+        }
+        for i in derived {
+            intend(&mut self.controller, &mut actions, i);
+        }
+        // Persist information-base epoch advances (join/leave/advertise/
+        // edge retirement all bump `version`) once per event.
+        if let Some(state) = self.rm_state.as_ref() {
+            if state.version != self.last_logged_version {
+                self.last_logged_version = state.version;
+                intend(
+                    &mut self.controller,
+                    &mut actions,
+                    Intent::EpochAdvanced {
+                        version: state.version,
+                    },
+                );
+            }
+        }
+        // The idempotent handler loop: every event doubles as its periodic
+        // tick, retrying deferred transitions (NVIDIA BMM pattern).
+        self.controller.tick();
         actions
     }
 
@@ -338,6 +449,11 @@ impl PeerNode {
             return;
         }
         self.bootstrap = bootstrap;
+        intend(
+            &mut self.controller,
+            actions,
+            Intent::NodeStarted { bootstrap },
+        );
         match bootstrap {
             None => {
                 // Found the overlay: become the first RM.
@@ -371,6 +487,11 @@ impl PeerNode {
         self.domain = Some(domain);
         self.rm = Some(self.id);
         self.last_rm_heard = now;
+        intend(
+            &mut self.controller,
+            actions,
+            Intent::DomainFounded { domain },
+        );
         let mut state = RmState::new(
             domain,
             self.id,
@@ -517,12 +638,11 @@ impl PeerNode {
                     self.backup_snapshot = Some(*snapshot);
                 }
             }
-            Message::PromoteAnnounce { new_rm, domain } => {
-                if Some(domain) == self.domain && self.role == Role::Member {
-                    self.rm = Some(new_rm);
-                    self.last_rm_heard = now;
-                }
-            }
+            Message::PromoteAnnounce {
+                new_rm,
+                domain,
+                version,
+            } => self.on_promote_announce(now, new_rm, domain, version, actions),
             Message::LoadReport(report) => {
                 if let Some(state) = self.rm_state.as_mut() {
                     state.apply_report(&report, now);
@@ -798,6 +918,11 @@ impl PeerNode {
             self.domain = Some(domain);
             self.rm = Some(rm);
             self.last_rm_heard = now;
+            intend(
+                &mut self.controller,
+                actions,
+                Intent::JoinAccepted { domain, rm },
+            );
             actions.push(Action::Send {
                 to: rm,
                 msg: Message::Advertise {
@@ -806,6 +931,98 @@ impl PeerNode {
                 },
             });
             self.arm_common_timers(actions);
+        }
+    }
+
+    /// Reconciles a domain-takeover claim. Members follow the freshest
+    /// epoch; an RM hearing a competing claim for its own domain yields
+    /// to a strictly fresher epoch (ties break toward the lower node id)
+    /// or re-asserts its claim otherwise — the rule that lets a crash-
+    /// recovered RM and an interim promoted backup converge on one leader.
+    fn on_promote_announce(
+        &mut self,
+        now: SimTime,
+        new_rm: NodeId,
+        domain: DomainId,
+        version: u64,
+        actions: &mut Vec<Action>,
+    ) {
+        if Some(domain) != self.domain || new_rm == self.id {
+            return;
+        }
+        match self.role {
+            Role::Member => {
+                if version >= self.rm_epoch {
+                    // A changed RM or a bumped epoch both mean the leader
+                    // rebuilt its information base from a snapshot — which
+                    // carries the resource graph but not the object
+                    // directory. Same-RM same-epoch re-assertions skip the
+                    // re-advertise.
+                    let adopted = self.rm != Some(new_rm) || version > self.rm_epoch;
+                    self.rm_epoch = version;
+                    self.rm = Some(new_rm);
+                    self.last_rm_heard = now;
+                    if adopted {
+                        actions.push(Action::Send {
+                            to: new_rm,
+                            msg: Message::Advertise {
+                                objects: self.objects.clone(),
+                                services: self.services.clone(),
+                            },
+                        });
+                    }
+                }
+            }
+            Role::Rm => {
+                let mine = self.rm_state.as_ref().map(|s| s.version).unwrap_or(0);
+                let theirs_win = version > mine || (version == mine && new_rm < self.id);
+                if theirs_win {
+                    // Stale epoch dropped: step down to member under the
+                    // winner and re-advertise local inventory so its
+                    // information base learns this node's offerings.
+                    self.rm_state = None;
+                    self.rm_timers_armed = false;
+                    self.role = Role::Member;
+                    self.rm = Some(new_rm);
+                    self.rm_epoch = version;
+                    self.last_rm_heard = now;
+                    intend(
+                        &mut self.controller,
+                        actions,
+                        Intent::RmYielded { to: new_rm },
+                    );
+                    actions.push(Action::Send {
+                        to: new_rm,
+                        msg: Message::Advertise {
+                            objects: self.objects.clone(),
+                            services: self.services.clone(),
+                        },
+                    });
+                } else if let Some(state) = self.rm_state.as_ref() {
+                    // Our epoch is fresher: re-assert so stale members (and
+                    // the losing claimant) converge back to us.
+                    let mut targets: Vec<NodeId> = state
+                        .members
+                        .keys()
+                        .copied()
+                        .filter(|m| *m != self.id)
+                        .collect();
+                    if !targets.contains(&new_rm) {
+                        targets.push(new_rm);
+                    }
+                    for m in targets {
+                        actions.push(Action::Send {
+                            to: m,
+                            msg: Message::PromoteAnnounce {
+                                new_rm: self.id,
+                                domain,
+                                version: mine,
+                            },
+                        });
+                    }
+                }
+            }
+            Role::Joining | Role::Idle => {}
         }
     }
 
@@ -1361,6 +1578,14 @@ impl PeerNode {
                 let submitted_at = task.submitted_at;
                 let rec = state.commit_session(session, task, &alloc, source, now);
                 let graph = rec.graph.clone();
+                intend(
+                    &mut self.controller,
+                    actions,
+                    Intent::SessionAllocated {
+                        session,
+                        task: task_id,
+                    },
+                );
                 // Anchor later session-scoped events (Stream on compose-ack,
                 // Terminal, repair) to this allocation decision so their
                 // parentage is deterministic regardless of ack arrival order.
@@ -1407,6 +1632,11 @@ impl PeerNode {
                     if let Some(rec) = state.sessions.get_mut(&session) {
                         rec.outcome_reported = true;
                     }
+                    intend(
+                        &mut self.controller,
+                        actions,
+                        Intent::StreamStarted { session },
+                    );
                     let on_time = now <= deadline;
                     actions.push(Action::Outcome {
                         task: task_id,
@@ -1435,6 +1665,11 @@ impl PeerNode {
                         after: arm_util::SimDuration::from_secs_f64(session_secs.max(0.001)),
                     });
                 } else {
+                    intend(
+                        &mut self.controller,
+                        actions,
+                        Intent::ComposeLaunched { session },
+                    );
                     for (i, h) in graph.hops.iter().enumerate() {
                         actions.push(Action::Send {
                             to: h.peer,
@@ -1550,6 +1785,11 @@ impl PeerNode {
         rec.pending_acks.remove(&hop);
         if rec.fully_acked() && rec.composed_at.is_none() {
             rec.composed_at = Some(now);
+            intend(
+                &mut self.controller,
+                actions,
+                Intent::StreamStarted { session },
+            );
             // Parent the Stream/Terminal events on the *allocation* span
             // recorded at commit time, not on whichever participant's ack
             // happened to arrive last — that keeps merged timelines
@@ -1653,6 +1893,11 @@ impl PeerNode {
         let Some(rec) = state.sessions.remove(&session) else {
             return;
         };
+        intend(
+            &mut self.controller,
+            actions,
+            Intent::SessionClosed { session },
+        );
         self.session_traces.remove(&session);
         // Record this episode before fanning out `SessionEnd` messages:
         // they carry this span as the receivers' causal parent, and an
@@ -1749,6 +1994,11 @@ impl PeerNode {
             .get(&session)
             .copied()
             .unwrap_or((self.cur_trace, self.cur_parent));
+        intend(
+            &mut self.controller,
+            actions,
+            Intent::RepairStarted { session },
+        );
         state.release_session_resources(session);
         state.sessions.remove(&session);
 
@@ -2003,6 +2253,11 @@ impl PeerNode {
     fn on_submit(&mut self, now: SimTime, mut task: TaskSpec, actions: &mut Vec<Action>) {
         task.submitted_at = now;
         task.requester = self.id;
+        intend(
+            &mut self.controller,
+            actions,
+            Intent::TaskSubmitted { task: task.id },
+        );
         // Root of the task's causal timeline: a submission opens a fresh
         // trace (cur_trace == cur_span, parent 0 — see `on_event`).
         push_trace(
@@ -2032,6 +2287,11 @@ impl PeerNode {
     }
 
     fn on_shutdown(&mut self, graceful: bool, actions: &mut Vec<Action>) {
+        intend(
+            &mut self.controller,
+            actions,
+            Intent::ShutdownRequested { graceful },
+        );
         if graceful {
             match self.role {
                 Role::Rm => {
@@ -2093,15 +2353,18 @@ impl PeerNode {
             .collect();
         let sessions: Vec<SessionId> = state.sessions.keys().copied().collect();
         state.choose_backup(&self.cfg, now);
+        let version = state.version;
         self.rm_state = Some(state);
         self.role = Role::Rm;
         self.rm = Some(self.id);
+        self.rm_epoch = version;
         for m in members {
             actions.push(Action::Send {
                 to: m,
                 msg: Message::PromoteAnnounce {
                     new_rm: self.id,
                     domain,
+                    version,
                 },
             });
         }
@@ -2124,6 +2387,146 @@ impl PeerNode {
             (self.cur_trace, self.cur_span, self.cur_parent),
             TraceKind::BackupPromoted { old_rm },
         );
+    }
+
+    /// Boots from persisted state (`--state-dir`): restores the state
+    /// controller from the snapshot, replays the write-ahead intents
+    /// through it, then re-enters the overlay in the recovered role —
+    /// an RM resumes its information base and re-announces with a bumped
+    /// epoch; a member rejoins through its last known RM. Sessions the
+    /// WAL closed stay closed; sessions allocated after the snapshot
+    /// (whose graphs died with the process) are cleanly aborted.
+    fn on_recover(
+        &mut self,
+        now: SimTime,
+        snap: StoreSnapshot,
+        intents: Vec<Intent>,
+        actions: &mut Vec<Action>,
+    ) {
+        if self.role != Role::Idle {
+            return;
+        }
+        let phase = snap.node_phase();
+        if snap.clean || matches!(phase, NodePhase::Stopped | NodePhase::Idle) {
+            // Clean stop or pre-join crash: nothing to resume. Boot fresh,
+            // using the last known RM as the join contact.
+            let contact = snap.rm.filter(|r| *r != self.id);
+            self.controller = StateController::new();
+            self.on_start(now, contact, actions);
+            return;
+        }
+        let epoch = snap.rm_state.as_ref().map(|s| s.version).unwrap_or(0);
+        self.controller =
+            StateController::restore(phase, snap.domain, snap.rm, snap.live_sessions(), epoch);
+        for i in intents {
+            self.controller.enqueue(i);
+        }
+        self.controller.tick();
+        self.rm_epoch = self.controller.epoch();
+
+        if self.controller.node_phase() == NodePhase::Rm {
+            if let Some(rm_snap) = snap.rm_state {
+                let domain = rm_snap.domain;
+                let mut state = RmState::from_snapshot_resume(rm_snap, self.id, now);
+                state.register_inventory(self.id, &self.objects, &self.services);
+                // Sessions the WAL closed after the snapshot must not
+                // resurrect: the controller's phase map is authoritative.
+                let live: BTreeMap<SessionId, _> =
+                    self.controller.live_sessions().into_iter().collect();
+                let stale: Vec<SessionId> = state
+                    .sessions
+                    .keys()
+                    .copied()
+                    .filter(|s| !live.contains_key(s))
+                    .collect();
+                for s in stale {
+                    state.release_session_resources(s);
+                    state.sessions.remove(&s);
+                }
+                // Sessions allocated after the snapshot have no persisted
+                // graph to resume from; abort them (§4.5 — the requester
+                // resubmits or times out).
+                let resumable: Vec<SessionId> = state.sessions.keys().copied().collect();
+                for s in live.keys() {
+                    if !resumable.contains(s) {
+                        intend(
+                            &mut self.controller,
+                            actions,
+                            Intent::SessionClosed { session: *s },
+                        );
+                    }
+                }
+                state.choose_backup(&self.cfg, now);
+                let members: Vec<NodeId> = state
+                    .members
+                    .keys()
+                    .copied()
+                    .filter(|m| *m != self.id)
+                    .collect();
+                let version = state.version; // snapshot version + 1: a fresh epoch
+                self.role = Role::Rm;
+                self.domain = Some(domain);
+                self.rm = Some(self.id);
+                self.rm_epoch = version;
+                self.last_rm_heard = now;
+                self.last_logged_version = version;
+                self.rm_state = Some(state);
+                // Re-announce with the bumped epoch: live members adopt the
+                // recovered RM; an interim backup-promoted RM reconciles via
+                // `on_promote_announce` (higher epoch wins).
+                for m in members {
+                    actions.push(Action::Send {
+                        to: m,
+                        msg: Message::PromoteAnnounce {
+                            new_rm: self.id,
+                            domain,
+                            version,
+                        },
+                    });
+                }
+                // Bound resumed sessions with a grace end — their precise
+                // remaining durations died with the pre-crash timers.
+                for s in resumable {
+                    actions.push(Action::SetTimer {
+                        kind: TimerKind::SessionEnd(s),
+                        after: arm_util::SimDuration::from_secs(30),
+                    });
+                }
+                actions.push(Action::Promoted { domain, at: now });
+                self.arm_common_timers(actions);
+                self.arm_rm_timers(actions);
+                return;
+            }
+        }
+        // Member-style recovery (also the fallback when an RM snapshot is
+        // missing): rejoin through the last known RM, or refound.
+        let contact = self
+            .controller
+            .rm()
+            .or(snap.rm)
+            .filter(|r| *r != self.id)
+            .or(self.bootstrap);
+        match contact {
+            Some(c) => {
+                self.role = Role::Joining;
+                self.bootstrap = Some(c);
+                self.join_hops_left = 8;
+                actions.push(Action::Send {
+                    to: c,
+                    msg: Message::JoinRequest {
+                        candidacy: self.candidacy(now),
+                    },
+                });
+                actions.push(Action::SetTimer {
+                    kind: TimerKind::JoinRetry,
+                    after: self.cfg.join_timeout,
+                });
+            }
+            None => {
+                // Nobody to call: refound the overlay.
+                self.on_start(now, None, actions);
+            }
+        }
     }
 }
 

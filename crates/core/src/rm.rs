@@ -145,6 +145,37 @@ impl RmState {
     /// Reconstructs RM state from a backup snapshot — the §4.1 failover
     /// path. `me` (the promoting backup) replaces the dead RM.
     pub fn from_snapshot(snap: RmSnapshot, me: NodeId, now: SimTime) -> Self {
+        let dead_rm = snap.rm;
+        let mut state = Self::rebuild(snap, me, now);
+        state.members.remove(&dead_rm); // the dead RM
+        state.view.remove(dead_rm);
+        state.graph.remove_peer(dead_rm);
+        state
+    }
+
+    /// Reconstructs RM state from this node's *own* persisted snapshot —
+    /// the crash-recovery path. Unlike [`RmState::from_snapshot`] (a
+    /// backup replacing a dead RM), the snapshot's RM *is* `me`, so the
+    /// node stays in its own view and resource graph, and the session-id
+    /// counter resumes past every pre-crash session to keep ids unique.
+    pub fn from_snapshot_resume(snap: RmSnapshot, me: NodeId, now: SimTime) -> Self {
+        // Recover the low-bits counter from sessions this RM allocated
+        // before the crash so new ids never collide with resumed ones.
+        let counter_mask = (1u64 << 24) - 1;
+        let next_session = snap
+            .sessions
+            .iter()
+            .filter(|(id, _)| id.raw() >> 24 == me.raw())
+            .map(|(id, _)| (id.raw() & counter_mask) + 1)
+            .max()
+            .unwrap_or(1);
+        let mut state = Self::rebuild(snap, me, now);
+        state.next_session = next_session;
+        state
+    }
+
+    /// Shared snapshot-rehydration body for failover and self-recovery.
+    fn rebuild(snap: RmSnapshot, me: NodeId, now: SimTime) -> Self {
         let mut members: BTreeMap<NodeId, MemberMeta> = snap
             .candidates
             .iter()
@@ -173,12 +204,14 @@ impl RmState {
                 admitted_at: now,
             });
         }
-        let mut state = Self {
+        Self {
             domain: snap.domain,
             me,
             view: snap.view,
             graph: snap.resource_graph,
-            objects: BTreeMap::new(), // rebuilt below from graph advertisers
+            // Snapshots do not carry the object directory; members rebuild
+            // it by re-advertising when they adopt the new RM.
+            objects: BTreeMap::new(),
             members,
             backup: None,
             sessions: snap
@@ -212,11 +245,7 @@ impl RmState {
             path_cache: PathCache::default(),
             alloc_metrics: AllocMetrics::default(),
             next_session: 1,
-        };
-        state.members.remove(&snap.rm); // the dead RM
-        state.view.remove(snap.rm);
-        state.graph.remove_peer(snap.rm);
-        state
+        }
     }
 
     /// Allocates the next session id, unique across RMs (high bits = RM
@@ -249,7 +278,9 @@ impl RmState {
 
     /// Registers a member's inventory (§3.1 items 5–6): objects go into
     /// the directory (and their formats become `G_r` states); services
-    /// become `G_r` edges hosted on the member.
+    /// become `G_r` edges hosted on the member. Idempotent — members
+    /// re-advertise whenever they adopt a new RM (failover, crash
+    /// recovery), so a repeat advertisement must not duplicate edges.
     pub fn register_inventory(
         &mut self,
         node: NodeId,
@@ -264,8 +295,14 @@ impl RmState {
             }
         }
         for s in services {
-            self.graph
-                .add_service(s.input, s.output, node, s.id, s.cost);
+            let known = self
+                .graph
+                .edges()
+                .any(|e| e.peer == node && e.service == s.id);
+            if !known {
+                self.graph
+                    .add_service(s.input, s.output, node, s.id, s.cost);
+            }
         }
         self.version += 1;
     }

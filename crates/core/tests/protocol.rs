@@ -139,6 +139,9 @@ impl Cluster {
                         self.repairs.push((ok, at));
                     }
                     Action::SessionReassigned { .. } => {}
+                    // This harness runs without persistence; intents are
+                    // simply not durable here.
+                    Action::Persist(_) => {}
                     Action::Trace(_) => {}
                 }
             }

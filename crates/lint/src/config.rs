@@ -23,9 +23,14 @@ pub struct EnumSite {
 /// One exhaustiveness audit: an enum plus every registry function that
 /// must mention all of its variants. The workspace runs one audit per
 /// protocol vocabulary (`Message` for the overlay protocol, `WirePayload`
-/// for the framed wire/status vocabulary).
+/// for the framed wire/status vocabulary, the `NodePhase`/`SessionPhase`
+/// lifecycle enums for the state controller and snapshot codec).
 #[derive(Debug, Clone)]
 pub struct EnumAudit {
+    /// Rule label findings report under (and suppressions match on):
+    /// `proto-exhaustive` for wire vocabularies, `state-exhaustive` for
+    /// lifecycle state enums.
+    pub rule: &'static str,
     /// The enum whose variants are audited.
     pub site: EnumSite,
     /// Functions that must mention every variant of it.
@@ -58,6 +63,8 @@ impl Config {
     /// The policy enforced on this workspace by CI.
     pub fn workspace() -> Config {
         let proto = "crates/proto/src/lib.rs";
+        let store_ctrl = "crates/store/src/controller.rs";
+        let store_snap = "crates/store/src/snapshot.rs";
         Config {
             no_panic_paths: vec![
                 "crates/core/src/".into(),
@@ -66,12 +73,14 @@ impl Config {
                 "crates/runtime/src/".into(),
                 "crates/sched/src/".into(),
                 "crates/model/src/".into(),
+                "crates/store/src/".into(),
             ],
             determinism_paths: vec![
                 "crates/des/src/".into(),
                 "crates/sim/src/".into(),
                 "crates/core/src/".into(),
                 "crates/model/src/".into(),
+                "crates/store/src/".into(),
             ],
             lock_files: vec![
                 "crates/wire/src/tcp.rs".into(),
@@ -90,6 +99,7 @@ impl Config {
             ],
             audits: vec![
                 EnumAudit {
+                    rule: crate::rules::PROTO_EXHAUSTIVE,
                     site: EnumSite {
                         file: proto.into(),
                         name: "Message".into(),
@@ -143,6 +153,7 @@ impl Config {
                 // a frame tag and a version-skew exemplar. Deleting a
                 // status/series codec arm fails the lint by name.
                 EnumAudit {
+                    rule: crate::rules::PROTO_EXHAUSTIVE,
                     site: EnumSite {
                         file: "crates/wire/src/lib.rs".into(),
                         name: "WirePayload".into(),
@@ -160,6 +171,70 @@ impl Config {
                             func: "exemplars".into(),
                             desc: "status version-skew exemplar list \
                                    (crates/wire/tests/status_skew.rs)"
+                                .into(),
+                        },
+                    ],
+                },
+                // Lifecycle state enums: every phase must be handled by the
+                // state-controller loop AND round-trip through the snapshot
+                // codec. Adding a variant without teaching either fails the
+                // lint as `state-exhaustive`.
+                EnumAudit {
+                    rule: crate::rules::STATE_EXHAUSTIVE,
+                    site: EnumSite {
+                        file: store_ctrl.into(),
+                        name: "NodePhase".into(),
+                    },
+                    registries: vec![
+                        RegistrySite {
+                            file: store_ctrl.into(),
+                            func: "apply".into(),
+                            desc: "state-controller handler loop \
+                                   (crates/store/src/controller.rs::apply)"
+                                .into(),
+                        },
+                        RegistrySite {
+                            file: store_snap.into(),
+                            func: "node_phase_tag".into(),
+                            desc: "snapshot codec phase tag \
+                                   (crates/store/src/snapshot.rs::node_phase_tag)"
+                                .into(),
+                        },
+                        RegistrySite {
+                            file: store_snap.into(),
+                            func: "node_phase_from_tag".into(),
+                            desc: "snapshot codec phase decode \
+                                   (crates/store/src/snapshot.rs::node_phase_from_tag)"
+                                .into(),
+                        },
+                    ],
+                },
+                EnumAudit {
+                    rule: crate::rules::STATE_EXHAUSTIVE,
+                    site: EnumSite {
+                        file: store_ctrl.into(),
+                        name: "SessionPhase".into(),
+                    },
+                    registries: vec![
+                        RegistrySite {
+                            file: store_ctrl.into(),
+                            func: "apply".into(),
+                            desc: "state-controller handler loop \
+                                   (crates/store/src/controller.rs::apply)"
+                                .into(),
+                        },
+                        RegistrySite {
+                            file: store_snap.into(),
+                            func: "session_phase_tag".into(),
+                            desc: "snapshot codec session tag \
+                                   (crates/store/src/snapshot.rs::session_phase_tag)"
+                                .into(),
+                        },
+                        RegistrySite {
+                            file: store_snap.into(),
+                            func: "session_phase_from_tag".into(),
+                            desc: "snapshot codec session decode \
+                                   (crates/store/src/snapshot.rs::session_phase_from_tag)"
                                 .into(),
                         },
                     ],

@@ -9,8 +9,13 @@
 //! | `no-panic`         | protocol crates never abort a peer                 |
 //! | `determinism`      | DES replay crates never read ambient state         |
 //! | `proto-exhaustive` | every `Message` variant is wired everywhere        |
+//! | `state-exhaustive` | every lifecycle phase is handled and persisted     |
 //! | `lock-order`       | transport threads acquire locks in declared order  |
 //! | `allow-audit`      | every `#[allow]` carries a `// lint:` justification|
+//!
+//! (`proto-exhaustive` and `state-exhaustive` are the same audit engine
+//! run over different enum/registry tables — wire vocabularies vs the
+//! `NodePhase`/`SessionPhase` lifecycle enums in arm-store.)
 //!
 //! Findings are suppressible inline with
 //! `// arm-lint: allow(<rule>) -- reason` on the same line or the line

@@ -12,6 +12,7 @@ use std::collections::BTreeMap;
 pub const NO_PANIC: &str = "no-panic";
 pub const DETERMINISM: &str = "determinism";
 pub const PROTO_EXHAUSTIVE: &str = "proto-exhaustive";
+pub const STATE_EXHAUSTIVE: &str = "state-exhaustive";
 pub const LOCK_ORDER: &str = "lock-order";
 pub const ALLOW_AUDIT: &str = "allow-audit";
 
@@ -257,7 +258,9 @@ pub fn determinism(file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
 
 /// Rule 3: every variant of each audited enum must appear in each of that
 /// audit's registry sites (wire codec tag, size model, trace vocabulary,
-/// exemplars).
+/// exemplars). Findings carry the audit's own rule label: wire
+/// vocabularies report as `proto-exhaustive`, lifecycle state enums as
+/// `state-exhaustive`.
 pub fn proto_exhaustive(
     files: &BTreeMap<String, SourceFile>,
     cfg: &Config,
@@ -274,11 +277,12 @@ fn audit_enum(
     out: &mut Vec<Diagnostic>,
 ) {
     let site = &audit.site;
+    let rule = audit.rule;
     let enum_file = match files.get(&site.file) {
         Some(f) => f,
         None => {
             out.push(Diagnostic {
-                rule: PROTO_EXHAUSTIVE,
+                rule,
                 file: site.file.clone(),
                 line: 0,
                 message: format!("enum file {} not found in scan", site.file),
@@ -290,7 +294,7 @@ fn audit_enum(
     let variants = enum_variants(enum_file, &site.name);
     if variants.is_empty() {
         out.push(Diagnostic {
-            rule: PROTO_EXHAUSTIVE,
+            rule,
             file: site.file.clone(),
             line: 0,
             message: format!("enum {} not found or has no variants", site.name),
@@ -303,7 +307,7 @@ fn audit_enum(
             Some(f) => f,
             None => {
                 out.push(Diagnostic {
-                    rule: PROTO_EXHAUSTIVE,
+                    rule,
                     file: reg.file.clone(),
                     line: 0,
                     message: format!("registry site file missing: {}", reg.desc),
@@ -316,7 +320,7 @@ fn audit_enum(
             Some(f) => f,
             None => {
                 out.push(Diagnostic {
-                    rule: PROTO_EXHAUSTIVE,
+                    rule,
                     file: reg.file.clone(),
                     line: 0,
                     message: format!("registry function `{}` missing: {}", reg.func, reg.desc),
@@ -329,7 +333,7 @@ fn audit_enum(
             if !mentions_variant(file, f, &site.name, v) {
                 diag(
                     file,
-                    PROTO_EXHAUSTIVE,
+                    rule,
                     f.line,
                     format!("{} variant `{v}` missing from {}", site.name, reg.desc),
                     out,

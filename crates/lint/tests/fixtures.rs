@@ -23,6 +23,7 @@ fn fixture_config() -> Config {
         lock_files: vec!["src/locks.rs".into()],
         lock_order: vec!["links".into(), "book".into()],
         audits: vec![EnumAudit {
+            rule: arm_lint::rules::PROTO_EXHAUSTIVE,
             site: EnumSite {
                 file: "src/proto.rs".into(),
                 name: "Message".into(),
@@ -237,5 +238,61 @@ fn removing_a_status_skew_exemplar_fails_lint() {
             && d.message.contains("status version-skew exemplar list")
             && d.suppressed.is_none()),
         "dropped status exemplar not detected: {after:?}"
+    );
+}
+
+/// Lifecycle state enums are audited under their own label: dropping a
+/// `SessionPhase` arm from the snapshot codec must fail the lint as
+/// `state-exhaustive`, naming the variant and the codec site.
+#[test]
+fn removing_a_snapshot_phase_arm_fails_state_lint() {
+    let root = workspace_root();
+    let cfg = Config::workspace();
+    let mut files = arm_lint::collect_files(&root, &cfg);
+
+    let snap_rel = "crates/store/src/snapshot.rs";
+    let src = std::fs::read_to_string(root.join(snap_rel)).expect("snapshot.rs");
+    assert!(
+        src.contains("SessionPhase::Repairing"),
+        "fixture premise broken"
+    );
+    let cut = src.replace("SessionPhase::Repairing", "SessionPhase::Streaming");
+    files.insert(snap_rel.into(), SourceFile::parse(snap_rel, &cut));
+
+    let mut after = Vec::new();
+    arm_lint::rules::proto_exhaustive(&files, &cfg, &mut after);
+    assert!(
+        after.iter().any(|d| d.file == snap_rel
+            && d.rule == "state-exhaustive"
+            && d.message.contains("`Repairing`")
+            && d.message.contains("snapshot codec")
+            && d.suppressed.is_none()),
+        "dropped snapshot phase arm not detected: {after:?}"
+    );
+}
+
+/// The other side of the state audit: an unhandled phase in the
+/// controller's handler loop fails too.
+#[test]
+fn removing_a_controller_arm_fails_state_lint() {
+    let root = workspace_root();
+    let cfg = Config::workspace();
+    let mut files = arm_lint::collect_files(&root, &cfg);
+
+    let ctrl_rel = "crates/store/src/controller.rs";
+    let src = std::fs::read_to_string(root.join(ctrl_rel)).expect("controller.rs");
+    assert!(src.contains("NodePhase::Joining"), "fixture premise broken");
+    let cut = src.replace("NodePhase::Joining", "NodePhase::Member");
+    files.insert(ctrl_rel.into(), SourceFile::parse(ctrl_rel, &cut));
+
+    let mut after = Vec::new();
+    arm_lint::rules::proto_exhaustive(&files, &cfg, &mut after);
+    assert!(
+        after.iter().any(|d| d.file == ctrl_rel
+            && d.rule == "state-exhaustive"
+            && d.message.contains("`Joining`")
+            && d.message.contains("state-controller handler loop")
+            && d.suppressed.is_none()),
+        "dropped controller arm not detected: {after:?}"
     );
 }

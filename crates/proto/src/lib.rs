@@ -227,12 +227,19 @@ pub enum Message {
         /// The snapshot.
         snapshot: Box<RmSnapshot>,
     },
-    /// A backup RM announces it has taken over the domain.
+    /// A backup RM announces it has taken over the domain — also sent by
+    /// a crash-recovered RM re-asserting its role.
     PromoteAnnounce {
-        /// The new RM (the former backup).
+        /// The new RM (the former backup, or the recovered RM itself).
         new_rm: NodeId,
         /// The domain affected.
         domain: DomainId,
+        /// The announcer's information-base version (epoch). Competing
+        /// claims to the same domain are reconciled on this: the higher
+        /// epoch wins, ties break toward the lower node id. Absent in
+        /// frames from older nodes (decodes as 0, i.e. "always yield").
+        #[serde(default)]
+        version: u64,
     },
     /// Periodic profiler report, peer → RM (§4.4).
     LoadReport(LoadReport),
@@ -362,7 +369,7 @@ impl Message {
                         .sum::<usize>()
                     + snapshot.candidates.len() * CANDIDACY
             }
-            Message::PromoteAnnounce { .. } => HDR + 24,
+            Message::PromoteAnnounce { .. } => HDR + 32,
             Message::LoadReport(_) => HDR + 130,
             Message::GossipDigest { summaries } => {
                 // Bloom bits travel hex-encoded: 2 characters per byte.

@@ -297,36 +297,51 @@ fn apply(
     ctx: TraceCtx,
 ) -> bool {
     let now = registry.now();
-    handle_actions(&registry.telemetry, pending, me, now, actions, |to, msg| {
-        let senders = registry.senders.read();
-        if let Some(tx) = senders.get(&to) {
-            registry.telemetry.lock().messages += 1;
-            let _ = tx.send(Delivery::At(
-                now + registry.latency,
-                Event::Msg { from: me, msg, ctx },
-            ));
-        }
-    });
+    handle_actions(
+        &registry.telemetry,
+        pending,
+        me,
+        now,
+        actions,
+        |to, msg| {
+            let senders = registry.senders.read();
+            if let Some(tx) = senders.get(&to) {
+                registry.telemetry.lock().messages += 1;
+                let _ = tx.send(Delivery::At(
+                    now + registry.latency,
+                    Event::Msg { from: me, msg, ctx },
+                ));
+            }
+        },
+        // The in-process runtime keeps no state dir; durability is the
+        // networked runtime's concern.
+        |_| {},
+    );
     true
 }
 
 /// Shared action interpreter for both runtime flavours: records outcomes
-/// into `telemetry`, arms timers in `pending`, and forwards `Send` actions
+/// into `telemetry`, arms timers in `pending`, forwards `Send` actions
 /// through the caller's medium (`send` — registry channels for the
-/// in-process runtime, a [`arm_wire::Transport`] for the networked one).
-fn handle_actions<F>(
+/// in-process runtime, a [`arm_wire::Transport`] for the networked one),
+/// and hands `Persist` intents to `persist` (the write-ahead log when a
+/// `--state-dir` is configured; a no-op otherwise).
+fn handle_actions<F, P>(
     telemetry: &Mutex<Telemetry>,
     pending: &mut BinaryHeap<TimerEntry>,
     me: NodeId,
     now: SimTime,
     actions: Vec<Action>,
     mut send: F,
+    mut persist: P,
 ) where
     F: FnMut(NodeId, Message),
+    P: FnMut(arm_store::Intent),
 {
     for action in actions {
         match action {
             Action::Send { to, msg } => send(to, msg),
+            Action::Persist(intent) => persist(intent),
             Action::SetTimer { kind, after } => {
                 let _: TimerKind = kind;
                 pending.push(TimerEntry {

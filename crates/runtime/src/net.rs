@@ -18,6 +18,8 @@
 use crate::{handle_actions, Delivery, PeerSpawn, Telemetry, TimerEntry};
 use arm_core::{Action, Event, HandleProfiler, PeerNode, ProtocolConfig, Role};
 use arm_model::TaskSpec;
+use arm_store::snapshot::node_phase_tag;
+use arm_store::{Intent, NodePhase, Store, StoreSnapshot, SNAPSHOT_FORMAT};
 use arm_telemetry::{
     health::pulse_metrics, HealthThresholds, Labels, Pulse, Recorder, SeriesStore, TraceEvent,
     TraceKind,
@@ -29,6 +31,7 @@ use arm_wire::{
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use std::collections::BinaryHeap;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -299,6 +302,32 @@ impl Default for PulseConfig {
     }
 }
 
+/// Durability parameters for a live peer (the `--state-dir` plane).
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Base state directory; each peer persists under `node-<id>/` so one
+    /// config can serve a whole in-process cluster.
+    pub dir: PathBuf,
+    /// Wall interval between compacting snapshots (the WAL is truncated at
+    /// each; a crash replays at most one period's worth of intents).
+    pub snapshot_period: Duration,
+}
+
+impl StoreConfig {
+    /// A store rooted at `dir` with the default snapshot cadence.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            snapshot_period: Duration::from_secs(5),
+        }
+    }
+
+    /// The subdirectory one peer persists into.
+    pub fn node_dir(&self, node: NodeId) -> PathBuf {
+        self.dir.join(format!("node-{}", node.raw()))
+    }
+}
+
 /// Construction parameters for a [`NetPeer`].
 #[derive(Debug, Clone)]
 pub struct NetPeerConfig {
@@ -311,6 +340,9 @@ pub struct NetPeerConfig {
     /// Retained-series sampling and health evaluation (`None` disables the
     /// pulse plane entirely — zero overhead, empty series on scrape).
     pub pulse: Option<PulseConfig>,
+    /// Crash-safe state persistence (`None` = in-memory only, the
+    /// pre-`--state-dir` behaviour).
+    pub store: Option<StoreConfig>,
 }
 
 impl Default for NetPeerConfig {
@@ -320,6 +352,7 @@ impl Default for NetPeerConfig {
             seed: 7,
             tracing: true,
             pulse: Some(PulseConfig::default()),
+            store: None,
         }
     }
 }
@@ -456,18 +489,83 @@ fn net_peer_main(
         SimTime::from_micros(clock.now().as_micros().saturating_add(p.as_micros() as u64))
     });
 
+    // Durability plane: open the store (recovering any prior state) before
+    // the first event is handled, so a crash-restart boots from its own
+    // history instead of a blank slate. An unusable state dir degrades to
+    // in-memory-only operation rather than refusing to serve.
+    let mut store: Option<Store> = None;
+    let mut recovery: Option<(Box<StoreSnapshot>, Vec<Intent>)> = None;
+    if let Some(cfg) = &config.store {
+        match Store::open(&cfg.node_dir(spawn.id)) {
+            Ok((st, recovered)) => {
+                if let Some(note) = &recovered.snapshot_note {
+                    eprintln!("arm: node {}: {note}", spawn.id);
+                }
+                if recovered.snapshot.is_some() || !recovered.intents.is_empty() {
+                    let snap = recovered.snapshot.map(Box::new).unwrap_or_else(|| {
+                        // Crash before the first snapshot: replay the WAL
+                        // over a blank pre-join image.
+                        Box::new(StoreSnapshot {
+                            format: SNAPSHOT_FORMAT,
+                            node: spawn.id,
+                            phase: node_phase_tag(NodePhase::Idle),
+                            domain: None,
+                            rm: None,
+                            rm_state: None,
+                            sessions: Vec::new(),
+                            pulse_cursor: 0,
+                            wal_seq: 0,
+                            clean: false,
+                            written_at_us: 0,
+                        })
+                    });
+                    recovery = Some((snap, recovered.intents));
+                }
+                store = Some(st);
+            }
+            Err(e) => {
+                eprintln!(
+                    "arm: node {}: state dir unusable ({e}); running without persistence",
+                    spawn.id
+                );
+            }
+        }
+    }
+    let snapshot_period = store
+        .as_ref()
+        .and(config.store.as_ref())
+        .map(|c| c.snapshot_period);
+    let mut next_snapshot = snapshot_period.map(|p| {
+        SimTime::from_micros(clock.now().as_micros().saturating_add(p.as_micros() as u64))
+    });
+    let mut clean_stop = false;
+
     loop {
         let now = clock.now();
         while pending.peek().is_some_and(|t| t.at <= now) {
             let Some(entry) = pending.pop() else { break };
+            // Recovery hijacks the boot event: the queued `Start` becomes a
+            // `Recover` carrying the snapshot plus the replayable WAL tail.
+            let event = match (entry.event, recovery.take()) {
+                (Event::Start { .. }, Some((snapshot, intents))) => {
+                    Event::Recover { snapshot, intents }
+                }
+                (event, leftover) => {
+                    recovery = leftover;
+                    event
+                }
+            };
+            if let Event::Shutdown { graceful: true } = &event {
+                clean_stop = true;
+            }
             // Profile the handler by message kind: the state machine itself
             // never sees a wall clock, so the driver times the dispatch.
-            let msg_kind = match &entry.event {
+            let msg_kind = match &event {
                 Event::Msg { msg, .. } => Some(msg.kind()),
                 _ => None,
             };
             let handle_started = Instant::now();
-            let actions = node.on_event(clock.now(), entry.event);
+            let actions = node.on_event(clock.now(), event);
             if let Some(kind) = msg_kind {
                 status.profile(kind, handle_started.elapsed().as_secs_f64());
             }
@@ -491,6 +589,14 @@ fn net_peer_main(
                         telemetry.lock().messages += 1;
                     }
                 },
+                |intent| {
+                    if let Some(st) = store.as_mut() {
+                        // An append failure (disk full, dir vanished) loses
+                        // WAL coverage but must not take the overlay down;
+                        // the next snapshot restores durability.
+                        let _ = st.append(&intent);
+                    }
+                },
             );
             status.update_summary(&node);
         }
@@ -511,6 +617,21 @@ fn net_peer_main(
                 ));
             }
         }
+        // The durability tick: periodically compact the WAL into a fresh
+        // (dirty) snapshot — `clean` is only ever set by the final flush of
+        // a graceful stop.
+        if let (Some(st), Some(period), Some(due)) =
+            (store.as_mut(), snapshot_period, next_snapshot)
+        {
+            let now = clock.now();
+            if now >= due {
+                let mut snap = node.store_snapshot(now, 0, false, now.as_micros());
+                let _ = st.install_snapshot(&mut snap);
+                next_snapshot = Some(SimTime::from_micros(
+                    now.as_micros().saturating_add(period.as_micros() as u64),
+                ));
+            }
+        }
         let mut timeout = pending
             .peek()
             .map(|t| {
@@ -522,13 +643,29 @@ fn net_peer_main(
                 Duration::from_micros(due.as_micros().saturating_sub(clock.now().as_micros()));
             timeout = timeout.min(until_pulse);
         }
+        if let Some(due) = next_snapshot {
+            let until_snapshot =
+                Duration::from_micros(due.as_micros().saturating_sub(clock.now().as_micros()));
+            timeout = timeout.min(until_snapshot);
+        }
         match rx.recv_timeout(timeout.max(Duration::from_micros(100))) {
             Ok(Delivery::At(at, event)) => {
                 pending.push(TimerEntry { at, event });
             }
-            Ok(Delivery::Stop) => return,
+            Ok(Delivery::Stop) => break,
             Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => return,
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    // Final flush: a graceful stop compacts everything into one *clean*
+    // snapshot, so the next boot starts fresh instead of resuming phases.
+    // An abrupt stop flushes nothing — exactly like a crash — and recovery
+    // replays the WAL.
+    if clean_stop {
+        if let Some(st) = store.as_mut() {
+            let now = clock.now();
+            let mut snap = node.store_snapshot(now, 0, true, now.as_micros());
+            let _ = st.install_snapshot(&mut snap);
         }
     }
 }
@@ -672,6 +809,61 @@ impl NetCluster {
         peer.stop(false);
         transport.shutdown();
         true
+    }
+
+    /// (Re)starts a peer: binds a fresh loopback transport, refreshes the
+    /// routing mesh in both directions (the peer's old address, if any, is
+    /// dead — live links redial the new one on their next write), dials the
+    /// bootstrap, and starts the peer thread. With a [`StoreConfig`] in
+    /// `config`, the peer first recovers from its snapshot + WAL under the
+    /// state dir — this is the crash-recovery path [`stop_peer`] sets up.
+    ///
+    /// [`stop_peer`]: NetCluster::stop_peer
+    pub fn restart_peer(
+        &mut self,
+        spawn: PeerSpawn,
+        config: &NetPeerConfig,
+        opts: TcpOptions,
+    ) -> Result<(), arm_wire::TransportError> {
+        let mailbox = NetMailbox::new(self.clock.clone());
+        let transport = Arc::new(TcpTransport::bind(
+            spawn.id,
+            "127.0.0.1:0",
+            mailbox.sink(),
+            opts,
+        )?);
+        let addr = transport.listen_addr().to_string();
+        for (peer, t) in &self.peers {
+            transport.add_route(peer.id(), &t.listen_addr().to_string())?;
+            t.add_route(spawn.id, &addr)?;
+        }
+        let bootstrap_addr = spawn.bootstrap.and_then(|b| {
+            self.peers
+                .iter()
+                .find(|(p, _)| p.id() == b)
+                .map(|(_, t)| t.listen_addr().to_string())
+        });
+        if let Some(baddr) = bootstrap_addr {
+            let remote = transport.connect(&baddr)?;
+            debug_assert_eq!(Some(remote), spawn.bootstrap);
+        }
+        let peer = NetPeer::start(
+            mailbox,
+            spawn,
+            Arc::clone(&transport) as Arc<dyn Transport>,
+            config,
+            Arc::clone(&self.telemetry),
+        );
+        let status = peer.status();
+        let weak = Arc::downgrade(&transport);
+        let mut book = self.listen_addrs();
+        book.push((peer.id(), addr));
+        transport.set_status_provider(Box::new(move |req| {
+            let stats = weak.upgrade().map(|t| t.stats()).unwrap_or_default();
+            status.report(req, stats, book.clone())
+        }));
+        self.peers.push((peer, transport));
+        Ok(())
     }
 
     /// Stops all peers (gracefully), then tears down all transports.

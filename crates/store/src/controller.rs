@@ -1,0 +1,768 @@
+//! The lifecycle state controller.
+//!
+//! Protocol handlers, timers and the CLI never mutate lifecycle state
+//! directly — they **enqueue intents** ([`StateController::enqueue`]) and
+//! a single idempotent handler loop ([`StateController::tick`]) applies
+//! them through one exhaustive transition match. Intents that arrive
+//! before their prerequisites (a `StreamStarted` racing ahead of its
+//! `SessionAllocated` during recovery replay, say) are deferred and
+//! retried on the next tick rather than dropped, so intermittent
+//! ordering failures self-heal; intents that can never apply (a hop ack
+//! for a session already closed) are counted as stale and discarded.
+//!
+//! The same intents are appended to the write-ahead log: replaying them
+//! through a fresh controller reproduces the phase map, which is what
+//! makes recovery (`snapshot ∘ replay`) equal to the live history.
+
+use arm_model::task::TaskOutcome;
+use arm_util::{DomainId, NodeId, SessionId, TaskId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// How many ticks a deferred intent is retried before it is dropped as
+/// stale. Deferral exists to absorb reordering, not to queue forever.
+pub const MAX_DEFERRALS: u32 = 8;
+
+/// Where the node is in its own lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodePhase {
+    /// Not started (or recovered into a pre-start state).
+    Idle,
+    /// Running the §4.1 join handshake.
+    Joining,
+    /// Admitted member of a domain.
+    Member,
+    /// Resource Manager of a domain.
+    Rm,
+    /// Shut down; no further transitions.
+    Stopped,
+}
+
+/// Where a session is in the task lifecycle
+/// (submit→query→allocation→composition→stream→terminal, §4.2–§4.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SessionPhase {
+    /// Allocation committed; composition not yet launched.
+    Allocated,
+    /// Compose fan-out sent; hop acks pending.
+    Composing,
+    /// Every hop acked (or direct fetch): media is streaming.
+    Streaming,
+    /// A participant died or composition timed out; re-allocation in
+    /// flight (§4.1 repair).
+    Repairing,
+    /// Ended cleanly; resources released.
+    Closed,
+    /// Repair gave up or the session was aborted.
+    Failed,
+}
+
+/// A lifecycle transition request. Every variant is durable: the peer
+/// appends it to the write-ahead log before (or as) the controller
+/// applies it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Intent {
+    /// The node booted (founding or joining the overlay).
+    NodeStarted {
+        /// Contact peer, `None` when founding.
+        bootstrap: Option<NodeId>,
+    },
+    /// The node founded a domain and became its RM.
+    DomainFounded {
+        /// The new domain.
+        domain: DomainId,
+    },
+    /// The node was admitted into a domain as a member.
+    JoinAccepted {
+        /// The domain joined.
+        domain: DomainId,
+        /// Its RM.
+        rm: NodeId,
+    },
+    /// The node assumed RM duties: backup promotion (§4.1) or crash
+    /// recovery resuming a persisted RM role.
+    RmAssumed {
+        /// The domain taken over.
+        domain: DomainId,
+        /// Information-base version at assumption (epoch).
+        version: u64,
+    },
+    /// The node stepped down in favour of another RM whose announce
+    /// carried a fresher epoch (stale-epoch reconciliation).
+    RmYielded {
+        /// The RM yielded to.
+        to: NodeId,
+    },
+    /// The node began shutting down.
+    ShutdownRequested {
+        /// Whether departure was announced (§4.1 intentional disconnect).
+        graceful: bool,
+    },
+    /// A task was submitted at this node (Fig. 2A).
+    TaskSubmitted {
+        /// The task.
+        task: TaskId,
+    },
+    /// This RM committed an allocation for the task.
+    SessionAllocated {
+        /// The new session.
+        session: SessionId,
+        /// The task it serves.
+        task: TaskId,
+    },
+    /// Composition fan-out launched for the session.
+    ComposeLaunched {
+        /// The session.
+        session: SessionId,
+    },
+    /// Every hop acknowledged; streaming began.
+    StreamStarted {
+        /// The session.
+        session: SessionId,
+    },
+    /// A repair re-allocation began (participant loss / compose timeout).
+    RepairStarted {
+        /// The session.
+        session: SessionId,
+    },
+    /// A repair finished.
+    RepairFinished {
+        /// The session.
+        session: SessionId,
+        /// Whether a replacement allocation was found.
+        ok: bool,
+    },
+    /// The adaptation loop migrated the session to a fairer placement
+    /// (§4.5); it keeps streaming.
+    SessionMigrated {
+        /// The session.
+        session: SessionId,
+    },
+    /// The session ended and its resources were released.
+    SessionClosed {
+        /// The session.
+        session: SessionId,
+    },
+    /// Terminal verdict for a task decided at this node.
+    TaskResolved {
+        /// The task.
+        task: TaskId,
+        /// What happened.
+        outcome: TaskOutcome,
+    },
+    /// The information base advanced to a new monotone version (join,
+    /// leave, advertise — the epoch the recovery reconciliation compares).
+    EpochAdvanced {
+        /// The new version.
+        version: u64,
+    },
+}
+
+impl Intent {
+    /// The session this intent concerns, if any.
+    pub fn session(&self) -> Option<SessionId> {
+        match self {
+            Intent::SessionAllocated { session, .. }
+            | Intent::ComposeLaunched { session }
+            | Intent::StreamStarted { session }
+            | Intent::RepairStarted { session }
+            | Intent::RepairFinished { session, .. }
+            | Intent::SessionMigrated { session }
+            | Intent::SessionClosed { session } => Some(*session),
+            _ => None,
+        }
+    }
+}
+
+/// An applied transition, for observability and tests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Transition {
+    /// The node phase changed.
+    Node {
+        /// Previous phase.
+        from: NodePhase,
+        /// New phase.
+        to: NodePhase,
+    },
+    /// A session phase changed (`to: None` means the session left the
+    /// live map — closed or failed).
+    Session {
+        /// The session.
+        session: SessionId,
+        /// Previous phase (`None`: newly allocated).
+        from: Option<SessionPhase>,
+        /// New phase (`None`: terminal, removed).
+        to: Option<SessionPhase>,
+    },
+    /// A task reached a terminal outcome.
+    Task {
+        /// The task.
+        task: TaskId,
+        /// The outcome.
+        outcome: TaskOutcome,
+    },
+}
+
+/// Verdict of applying one intent.
+enum Verdict {
+    /// State changed (or intent recorded) — carries transitions.
+    Applied(Vec<Transition>),
+    /// Already reflected; applying again changes nothing.
+    Noop,
+    /// Prerequisite state missing; retry on a later tick.
+    Defer,
+    /// Can never apply (session gone, node stopped); drop.
+    Stale,
+}
+
+/// Counters over the controller's lifetime (monotone; survive snapshots
+/// only as zeroed — they describe this process, not the domain).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ControllerStats {
+    /// Intents applied (including no-ops, which are successful).
+    pub applied: u64,
+    /// Intents dropped as stale.
+    pub stale: u64,
+    /// Deferral events (an intent deferred N ticks counts N times).
+    pub deferred: u64,
+    /// Deferred intents dropped after [`MAX_DEFERRALS`].
+    pub dropped: u64,
+}
+
+/// The single authority over lifecycle state.
+///
+/// State only changes inside [`StateController::tick`]; everything else
+/// merely queues work. This is the NVIDIA-BMM-style controller shape:
+/// exhaustive matches, idempotent application, periodic retry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateController {
+    /// Node lifecycle phase.
+    node: NodePhase,
+    /// Domain, once known.
+    domain: Option<DomainId>,
+    /// The RM this node follows (itself when `node == Rm`).
+    rm: Option<NodeId>,
+    /// Live sessions and their phases. Terminal sessions leave the map.
+    sessions: BTreeMap<SessionId, SessionPhase>,
+    /// Tasks submitted or allocated here and not yet resolved.
+    pending_tasks: BTreeSet<TaskId>,
+    /// Highest information-base version witnessed (the epoch).
+    epoch: u64,
+    /// Queued intents with their deferral counts.
+    queue: VecDeque<(Intent, u32)>,
+    /// Lifetime counters.
+    pub stats: ControllerStats,
+}
+
+impl Default for StateController {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StateController {
+    /// A controller for a cold-started node.
+    pub fn new() -> Self {
+        Self {
+            node: NodePhase::Idle,
+            domain: None,
+            rm: None,
+            sessions: BTreeMap::new(),
+            pending_tasks: BTreeSet::new(),
+            epoch: 0,
+            queue: VecDeque::new(),
+            stats: ControllerStats::default(),
+        }
+    }
+
+    /// A controller restored from a snapshot's persisted phases. The
+    /// caller then enqueues the replayed WAL intents and ticks once.
+    pub fn restore(
+        node: NodePhase,
+        domain: Option<DomainId>,
+        rm: Option<NodeId>,
+        sessions: Vec<(SessionId, SessionPhase)>,
+        epoch: u64,
+    ) -> Self {
+        Self {
+            node,
+            domain,
+            rm,
+            sessions: sessions.into_iter().collect(),
+            pending_tasks: BTreeSet::new(),
+            epoch,
+            queue: VecDeque::new(),
+            stats: ControllerStats::default(),
+        }
+    }
+
+    /// Current node phase.
+    pub fn node_phase(&self) -> NodePhase {
+        self.node
+    }
+
+    /// Current domain, once known.
+    pub fn domain(&self) -> Option<DomainId> {
+        self.domain
+    }
+
+    /// The RM this node follows.
+    pub fn rm(&self) -> Option<NodeId> {
+        self.rm
+    }
+
+    /// Highest information-base version witnessed.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Phase of a live session.
+    pub fn session_phase(&self, session: SessionId) -> Option<SessionPhase> {
+        self.sessions.get(&session).copied()
+    }
+
+    /// Live sessions and their phases, for snapshots.
+    pub fn live_sessions(&self) -> Vec<(SessionId, SessionPhase)> {
+        self.sessions.iter().map(|(s, p)| (*s, *p)).collect()
+    }
+
+    /// Tasks awaiting a terminal outcome.
+    pub fn pending_tasks(&self) -> usize {
+        self.pending_tasks.len()
+    }
+
+    /// Intents queued (deferred or not yet ticked).
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Queues an intent for the next tick. Never mutates state.
+    pub fn enqueue(&mut self, intent: Intent) {
+        self.queue.push_back((intent, 0));
+    }
+
+    /// The handler loop: drains the queue, applying each intent through
+    /// the exhaustive transition match. Deferred intents are requeued
+    /// (bounded by [`MAX_DEFERRALS`]); the rest are applied or dropped.
+    /// Idempotent: ticking with an empty queue, or re-applying intents
+    /// already reflected, changes nothing.
+    pub fn tick(&mut self) -> Vec<Transition> {
+        let mut transitions = Vec::new();
+        loop {
+            let mut requeue: VecDeque<(Intent, u32)> = VecDeque::new();
+            let mut progressed = false;
+            while let Some((intent, tries)) = self.queue.pop_front() {
+                match self.apply(&intent) {
+                    Verdict::Applied(mut t) => {
+                        self.stats.applied += 1;
+                        progressed = true;
+                        transitions.append(&mut t);
+                    }
+                    Verdict::Noop => self.stats.applied += 1,
+                    Verdict::Defer => {
+                        self.stats.deferred += 1;
+                        if tries + 1 >= MAX_DEFERRALS {
+                            self.stats.dropped += 1;
+                        } else {
+                            requeue.push_back((intent, tries + 1));
+                        }
+                    }
+                    Verdict::Stale => self.stats.stale += 1,
+                }
+            }
+            self.queue = requeue;
+            // A transition may have unblocked a deferred intent (the
+            // reordering case recovery replay hits): re-drain until no
+            // pass applies anything. Terminates because each pass either
+            // transitions state or leaves the queue all-deferred.
+            if !progressed || self.queue.is_empty() {
+                break;
+            }
+        }
+        transitions
+    }
+
+    /// The one exhaustive transition match. Every [`Intent`] variant and
+    /// every [`SessionPhase`] / [`NodePhase`] variant is named here — the
+    /// `state-exhaustive` lint audit holds this function to that.
+    fn apply(&mut self, intent: &Intent) -> Verdict {
+        if self.node == NodePhase::Stopped && !matches!(intent, Intent::ShutdownRequested { .. }) {
+            return Verdict::Stale;
+        }
+        match intent {
+            Intent::NodeStarted { bootstrap } => {
+                let to = if bootstrap.is_some() {
+                    NodePhase::Joining
+                } else {
+                    // Founders transition through Joining; DomainFounded
+                    // lands them in Rm within the same tick.
+                    NodePhase::Joining
+                };
+                match self.node {
+                    NodePhase::Idle => Verdict::Applied(vec![self.set_node(to)]),
+                    NodePhase::Joining | NodePhase::Member | NodePhase::Rm => Verdict::Noop,
+                    NodePhase::Stopped => Verdict::Stale,
+                }
+            }
+            Intent::DomainFounded { domain } => match self.node {
+                NodePhase::Idle | NodePhase::Joining | NodePhase::Member => {
+                    self.domain = Some(*domain);
+                    Verdict::Applied(vec![self.set_node(NodePhase::Rm)])
+                }
+                NodePhase::Rm => Verdict::Noop,
+                NodePhase::Stopped => Verdict::Stale,
+            },
+            Intent::JoinAccepted { domain, rm } => match self.node {
+                NodePhase::Idle | NodePhase::Joining => {
+                    self.domain = Some(*domain);
+                    self.rm = Some(*rm);
+                    Verdict::Applied(vec![self.set_node(NodePhase::Member)])
+                }
+                NodePhase::Member => {
+                    // Re-accept after an orphan rejoin: adopt the new RM.
+                    self.domain = Some(*domain);
+                    self.rm = Some(*rm);
+                    Verdict::Noop
+                }
+                NodePhase::Rm | NodePhase::Stopped => Verdict::Stale,
+            },
+            Intent::RmAssumed { domain, version } => match self.node {
+                NodePhase::Idle | NodePhase::Joining | NodePhase::Member => {
+                    self.domain = Some(*domain);
+                    self.epoch = self.epoch.max(*version);
+                    Verdict::Applied(vec![self.set_node(NodePhase::Rm)])
+                }
+                NodePhase::Rm => {
+                    self.epoch = self.epoch.max(*version);
+                    Verdict::Noop
+                }
+                NodePhase::Stopped => Verdict::Stale,
+            },
+            Intent::RmYielded { to } => match self.node {
+                NodePhase::Rm => {
+                    self.rm = Some(*to);
+                    Verdict::Applied(vec![self.set_node(NodePhase::Member)])
+                }
+                NodePhase::Idle | NodePhase::Joining | NodePhase::Member | NodePhase::Stopped => {
+                    Verdict::Stale
+                }
+            },
+            Intent::ShutdownRequested { graceful: _ } => match self.node {
+                NodePhase::Stopped => Verdict::Noop,
+                NodePhase::Idle | NodePhase::Joining | NodePhase::Member | NodePhase::Rm => {
+                    Verdict::Applied(vec![self.set_node(NodePhase::Stopped)])
+                }
+            },
+            Intent::TaskSubmitted { task } => {
+                if self.pending_tasks.insert(*task) {
+                    Verdict::Applied(Vec::new())
+                } else {
+                    Verdict::Noop
+                }
+            }
+            Intent::SessionAllocated { session, task } => {
+                self.pending_tasks.insert(*task);
+                match self.sessions.get(session) {
+                    None => Verdict::Applied(vec![
+                        self.set_session(*session, Some(SessionPhase::Allocated))
+                    ]),
+                    Some(_) => Verdict::Noop,
+                }
+            }
+            Intent::ComposeLaunched { session } => match self.sessions.get(session) {
+                Some(SessionPhase::Allocated) => Verdict::Applied(vec![
+                    self.set_session(*session, Some(SessionPhase::Composing))
+                ]),
+                Some(
+                    SessionPhase::Composing | SessionPhase::Streaming | SessionPhase::Repairing,
+                ) => Verdict::Noop,
+                Some(SessionPhase::Closed | SessionPhase::Failed) => Verdict::Stale,
+                None => Verdict::Defer,
+            },
+            Intent::StreamStarted { session } => match self.sessions.get(session) {
+                Some(
+                    SessionPhase::Allocated | SessionPhase::Composing | SessionPhase::Repairing,
+                ) => Verdict::Applied(vec![
+                    self.set_session(*session, Some(SessionPhase::Streaming))
+                ]),
+                Some(SessionPhase::Streaming) => Verdict::Noop,
+                Some(SessionPhase::Closed | SessionPhase::Failed) => Verdict::Stale,
+                None => Verdict::Defer,
+            },
+            Intent::RepairStarted { session } => match self.sessions.get(session) {
+                Some(
+                    SessionPhase::Allocated | SessionPhase::Composing | SessionPhase::Streaming,
+                ) => Verdict::Applied(vec![
+                    self.set_session(*session, Some(SessionPhase::Repairing))
+                ]),
+                Some(SessionPhase::Repairing) => Verdict::Noop,
+                Some(SessionPhase::Closed | SessionPhase::Failed) => Verdict::Stale,
+                None => Verdict::Defer,
+            },
+            Intent::RepairFinished { session, ok } => match self.sessions.get(session) {
+                Some(
+                    SessionPhase::Repairing
+                    | SessionPhase::Allocated
+                    | SessionPhase::Composing
+                    | SessionPhase::Streaming,
+                ) => {
+                    if *ok {
+                        // Repaired sessions re-compose, then stream again.
+                        Verdict::Applied(vec![
+                            self.set_session(*session, Some(SessionPhase::Composing))
+                        ])
+                    } else {
+                        Verdict::Applied(vec![self.end_session(*session, false)])
+                    }
+                }
+                Some(SessionPhase::Closed | SessionPhase::Failed) => Verdict::Stale,
+                None => Verdict::Defer,
+            },
+            Intent::SessionMigrated { session } => match self.sessions.get(session) {
+                // Migration is an offline re-establishment: the session
+                // keeps (or resumes) streaming on the new placement.
+                Some(
+                    SessionPhase::Allocated
+                    | SessionPhase::Composing
+                    | SessionPhase::Streaming
+                    | SessionPhase::Repairing,
+                ) => Verdict::Applied(vec![
+                    self.set_session(*session, Some(SessionPhase::Streaming))
+                ]),
+                Some(SessionPhase::Closed | SessionPhase::Failed) => Verdict::Stale,
+                None => Verdict::Defer,
+            },
+            Intent::SessionClosed { session } => match self.sessions.get(session) {
+                Some(
+                    SessionPhase::Allocated
+                    | SessionPhase::Composing
+                    | SessionPhase::Streaming
+                    | SessionPhase::Repairing,
+                ) => Verdict::Applied(vec![self.end_session(*session, true)]),
+                Some(SessionPhase::Closed | SessionPhase::Failed) | None => Verdict::Noop,
+            },
+            Intent::TaskResolved { task, outcome } => {
+                let was_pending = self.pending_tasks.remove(task);
+                if was_pending {
+                    Verdict::Applied(vec![Transition::Task {
+                        task: *task,
+                        outcome: *outcome,
+                    }])
+                } else {
+                    Verdict::Noop
+                }
+            }
+            Intent::EpochAdvanced { version } => {
+                if *version > self.epoch {
+                    self.epoch = *version;
+                    Verdict::Applied(Vec::new())
+                } else {
+                    Verdict::Noop
+                }
+            }
+        }
+    }
+
+    fn set_node(&mut self, to: NodePhase) -> Transition {
+        let from = self.node;
+        self.node = to;
+        Transition::Node { from, to }
+    }
+
+    fn set_session(&mut self, session: SessionId, to: Option<SessionPhase>) -> Transition {
+        let from = match to {
+            Some(p) => self.sessions.insert(session, p),
+            None => self.sessions.remove(&session),
+        };
+        Transition::Session { session, from, to }
+    }
+
+    fn end_session(&mut self, session: SessionId, _clean: bool) -> Transition {
+        self.set_session(session, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(n: u64) -> SessionId {
+        SessionId::new(n)
+    }
+    fn tid(n: u64) -> TaskId {
+        TaskId::new(n)
+    }
+
+    #[test]
+    fn happy_path_reaches_streaming_then_closed() {
+        let mut c = StateController::new();
+        c.enqueue(Intent::NodeStarted { bootstrap: None });
+        c.enqueue(Intent::DomainFounded {
+            domain: DomainId::new(1),
+        });
+        c.enqueue(Intent::SessionAllocated {
+            session: sid(1),
+            task: tid(1),
+        });
+        c.enqueue(Intent::ComposeLaunched { session: sid(1) });
+        c.enqueue(Intent::StreamStarted { session: sid(1) });
+        c.tick();
+        assert_eq!(c.node_phase(), NodePhase::Rm);
+        assert_eq!(c.session_phase(sid(1)), Some(SessionPhase::Streaming));
+        c.enqueue(Intent::SessionClosed { session: sid(1) });
+        c.enqueue(Intent::TaskResolved {
+            task: tid(1),
+            outcome: TaskOutcome::CompletedOnTime,
+        });
+        let t = c.tick();
+        assert_eq!(c.session_phase(sid(1)), None);
+        assert_eq!(c.pending_tasks(), 0);
+        assert!(t
+            .iter()
+            .any(|tr| matches!(tr, Transition::Session { to: None, .. })));
+    }
+
+    #[test]
+    fn out_of_order_intent_is_deferred_then_applied() {
+        let mut c = StateController::new();
+        // Stream ack arrives before the allocation it belongs to.
+        c.enqueue(Intent::StreamStarted { session: sid(7) });
+        c.tick();
+        assert_eq!(c.session_phase(sid(7)), None);
+        assert_eq!(c.queued(), 1, "deferred, not dropped");
+        c.enqueue(Intent::SessionAllocated {
+            session: sid(7),
+            task: tid(7),
+        });
+        c.tick();
+        assert_eq!(c.session_phase(sid(7)), Some(SessionPhase::Streaming));
+        assert_eq!(c.queued(), 0);
+    }
+
+    #[test]
+    fn deferred_intent_drops_after_bound() {
+        let mut c = StateController::new();
+        c.enqueue(Intent::ComposeLaunched { session: sid(9) });
+        for _ in 0..MAX_DEFERRALS {
+            c.tick();
+        }
+        assert_eq!(c.queued(), 0);
+        assert_eq!(c.stats.dropped, 1);
+    }
+
+    #[test]
+    fn reapplying_is_idempotent() {
+        let mut c = StateController::new();
+        for _ in 0..3 {
+            c.enqueue(Intent::SessionAllocated {
+                session: sid(1),
+                task: tid(1),
+            });
+            c.enqueue(Intent::StreamStarted { session: sid(1) });
+        }
+        c.tick();
+        let snap = c.clone();
+        for _ in 0..3 {
+            c.enqueue(Intent::StreamStarted { session: sid(1) });
+            c.tick();
+        }
+        assert_eq!(c.session_phase(sid(1)), snap.session_phase(sid(1)));
+        assert_eq!(c.live_sessions(), snap.live_sessions());
+    }
+
+    #[test]
+    fn intents_after_close_are_stale_not_resurrecting() {
+        let mut c = StateController::new();
+        c.enqueue(Intent::SessionAllocated {
+            session: sid(1),
+            task: tid(1),
+        });
+        c.enqueue(Intent::SessionClosed { session: sid(1) });
+        c.tick();
+        c.enqueue(Intent::StreamStarted { session: sid(1) });
+        // A deferral would eventually drop it; a stale is immediate. Either
+        // way the session must not come back.
+        for _ in 0..=MAX_DEFERRALS {
+            c.tick();
+        }
+        assert_eq!(c.session_phase(sid(1)), None);
+    }
+
+    #[test]
+    fn failed_repair_ends_session() {
+        let mut c = StateController::new();
+        c.enqueue(Intent::SessionAllocated {
+            session: sid(2),
+            task: tid(2),
+        });
+        c.enqueue(Intent::ComposeLaunched { session: sid(2) });
+        c.enqueue(Intent::RepairStarted { session: sid(2) });
+        c.enqueue(Intent::RepairFinished {
+            session: sid(2),
+            ok: false,
+        });
+        c.tick();
+        assert_eq!(c.session_phase(sid(2)), None);
+        // A successful repair instead re-enters composition.
+        c.enqueue(Intent::SessionAllocated {
+            session: sid(3),
+            task: tid(3),
+        });
+        c.enqueue(Intent::RepairStarted { session: sid(3) });
+        c.enqueue(Intent::RepairFinished {
+            session: sid(3),
+            ok: true,
+        });
+        c.tick();
+        assert_eq!(c.session_phase(sid(3)), Some(SessionPhase::Composing));
+    }
+
+    #[test]
+    fn promotion_and_yield_swap_roles() {
+        let mut c = StateController::new();
+        c.enqueue(Intent::NodeStarted {
+            bootstrap: Some(NodeId::new(1)),
+        });
+        c.enqueue(Intent::JoinAccepted {
+            domain: DomainId::new(1),
+            rm: NodeId::new(1),
+        });
+        c.tick();
+        assert_eq!(c.node_phase(), NodePhase::Member);
+        c.enqueue(Intent::RmAssumed {
+            domain: DomainId::new(1),
+            version: 9,
+        });
+        c.tick();
+        assert_eq!(c.node_phase(), NodePhase::Rm);
+        assert_eq!(c.epoch(), 9);
+        c.enqueue(Intent::RmYielded { to: NodeId::new(4) });
+        c.tick();
+        assert_eq!(c.node_phase(), NodePhase::Member);
+        assert_eq!(c.rm(), Some(NodeId::new(4)));
+    }
+
+    #[test]
+    fn stopped_node_only_accepts_shutdown() {
+        let mut c = StateController::new();
+        c.enqueue(Intent::ShutdownRequested { graceful: true });
+        c.tick();
+        assert_eq!(c.node_phase(), NodePhase::Stopped);
+        c.enqueue(Intent::SessionAllocated {
+            session: sid(1),
+            task: tid(1),
+        });
+        c.tick();
+        assert_eq!(c.session_phase(sid(1)), None);
+        assert!(c.stats.stale >= 1);
+    }
+
+    #[test]
+    fn epoch_is_monotone() {
+        let mut c = StateController::new();
+        c.enqueue(Intent::EpochAdvanced { version: 5 });
+        c.enqueue(Intent::EpochAdvanced { version: 3 });
+        c.tick();
+        assert_eq!(c.epoch(), 5);
+    }
+}

@@ -621,6 +621,37 @@ fn writer_main(
         let _ = c.shutdown(Shutdown::Both);
     }
     counters.connected.store(false, Ordering::Relaxed);
+    // Drain whatever is still queued so a stopping transport exits promptly
+    // instead of burning a dial episode per leftover frame: frames count as
+    // dropped, stray adopted sockets close immediately.
+    while let Ok(cmd) = rx.try_recv() {
+        match cmd {
+            WriterCmd::Frame(_) => {
+                counters.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            WriterCmd::Adopt(s) => {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+            WriterCmd::KillConn | WriterCmd::Shutdown => {}
+        }
+    }
+}
+
+/// Sleeps `total` in short slices, bailing out as soon as the transport
+/// shuts down. Returns false if shutdown interrupted the sleep — callers
+/// abandon the reconnect episode instead of finishing the backoff.
+fn backoff_sleep(inner: &Inner, total: Duration) -> bool {
+    let slice = Duration::from_millis(10);
+    let mut remaining = total;
+    while remaining > Duration::ZERO {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return false;
+        }
+        let nap = remaining.min(slice);
+        std::thread::sleep(nap);
+        remaining = remaining.saturating_sub(nap);
+    }
+    !inner.shutdown.load(Ordering::SeqCst)
 }
 
 fn mark_established(counters: &LinkCounters, establishes: &mut u64) {
@@ -679,7 +710,9 @@ fn dial(
             Ok(mut stream) => {
                 let _ = stream.set_nodelay(true);
                 if stream.write_all(&inner.hello_frame()).is_err() {
-                    std::thread::sleep(backoff);
+                    if !backoff_sleep(inner, backoff) {
+                        return None;
+                    }
                     backoff = (backoff * 2).min(inner.opts.max_backoff);
                     continue;
                 }
@@ -691,7 +724,9 @@ fn dial(
             }
             Err(_) => {
                 if attempt + 1 < inner.opts.max_dial_attempts {
-                    std::thread::sleep(backoff);
+                    if !backoff_sleep(inner, backoff) {
+                        return None;
+                    }
                     backoff = (backoff * 2).min(inner.opts.max_backoff);
                 }
             }
@@ -898,6 +933,41 @@ mod tests {
         let stats = a.stats();
         assert_eq!(stats.decode_errors, 0);
         a.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_backlogged_writer_queue_promptly() {
+        let a = TcpTransport::bind(
+            NodeId::new(1),
+            "127.0.0.1:0",
+            Box::new(|_, _, _| {}),
+            quick_opts(),
+        )
+        .unwrap();
+        // Route to an address nothing listens on, then backlog the queue:
+        // every frame would cost a full dial episode (6 dials + backoff).
+        let dead = TcpListener::bind("127.0.0.1:0").unwrap();
+        let dead_addr = dead.local_addr().unwrap().to_string();
+        drop(dead);
+        a.add_route(NodeId::new(9), &dead_addr).unwrap();
+        for _ in 0..64 {
+            let _ = a.send(NodeId::new(9), hb(1), TraceCtx::NONE);
+        }
+        // Without the shutdown drain the writer grinds through the backlog
+        // frame by frame and this join takes tens of seconds.
+        let started = std::time::Instant::now();
+        a.shutdown();
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "shutdown leaked into the writer backlog: {:?}",
+            started.elapsed()
+        );
+        let stats = a.stats();
+        let dropped: u64 = stats.links.iter().map(|l| l.dropped).sum();
+        assert!(
+            dropped > 0,
+            "drained frames must count as dropped: {stats:?}"
+        );
     }
 
     #[test]

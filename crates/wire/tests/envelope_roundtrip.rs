@@ -126,6 +126,7 @@ fn exemplars() -> Vec<Message> {
         Message::PromoteAnnounce {
             new_rm: NodeId::new(4),
             domain: DomainId::new(1),
+            version: 17,
         },
         Message::LoadReport(LoadReport {
             node: NodeId::new(5),

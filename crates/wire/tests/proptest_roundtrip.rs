@@ -91,9 +91,12 @@ fn arb_message() -> impl Strategy<Value = Message> {
             from,
             probe_sent_at,
         }),
-        (arb_node(), 0u64..100).prop_map(|(new_rm, d)| Message::PromoteAnnounce {
-            new_rm,
-            domain: DomainId::new(d),
+        (arb_node(), 0u64..100, 0u64..1000).prop_map(|(new_rm, d, version)| {
+            Message::PromoteAnnounce {
+                new_rm,
+                domain: DomainId::new(d),
+                version,
+            }
         }),
         (
             arb_node(),

@@ -15,7 +15,7 @@
 //! See the individual crates for deeper documentation:
 //! [`util`], [`des`], [`net`], [`model`], [`sched`], [`profiler`],
 //! [`proto`], [`core`], [`sim`], [`runtime`], [`workload`],
-//! [`telemetry`], [`wire`].
+//! [`telemetry`], [`wire`], [`store`].
 
 pub use arm_core as core;
 pub use arm_des as des;
@@ -26,6 +26,7 @@ pub use arm_proto as proto;
 pub use arm_runtime as runtime;
 pub use arm_sched as sched;
 pub use arm_sim as sim;
+pub use arm_store as store;
 pub use arm_telemetry as telemetry;
 pub use arm_util as util;
 pub use arm_wire as wire;

@@ -203,6 +203,7 @@ fn run_once() -> ChainShape {
         seed: 7,
         tracing: true,
         pulse: Some(PulseConfig::default()),
+        store: None,
     };
     let cluster =
         NetCluster::start(spawns(), &config, TcpOptions::default()).expect("cluster binds");

@@ -1,0 +1,260 @@
+//! Tentpole acceptance: kill-and-recover under churn, over real sockets.
+//!
+//! A 6-peer loopback cluster runs with `--state-dir`-style persistence
+//! (a [`StoreConfig`] per peer). The elected RM is SIGKILL-style crashed
+//! with [`NetCluster::stop_peer`] — no graceful shutdown, no final
+//! snapshot — while a bystander peer churns away permanently. The RM is
+//! then restarted against the *same* state directory: recovery loads the
+//! periodic snapshot, replays the write-ahead log, re-announces with its
+//! persisted epoch, and reconciles with whatever the survivors did in
+//! the meantime (an interim backup promotion yields to the higher
+//! epoch, or the recovered RM rejoins as a member if it lost the race).
+//! Either way the overlay must end coherent: a task submitted after the
+//! recovery allocates end to end.
+
+use adaptive_p2p_rm::core::ProtocolConfig;
+use adaptive_p2p_rm::model::{MediaFormat, MediaObject, QosSpec, ServiceSpec, TaskSpec};
+use adaptive_p2p_rm::runtime::net::{NetCluster, NetPeerConfig, StoreConfig};
+use adaptive_p2p_rm::runtime::{PeerSpawn, Telemetry};
+use adaptive_p2p_rm::store;
+use adaptive_p2p_rm::telemetry::TraceKind;
+use adaptive_p2p_rm::util::{NodeId, ObjectId, ServiceId, SimDuration, SimTime, TaskId};
+use adaptive_p2p_rm::wire::TcpOptions;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const PEERS: u64 = 6;
+const HARD_TIMEOUT: Duration = Duration::from_secs(60);
+
+fn fast_protocol() -> ProtocolConfig {
+    ProtocolConfig {
+        heartbeat_period: SimDuration::from_millis(100),
+        heartbeat_timeout: SimDuration::from_millis(400),
+        report_period: SimDuration::from_millis(100),
+        gossip_period: SimDuration::from_millis(400),
+        backup_period: SimDuration::from_millis(200),
+        adapt_period: SimDuration::from_millis(400),
+        join_timeout: SimDuration::from_millis(400),
+        compose_timeout: SimDuration::from_millis(1000),
+        sched_poll: SimDuration::from_millis(10),
+        ..ProtocolConfig::default()
+    }
+}
+
+fn intermediate_format() -> MediaFormat {
+    use adaptive_p2p_rm::model::{Codec, Resolution};
+    MediaFormat::new(Codec::Mpeg2, Resolution::VGA, 256)
+}
+
+/// Peer 1 founds (and so starts as RM); peer 2 hosts the source object
+/// plus the stage-1 transcoder; peer 3 the stage-2 transcoder; 4 is the
+/// churn victim; 5 and 6 submit tasks.
+fn spawns() -> Vec<PeerSpawn> {
+    (1..=PEERS)
+        .map(|i| {
+            let mut spawn = PeerSpawn {
+                id: NodeId::new(i),
+                capacity: 100.0,
+                bandwidth_kbps: 10_000,
+                objects: Vec::new(),
+                services: Vec::new(),
+                bootstrap: (i > 1).then(|| NodeId::new(1)),
+            };
+            if i == 2 {
+                spawn.objects = vec![MediaObject::new(
+                    ObjectId::new(1),
+                    "demo-movie",
+                    MediaFormat::paper_source(),
+                    60.0,
+                )];
+                spawn.services = vec![ServiceSpec::transcoder(
+                    ServiceId::new(1),
+                    MediaFormat::paper_source(),
+                    intermediate_format(),
+                    5.0,
+                )];
+            }
+            if i == 3 {
+                spawn.services = vec![ServiceSpec::transcoder(
+                    ServiceId::new(2),
+                    intermediate_format(),
+                    MediaFormat::paper_target(),
+                    5.0,
+                )];
+            }
+            spawn
+        })
+        .collect()
+}
+
+fn demo_task(id: u64, requester: NodeId) -> TaskSpec {
+    TaskSpec {
+        id: TaskId::new(id),
+        name: "demo-movie".into(),
+        requester,
+        initial_format: MediaFormat::paper_source(),
+        acceptable_formats: vec![MediaFormat::paper_target()],
+        qos: QosSpec::with_deadline(SimDuration::from_secs(10)),
+        submitted_at: SimTime::ZERO,
+        session_secs: 60.0,
+    }
+}
+
+fn count_kind(telemetry: &Telemetry, want: &str) -> usize {
+    telemetry
+        .traces
+        .iter()
+        .filter(|ev| ev.kind.name() == want)
+        .count()
+}
+
+fn wait_for(deadline: Instant, what: &str, mut check: impl FnMut() -> bool) {
+    while !check() {
+        assert!(
+            Instant::now() < deadline,
+            "timed out after {HARD_TIMEOUT:?} waiting for {what}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[test]
+fn crashed_rm_recovers_from_its_state_dir_under_churn() {
+    let deadline = Instant::now() + HARD_TIMEOUT;
+    let state_root: PathBuf =
+        std::env::temp_dir().join(format!("arm-recovery-cluster-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_root);
+
+    // Frequent snapshots so the crash happens with real durable state.
+    let mut store_cfg = StoreConfig::new(&state_root);
+    store_cfg.snapshot_period = Duration::from_millis(200);
+    let config = NetPeerConfig {
+        protocol: fast_protocol(),
+        store: Some(store_cfg),
+        ..NetPeerConfig::default()
+    };
+
+    let mut cluster =
+        NetCluster::start(spawns(), &config, TcpOptions::default()).expect("cluster binds");
+
+    // Overlay forms and elects an RM.
+    wait_for(deadline, "overlay formation", || {
+        let t = cluster.telemetry();
+        count_kind(&t, "join_accepted") >= (PEERS - 1) as usize
+    });
+    let t = cluster.telemetry();
+    let rm = t
+        .traces
+        .iter()
+        .find_map(|ev| matches!(ev.kind, TraceKind::RmElected { .. }).then_some(ev.peer))
+        .expect("rm_elected trace names the RM");
+
+    // A task allocates, so the RM has sessions worth persisting.
+    cluster.submit(NodeId::new(PEERS), demo_task(1, NodeId::new(PEERS)));
+    wait_for(deadline, "first task allocation", || {
+        cluster
+            .telemetry()
+            .replies
+            .iter()
+            .any(|&(task, allocated, _)| task == TaskId::new(1) && allocated)
+    });
+
+    // Wait until the RM's periodic snapshot (or at least its WAL) is on
+    // disk — that is what recovery will boot from.
+    let rm_dir = state_root.join(format!("node-{}", rm.raw()));
+    wait_for(
+        deadline,
+        "a durable snapshot under the RM's state dir",
+        || rm_dir.join(store::SNAPSHOT_FILE).exists(),
+    );
+
+    // Crash the RM — stop_peer is abrupt: no graceful shutdown event, no
+    // final flush, exactly like SIGKILL. The state dir stays dirty.
+    let promotions_before = cluster.telemetry().promotions.len();
+    assert!(cluster.stop_peer(rm), "RM was in the cluster");
+    let (snap, note) = store::snapshot::load_snapshot(&rm_dir);
+    let snap = snap.expect("crashed RM left a readable snapshot");
+    assert!(note.is_none(), "snapshot corrupt: {note:?}");
+    assert!(
+        !snap.clean,
+        "periodic snapshots must not claim a clean shutdown"
+    );
+
+    // Churn: a bystander leaves for good while the RM is down.
+    let bystander = NodeId::new(4);
+    if bystander != rm {
+        assert!(cluster.stop_peer(bystander), "bystander was in the cluster");
+    }
+
+    // Give the survivors time to notice the dead RM (heartbeat timeouts,
+    // possibly an interim backup promotion — both are fine).
+    std::thread::sleep(Duration::from_millis(600));
+
+    // Restart the crashed RM against the same state dir. Its bootstrap
+    // points at a survivor in case recovery decides to rejoin instead of
+    // resuming the RM role (it lost an epoch race).
+    let mut respawn = spawns()
+        .into_iter()
+        .find(|s| s.id == rm)
+        .expect("spawn spec for the RM");
+    respawn.bootstrap = Some(if rm == NodeId::new(2) {
+        NodeId::new(3)
+    } else {
+        NodeId::new(2)
+    });
+    cluster
+        .restart_peer(respawn, &config, TcpOptions::default())
+        .expect("restarted peer binds");
+
+    // Recovery signal: someone re-assumed RM duties after the crash —
+    // the recovered RM itself (snapshot resume re-announces and records
+    // a promotion) or an interim backup it then yields to.
+    wait_for(deadline, "post-crash RM promotion", || {
+        cluster.telemetry().promotions.len() > promotions_before
+    });
+
+    // The healed overlay still serves: a fresh task allocates end to end
+    // with the recovered peer back in the mesh. A rejection is retried —
+    // right after the promotion the members' re-advertisements may still
+    // be in flight, and a real requester resubmits (§4.5).
+    cluster.submit(NodeId::new(5), demo_task(2, NodeId::new(5)));
+    let mut submissions = 1usize;
+    let allocated = |t: &Telemetry| {
+        t.replies
+            .iter()
+            .any(|&(task, allocated, _)| task == TaskId::new(2) && allocated)
+    };
+    while !allocated(&cluster.telemetry()) {
+        let rejections = cluster
+            .telemetry()
+            .replies
+            .iter()
+            .filter(|&&(task, allocated, _)| task == TaskId::new(2) && !allocated)
+            .count();
+        if rejections >= submissions {
+            cluster.submit(NodeId::new(5), demo_task(2, NodeId::new(5)));
+            submissions += 1;
+        }
+        if Instant::now() >= deadline {
+            let t = cluster.telemetry();
+            let tail: Vec<String> = t
+                .traces
+                .iter()
+                .rev()
+                .take(40)
+                .map(|ev| format!("{:?} {}", ev.peer, ev.kind.name()))
+                .collect();
+            panic!(
+                "timed out waiting for post-recovery allocation; \
+                 promotions={:?} replies={:?} trace tail={:#?}",
+                t.promotions, t.replies, tail
+            );
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    let stats = cluster.shutdown();
+    let decode_errors: u64 = stats.iter().map(|s| s.decode_errors).sum();
+    assert_eq!(decode_errors, 0, "wire decode errors over loopback TCP");
+    let _ = std::fs::remove_dir_all(&state_root);
+}
