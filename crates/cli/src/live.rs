@@ -15,7 +15,6 @@ use arm_runtime::{PeerSpawn, Telemetry};
 use arm_telemetry::Recorder;
 use arm_util::{NodeId, ObjectId, ServiceId, SimDuration, SimTime, TaskId};
 use arm_wire::{TcpOptions, TcpTransport, Transport, TransportStats};
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -320,7 +319,7 @@ pub fn node(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let me = NodeId::new(id);
 
     let clock = NetClock::new();
-    let telemetry = Arc::new(Mutex::new(Telemetry::default()));
+    let telemetry = arm_runtime::shared_telemetry();
     let mailbox = NetMailbox::new(clock.clone());
     let transport = Arc::new(
         TcpTransport::bind(me, &listen, mailbox.sink(), TcpOptions::default())

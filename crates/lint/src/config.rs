@@ -51,6 +51,12 @@ pub struct Config {
     /// while holding one that appears later in this list is a violation,
     /// as is re-acquiring a held lock.
     pub lock_order: Vec<String>,
+    /// Path prefixes where narrowing casts and `.len() - …` arithmetic
+    /// are flagged (hot-path crates).
+    pub cast_paths: Vec<String>,
+    /// Path prefixes where unbounded collection growth is flagged
+    /// (long-running crates).
+    pub growth_paths: Vec<String>,
     /// Exhaustiveness audits to run (empty disables the rule).
     pub audits: Vec<EnumAudit>,
     /// Path prefixes excluded from the scan entirely.
@@ -96,6 +102,18 @@ impl Config {
                 "threads".into(),
                 "senders".into(),
                 "telemetry".into(),
+            ],
+            cast_paths: vec![
+                "crates/model/src/".into(),
+                "crates/sched/src/".into(),
+                "crates/des/src/".into(),
+                "crates/wire/src/".into(),
+            ],
+            growth_paths: vec![
+                "crates/runtime/src/".into(),
+                "crates/wire/src/".into(),
+                "crates/telemetry/src/".into(),
+                "crates/store/src/".into(),
             ],
             audits: vec![
                 EnumAudit {

@@ -188,7 +188,14 @@ fn skip_string(b: &[u8], open: usize, line: &mut u32) -> usize {
     let mut i = open + 1;
     while i < b.len() {
         match b[i] {
-            b'\\' => i += 2,
+            b'\\' => {
+                // An escaped newline (line-continuation) still ends a
+                // source line; losing it drifts every later diagnostic.
+                if b.get(i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
             b'\n' => {
                 *line += 1;
                 i += 1;
@@ -241,7 +248,12 @@ fn skip_char_literal(b: &[u8], open: usize, line: &mut u32) -> usize {
     let mut steps = 0usize;
     while i < b.len() {
         match b[i] {
-            b'\\' => i += 2,
+            b'\\' => {
+                if b.get(i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
             b'\'' => return i + 1,
             b'\n' => {
                 *line += 1;
@@ -315,5 +327,51 @@ mod tests {
             .find(|t| t.tok == Tok::Ident("foo".into()))
             .map(|t| t.line);
         assert_eq!(foo, Some(4));
+    }
+
+    fn line_of(l: &Lexed, name: &str) -> Option<u32> {
+        l.tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident(name.into()))
+            .map(|t| t.line)
+    }
+
+    #[test]
+    fn escaped_newline_in_string_still_counts_the_line() {
+        // `\<newline>` is a line continuation inside the literal but a
+        // real line in the source file; diagnostics after it must not
+        // drift.
+        let l = lex("let s = \"a\\\nb\";\nfoo");
+        assert_eq!(line_of(&l, "foo"), Some(3));
+    }
+
+    #[test]
+    fn raw_string_with_inner_quote_hash_stays_a_string() {
+        // The `"#`-lookalike inside `r##"…"##` must not close the literal
+        // early; the hash count has to match.
+        let l = lex("let s = r##\"body \"# unwrap() \"#\"##;\nreal");
+        let ids: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ids, vec!["let", "s", "real"]);
+        assert_eq!(line_of(&l, "real"), Some(2));
+    }
+
+    #[test]
+    fn multiline_raw_string_advances_lines() {
+        let l = lex("let s = r#\"a\nunwrap()\nc\"#;\nfoo");
+        assert!(!idents("let s = r#\"a\nunwrap()\nc\"#;").contains(&"unwrap".to_string()));
+        assert_eq!(line_of(&l, "foo"), Some(4));
+    }
+
+    #[test]
+    fn nested_block_comment_spanning_lines_keeps_line_numbers() {
+        let l = lex("/* a\n /* b\n */ c\n */\nreal");
+        assert_eq!(line_of(&l, "real"), Some(5));
     }
 }

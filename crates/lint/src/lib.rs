@@ -1,21 +1,31 @@
 //! arm-lint: project-specific static analysis for the adaptive-p2p-rm
 //! workspace.
 //!
-//! Five rules, each enforcing an invariant the middleware's correctness
-//! argument leans on (see DESIGN.md §9):
+//! Each rule enforces an invariant the middleware's correctness argument
+//! leans on (see DESIGN.md §9 and §14):
 //!
-//! | rule               | invariant                                          |
-//! |--------------------|----------------------------------------------------|
-//! | `no-panic`         | protocol crates never abort a peer                 |
-//! | `determinism`      | DES replay crates never read ambient state         |
-//! | `proto-exhaustive` | every `Message` variant is wired everywhere        |
-//! | `state-exhaustive` | every lifecycle phase is handled and persisted     |
-//! | `lock-order`       | transport threads acquire locks in declared order  |
-//! | `allow-audit`      | every `#[allow]` carries a `// lint:` justification|
+//! | rule                  | invariant                                           |
+//! |-----------------------|-----------------------------------------------------|
+//! | `no-panic`            | protocol crates never abort a peer                  |
+//! | `determinism`         | DES replay crates never read ambient state          |
+//! | `proto-exhaustive`    | every `Message` variant is wired everywhere         |
+//! | `state-exhaustive`    | every lifecycle phase is handled and persisted      |
+//! | `lock-graph`          | the inferred global lock graph is acyclic; no       |
+//! |                       | re-acquisition of a held lock anywhere              |
+//! | `lock-order`          | inferred edges agree with the declared order table  |
+//! | `blocking-under-lock` | no blocking call (recv/join/wait/socket I/O) while  |
+//! |                       | a guard is live                                     |
+//! | `narrow-cast`         | hot-path crates never silently truncate integers    |
+//! | `unchecked-arith`     | hot-path crates never underflow `.len() - …`        |
+//! | `unbounded-growth`    | long-running crates cap or evict every collection   |
+//! | `allow-audit`         | every `#[allow]` carries a `// lint:` justification |
 //!
 //! (`proto-exhaustive` and `state-exhaustive` are the same audit engine
 //! run over different enum/registry tables — wire vocabularies vs the
-//! `NodePhase`/`SessionPhase` lifecycle enums in arm-store.)
+//! `NodePhase`/`SessionPhase` lifecycle enums in arm-store. The three
+//! concurrency rules share one lock tracker in [`locks`]; the inferred
+//! graph it produces is also what the `lock-witness` runtime feature
+//! asserts real executions against.)
 //!
 //! Findings are suppressible inline with
 //! `// arm-lint: allow(<rule>) -- reason` on the same line or the line
@@ -26,34 +36,77 @@
 
 pub mod config;
 pub mod lexer;
+pub mod locks;
 pub mod report;
 pub mod rules;
 pub mod scan;
 
 pub use config::{Config, EnumAudit, EnumSite, RegistrySite};
-pub use report::{Diagnostic, Report};
+pub use report::{Diagnostic, Report, RuleTiming};
 pub use scan::SourceFile;
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 /// Runs every rule over the workspace rooted at `root` and returns the
-/// full report, diagnostics sorted by `(file, line, rule)`.
+/// full report, diagnostics sorted by `(file, line, rule)` and per-rule
+/// wall times recorded for the bench gate.
 pub fn run(root: &Path, cfg: &Config) -> Report {
     let started = std::time::Instant::now();
     let files = collect_files(root, cfg);
     let mut diags = Vec::new();
-    for file in files.values() {
-        rules::no_panic(file, cfg, &mut diags);
-        rules::determinism(file, cfg, &mut diags);
-        rules::lock_order(file, cfg, &mut diags);
-        rules::allow_audit(file, cfg, &mut diags);
-    }
-    rules::proto_exhaustive(&files, cfg, &mut diags);
+    let mut timings = Vec::new();
+    let mut timed = |label: &'static str,
+                     diags: &mut Vec<Diagnostic>,
+                     f: &mut dyn FnMut(&mut Vec<Diagnostic>)| {
+        let t0 = std::time::Instant::now();
+        f(diags);
+        timings.push(RuleTiming {
+            rule: label,
+            micros: t0.elapsed().as_micros() as u64,
+        });
+    };
+    timed("no-panic", &mut diags, &mut |d| {
+        for file in files.values() {
+            rules::no_panic(file, cfg, d);
+        }
+    });
+    timed("determinism", &mut diags, &mut |d| {
+        for file in files.values() {
+            rules::determinism(file, cfg, d);
+        }
+    });
+    timed("narrow-cast", &mut diags, &mut |d| {
+        for file in files.values() {
+            rules::narrow_cast(file, cfg, d);
+        }
+    });
+    timed("unchecked-arith", &mut diags, &mut |d| {
+        for file in files.values() {
+            rules::unchecked_arith(file, cfg, d);
+        }
+    });
+    timed("unbounded-growth", &mut diags, &mut |d| {
+        for file in files.values() {
+            rules::unbounded_growth(file, cfg, d);
+        }
+    });
+    timed("allow-audit", &mut diags, &mut |d| {
+        for file in files.values() {
+            rules::allow_audit(file, cfg, d);
+        }
+    });
+    timed("lock-rules", &mut diags, &mut |d| {
+        locks::lock_rules(&files, cfg, d);
+    });
+    timed("exhaustive", &mut diags, &mut |d| {
+        rules::proto_exhaustive(&files, cfg, d);
+    });
     diags.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
     Report {
         files_scanned: files.len(),
         duration_ms: started.elapsed().as_millis() as u64,
+        rule_timings: timings,
         diags,
     }
 }

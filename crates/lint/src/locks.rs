@@ -1,0 +1,668 @@
+//! Lock-graph inference and the concurrency rules built on it.
+//!
+//! One token-stream walk per function tracks which `Mutex`/`RwLock`
+//! guards are live at every point (let-bound guards, `if let`/`while let`
+//! bindings, statement temporaries, `drop()`), and every acquisition made
+//! while another guard is live becomes a directed edge `held → acquired`.
+//! Locks are named `<module>.<field>` — `tcp.links`, `lib.senders` — so
+//! same-named fields in different files stay distinct nodes.
+//!
+//! Three rules consume the scan:
+//!
+//! * `lock-graph` — the union of every file's edges must be acyclic, and
+//!   no function may re-acquire a lock it already holds. This is the
+//!   source of truth: any cycle anywhere in the workspace is a potential
+//!   deadlock, whether or not the locks appear in the declared table.
+//! * `lock-order` — the hand-declared order in [`Config::lock_order`]
+//!   is asserted *against* the inferred edges: an edge between two
+//!   declared locks must agree with the declaration, and inside the
+//!   [`Config::lock_files`] every lock that participates in nesting must
+//!   be declared.
+//! * `blocking-under-lock` — channel receives, thread joins, condvar
+//!   waits and socket I/O must not happen while a guard is live; with a
+//!   bounded channel in scope, `send` blocks too.
+//!
+//! The same edge extraction feeds the runtime witness
+//! (`arm_util::lockwitness`): [`global_edges`] is the statically inferred
+//! graph that recorded executions are checked against, and
+//! [`find_cycle`] is the shared acyclicity test.
+
+use crate::config::Config;
+use crate::lexer::Tok;
+use crate::report::Diagnostic;
+use crate::rules::{BLOCKING_UNDER_LOCK, LOCK_GRAPH, LOCK_ORDER};
+use crate::scan::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One inferred acquisition edge: `to` was acquired while `from` was held.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    /// Qualified node id of the held lock (`tcp.links`).
+    pub from: String,
+    /// Field name of the held lock (`links`).
+    pub from_short: String,
+    /// Line the held lock was acquired on.
+    pub from_line: u32,
+    /// Qualified node id of the acquired lock.
+    pub to: String,
+    /// Field name of the acquired lock.
+    pub to_short: String,
+    /// Line of the nested acquisition.
+    pub line: u32,
+    /// Workspace-relative file both acquisitions live in.
+    pub file: String,
+}
+
+/// A re-acquisition of an already-held lock (guaranteed self-deadlock
+/// with non-reentrant locks).
+#[derive(Debug, Clone)]
+pub struct Reacquire {
+    /// Field name of the lock.
+    pub short: String,
+    /// Line it was first acquired on.
+    pub held_line: u32,
+    /// Line of the re-acquisition.
+    pub line: u32,
+}
+
+/// A blocking call observed while a guard was live.
+#[derive(Debug, Clone)]
+pub struct BlockingSite {
+    /// The blocking method (`recv`, `join`, `write_all`, …).
+    pub call: String,
+    /// Line of the blocking call.
+    pub line: u32,
+    /// Field name of the held lock.
+    pub lock_short: String,
+    /// Line the lock was acquired on.
+    pub lock_line: u32,
+}
+
+/// Everything the lock tracker extracts from one file.
+#[derive(Debug, Default)]
+pub struct FileLockScan {
+    /// Nested-acquisition edges.
+    pub edges: Vec<Edge>,
+    /// Same-lock re-acquisitions.
+    pub reacquires: Vec<Reacquire>,
+    /// Blocking calls under a live guard.
+    pub blocking: Vec<BlockingSite>,
+    /// Variable names ever bound to a lock guard in this file (used by
+    /// the unbounded-growth rule to treat `guard.insert(…)` as growth of
+    /// the locked collection, not of a local).
+    pub guard_vars: BTreeSet<String>,
+}
+
+/// The lock node a file's fields belong to: the module name (file stem,
+/// or the parent directory for `lib.rs`/`mod.rs`/`main.rs`).
+pub fn file_node(rel: &str) -> String {
+    let stem = rel
+        .rsplit('/')
+        .next()
+        .unwrap_or(rel)
+        .trim_end_matches(".rs");
+    if matches!(stem, "lib" | "mod" | "main") {
+        let parts: Vec<&str> = rel.split('/').collect();
+        // Nearest enclosing directory that names something (`src` names
+        // the crate layout, not the module — skip it).
+        for part in parts.iter().rev().skip(1) {
+            if *part != "src" {
+                return part.to_string();
+            }
+        }
+    }
+    stem.to_string()
+}
+
+/// Methods that block the calling thread. The `bool` is "only when called
+/// with no arguments" — it keeps `path.join("x")` and `Vec::insert` -like
+/// same-named non-blocking methods out of the net.
+const BLOCKING_CALLS: &[(&str, bool)] = &[
+    ("recv", true),
+    ("recv_timeout", false),
+    ("recv_deadline", false),
+    ("join", true),
+    ("wait", false),
+    ("wait_timeout", false),
+    ("wait_while", false),
+    ("write_all", false),
+    ("read_exact", false),
+    ("read_to_end", false),
+    ("flush", true),
+    ("accept", true),
+    ("sleep", false),
+];
+
+/// One lock currently held while walking a function body.
+struct Held {
+    /// Field name (`links`).
+    short: String,
+    /// Binding variable, when let-bound (released by `drop(var)`).
+    var: Option<String>,
+    /// Statement temporary (released at `;` / end of its block).
+    temp: bool,
+    depth: usize,
+    line: u32,
+}
+
+/// Walks every non-test function and extracts edges, re-acquisitions,
+/// blocking-under-lock sites and guard variable names.
+pub fn scan_file(file: &SourceFile) -> FileLockScan {
+    let node = file_node(&file.rel);
+    let toks = &file.tokens;
+    let mut scan = FileLockScan::default();
+    // `send` blocks only on bounded channels; a file that creates one is
+    // assumed to send on one.
+    let bounded_channels = toks
+        .iter()
+        .any(|t| matches!(&t.tok, Tok::Ident(id) if id == "sync_channel" || id == "bounded"));
+    for f in &file.fns {
+        if file.test_mask[f.open] {
+            continue;
+        }
+        let mut held: Vec<Held> = Vec::new();
+        let mut depth = 0usize;
+        let mut stmt_let_var: Option<String> = None;
+        let mut i = f.open + 1;
+        while i < f.close {
+            match &toks[i].tok {
+                Tok::Punct('{') => depth += 1,
+                Tok::Punct('}') => {
+                    // Guards bound inside the block die with it; statement
+                    // temporaries registered at the outer depth die too —
+                    // by the time a block closes, every acquisition its
+                    // scrutinee/condition guard could cover has been seen.
+                    held.retain(|h| h.depth < depth);
+                    depth = depth.saturating_sub(1);
+                    held.retain(|h| !(h.temp && h.depth == depth));
+                }
+                Tok::Punct(';') => {
+                    held.retain(|h| !(h.temp && h.depth == depth));
+                    stmt_let_var = None;
+                }
+                Tok::Ident(id) if id == "let" => {
+                    stmt_let_var = let_binding_name(toks, i);
+                }
+                Tok::Ident(id) if id == "drop" => {
+                    if let (Some(Tok::Punct('(')), Some(Tok::Ident(v)), Some(Tok::Punct(')'))) = (
+                        toks.get(i + 1).map(|t| &t.tok),
+                        toks.get(i + 2).map(|t| &t.tok),
+                        toks.get(i + 3).map(|t| &t.tok),
+                    ) {
+                        held.retain(|h| h.var.as_deref() != Some(v.as_str()));
+                    }
+                }
+                Tok::Ident(id) if (id == "lock" || id == "read" || id == "write") => {
+                    // An acquisition is `<field>.lock()` / `.read()` /
+                    // `.write()` with *empty* parens — socket `read(&mut
+                    // buf)` / `write(&buf)` take arguments.
+                    let is_acq = i >= 2
+                        && toks[i - 1].tok == Tok::Punct('.')
+                        && toks.get(i + 1).map(|t| t.tok == Tok::Punct('(')) == Some(true)
+                        && toks.get(i + 2).map(|t| t.tok == Tok::Punct(')')) == Some(true);
+                    if is_acq {
+                        if let Some(Tok::Ident(base)) = toks.get(i - 2).map(|t| &t.tok) {
+                            let line = toks[i].line;
+                            for h in &held {
+                                if h.short == *base {
+                                    scan.reacquires.push(Reacquire {
+                                        short: base.clone(),
+                                        held_line: h.line,
+                                        line,
+                                    });
+                                } else {
+                                    scan.edges.push(Edge {
+                                        from: format!("{node}.{}", h.short),
+                                        from_short: h.short.clone(),
+                                        from_line: h.line,
+                                        to: format!("{node}.{base}"),
+                                        to_short: base.clone(),
+                                        line,
+                                        file: file.rel.clone(),
+                                    });
+                                }
+                            }
+                            // Guard lifetime: `let g = x.lock();` lives to
+                            // scope end; `if let Ok(g) = x.lock() {` lives
+                            // to the end of the block it opens; any longer
+                            // chain is a statement temporary.
+                            let term = toks.get(i + 3).map(|t| &t.tok);
+                            let bound = stmt_let_var.is_some()
+                                && matches!(term, Some(Tok::Punct(';')) | Some(Tok::Punct('{')));
+                            let block_scoped = matches!(term, Some(Tok::Punct('{')));
+                            if bound {
+                                scan.guard_vars.extend(stmt_let_var.clone());
+                            }
+                            held.push(Held {
+                                short: base.clone(),
+                                var: if bound { stmt_let_var.clone() } else { None },
+                                temp: !bound,
+                                depth: if bound && block_scoped {
+                                    depth + 1
+                                } else {
+                                    depth
+                                },
+                                line,
+                            });
+                        }
+                    }
+                }
+                Tok::Ident(id) => {
+                    if held.is_empty() {
+                        i += 1;
+                        continue;
+                    }
+                    let called = toks.get(i + 1).map(|t| t.tok == Tok::Punct('(')) == Some(true);
+                    let empty_call =
+                        called && toks.get(i + 2).map(|t| t.tok == Tok::Punct(')')) == Some(true);
+                    let method = i >= 1
+                        && (toks[i - 1].tok == Tok::Punct('.')
+                            || toks[i - 1].tok == Tok::Punct(':'));
+                    let blocking = called
+                        && method
+                        && (BLOCKING_CALLS
+                            .iter()
+                            .any(|(name, needs_empty)| id == name && (!needs_empty || empty_call))
+                            || (id == "send" && bounded_channels));
+                    if blocking {
+                        // Attribute the call to the outermost live guard
+                        // (innermost is listed in the message line ref).
+                        if let Some(h) = held.last() {
+                            scan.blocking.push(BlockingSite {
+                                call: id.clone(),
+                                line: toks[i].line,
+                                lock_short: h.short.clone(),
+                                lock_line: h.line,
+                            });
+                        }
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    scan
+}
+
+/// Extracts the bound variable of `let [mut] name =`, `let Ok(name) =`,
+/// `let Some(mut name) =` and the `if let`/`while let` forms; `None` for
+/// anything more structured.
+fn let_binding_name(toks: &[crate::lexer::Token], let_idx: usize) -> Option<String> {
+    let ident = |j: usize| match toks.get(j).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s.clone()),
+        _ => None,
+    };
+    let punct = |j: usize, c: char| toks.get(j).map(|t| t.tok == Tok::Punct(c)) == Some(true);
+    let mut j = let_idx + 1;
+    // Constructor pattern: `Ok(` / `Some(` / any `Name(`.
+    let wrapped = ident(j).is_some() && punct(j + 1, '(');
+    if wrapped {
+        j += 2;
+    }
+    if ident(j).as_deref() == Some("mut") {
+        j += 1;
+    }
+    let name = ident(j)?;
+    j += 1;
+    if wrapped {
+        if !punct(j, ')') {
+            return None;
+        }
+        j += 1;
+    }
+    if punct(j, '=') {
+        Some(name)
+    } else {
+        None
+    }
+}
+
+/// Scans every file once and returns the union of all inferred edges as
+/// `(from, to)` qualified node pairs — the statically inferred lock graph
+/// the runtime witness asserts against.
+pub fn global_edges(files: &BTreeMap<String, SourceFile>) -> Vec<(String, String)> {
+    let mut set = BTreeSet::new();
+    for file in files.values() {
+        for e in scan_file(file).edges {
+            set.insert((e.from, e.to));
+        }
+    }
+    set.into_iter().collect()
+}
+
+/// Finds a directed cycle in `edges`, returned as a node path whose first
+/// and last elements coincide (`["a", "b", "a"]`); `None` when acyclic.
+/// Deterministic: the lexicographically first cycle entry point wins.
+pub fn find_cycle(edges: &[(String, String)]) -> Option<Vec<String>> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (a, b) in edges {
+        adj.entry(a.as_str()).or_default().push(b.as_str());
+    }
+    for tos in adj.values_mut() {
+        tos.sort_unstable();
+    }
+    // 0 = unvisited, 1 = on stack, 2 = done.
+    let mut state: BTreeMap<&str, u8> = BTreeMap::new();
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    for start in nodes {
+        if state.get(start).copied().unwrap_or(0) != 0 {
+            continue;
+        }
+        // Iterative DFS keeping the explicit path for cycle extraction.
+        let mut stack: Vec<(&str, usize)> = vec![(start, 0)];
+        state.insert(start, 1);
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            let tos = adj.get(node).map(Vec::as_slice).unwrap_or(&[]);
+            if *next >= tos.len() {
+                state.insert(node, 2);
+                stack.pop();
+                continue;
+            }
+            let to = tos[*next];
+            *next += 1;
+            match state.get(to).copied().unwrap_or(0) {
+                0 => {
+                    state.insert(to, 1);
+                    stack.push((to, 0));
+                }
+                1 => {
+                    // Found: unwind the explicit path back to `to`.
+                    let mut path: Vec<String> = stack.iter().map(|(n, _)| n.to_string()).collect();
+                    let at = path.iter().position(|n| n == to).unwrap_or(0);
+                    path.drain(..at);
+                    path.push(to.to_string());
+                    return Some(path);
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+fn diag(
+    file: &SourceFile,
+    rule: &'static str,
+    line: u32,
+    message: String,
+    out: &mut Vec<Diagnostic>,
+) {
+    out.push(Diagnostic {
+        rule,
+        file: file.rel.clone(),
+        line,
+        message,
+        suppressed: file.suppression(line, rule),
+    });
+}
+
+/// Runs the three lock rules over the whole file set: per-file
+/// re-acquisition and blocking checks, the global cycle check, and the
+/// declared-order assertion.
+pub fn lock_rules(files: &BTreeMap<String, SourceFile>, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    let mut all_edges: Vec<Edge> = Vec::new();
+    for file in files.values() {
+        let scan = scan_file(file);
+        for r in &scan.reacquires {
+            diag(
+                file,
+                LOCK_GRAPH,
+                r.line,
+                format!(
+                    "re-acquiring `{}` while already held (line {}): self-deadlock",
+                    r.short, r.held_line
+                ),
+                out,
+            );
+        }
+        for b in &scan.blocking {
+            diag(
+                file,
+                BLOCKING_UNDER_LOCK,
+                b.line,
+                format!(
+                    "blocking call `{}` while holding lock `{}` (acquired line {}); \
+                     release the guard before blocking",
+                    b.call, b.lock_short, b.lock_line
+                ),
+                out,
+            );
+        }
+        declared_order(file, cfg, &scan.edges, out);
+        all_edges.extend(scan.edges);
+    }
+    cycle_diags(files, &all_edges, out);
+}
+
+/// The declared-order assertion over one file's inferred edges.
+fn declared_order(file: &SourceFile, cfg: &Config, edges: &[Edge], out: &mut Vec<Diagnostic>) {
+    let pos = |l: &str| cfg.lock_order.iter().position(|x| x == l);
+    let declared_file = cfg.lock_files.iter().any(|f| f == &file.rel);
+    for e in edges {
+        match (pos(&e.from_short), pos(&e.to_short)) {
+            (Some(h), Some(a)) if a < h => diag(
+                file,
+                LOCK_ORDER,
+                e.line,
+                format!(
+                    "acquiring `{}` while holding `{}` (line {}) inverts the declared \
+                     order {:?}",
+                    e.to_short, e.from_short, e.from_line, cfg.lock_order
+                ),
+                out,
+            ),
+            (_, None) if declared_file => diag(
+                file,
+                LOCK_ORDER,
+                e.line,
+                format!(
+                    "lock `{}` is not in the declared lock-order table",
+                    e.to_short
+                ),
+                out,
+            ),
+            (None, Some(_)) if declared_file => diag(
+                file,
+                LOCK_ORDER,
+                e.line,
+                format!(
+                    "lock `{}` (held since line {}) is not in the declared lock-order table",
+                    e.from_short, e.from_line
+                ),
+                out,
+            ),
+            _ => {}
+        }
+    }
+}
+
+/// Emits one `lock-graph` diagnostic per acquisition cycle in the union
+/// graph, anchored at the latest witness edge (the first-seen direction
+/// establishes the convention; the later one contradicts it).
+fn cycle_diags(files: &BTreeMap<String, SourceFile>, edges: &[Edge], out: &mut Vec<Diagnostic>) {
+    let mut pairs: BTreeSet<(String, String)> = BTreeSet::new();
+    let mut witness: BTreeMap<(String, String), (String, u32)> = BTreeMap::new();
+    for e in edges {
+        let key = (e.from.clone(), e.to.clone());
+        witness
+            .entry(key.clone())
+            .or_insert_with(|| (e.file.clone(), e.line));
+        pairs.insert(key);
+    }
+    let mut remaining: Vec<(String, String)> = pairs.into_iter().collect();
+    // Peel cycles one at a time so several independent cycles each get a
+    // diagnostic instead of hiding behind the first.
+    let mut guard = 0;
+    while let Some(cycle) = find_cycle(&remaining) {
+        guard += 1;
+        if guard > 32 {
+            break;
+        }
+        let mut sites: Vec<String> = Vec::new();
+        let mut anchor: Option<(String, u32)> = None;
+        for w in cycle.windows(2) {
+            let key = (w[0].clone(), w[1].clone());
+            if let Some((f, l)) = witness.get(&key) {
+                sites.push(format!("`{}` under `{}` at {f}:{l}", w[1], w[0]));
+                let here = (f.clone(), *l);
+                if anchor.as_ref().is_none_or(|a| here > *a) {
+                    anchor = Some(here);
+                }
+            }
+        }
+        let (afile, aline) = anchor.unwrap_or_default();
+        let path = cycle.join("` → `");
+        let message = format!(
+            "lock acquisition cycle `{path}`: {} — a thread interleaving these \
+             acquisitions deadlocks",
+            sites.join("; ")
+        );
+        if let Some(file) = files.get(&afile) {
+            diag(file, LOCK_GRAPH, aline, message, out);
+        } else {
+            out.push(Diagnostic {
+                rule: LOCK_GRAPH,
+                file: afile,
+                line: aline,
+                message,
+                suppressed: None,
+            });
+        }
+        // Remove this cycle's edges and look again.
+        let cycle_keys: BTreeSet<(String, String)> = cycle
+            .windows(2)
+            .map(|w| (w[0].clone(), w[1].clone()))
+            .collect();
+        remaining.retain(|e| !cycle_keys.contains(e));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> SourceFile {
+        SourceFile::parse("crates/x/src/tcp.rs", src)
+    }
+
+    #[test]
+    fn let_bound_guard_produces_edge() {
+        let s = scan_file(&parse(
+            "fn f(&self) { let a = self.links.lock(); self.book.lock().get(1); drop(a); }",
+        ));
+        assert_eq!(s.edges.len(), 1);
+        assert_eq!(s.edges[0].from, "tcp.links");
+        assert_eq!(s.edges[0].to, "tcp.book");
+    }
+
+    #[test]
+    fn drop_releases_the_guard() {
+        let s = scan_file(&parse(
+            "fn f(&self) { let a = self.links.lock(); drop(a); self.links.lock().clear(); }",
+        ));
+        assert!(s.edges.is_empty());
+        assert!(s.reacquires.is_empty());
+    }
+
+    #[test]
+    fn reacquire_is_a_self_deadlock() {
+        let s = scan_file(&parse(
+            "fn f(&self) { let a = self.links.lock(); self.links.lock().clear(); }",
+        ));
+        assert_eq!(s.reacquires.len(), 1);
+    }
+
+    #[test]
+    fn if_let_guard_scopes_to_its_block() {
+        let s = scan_file(&parse(
+            "fn f(&self) { if let Ok(mut g) = self.links.lock() { self.book.lock().get(1); } \
+             self.links.lock().clear(); }",
+        ));
+        // The nested acquisition is seen; the re-take after the block is
+        // not a re-acquire.
+        assert_eq!(s.edges.len(), 1);
+        assert!(s.reacquires.is_empty());
+        assert!(s.guard_vars.contains("g"));
+    }
+
+    #[test]
+    fn condition_temporary_dies_with_its_block() {
+        let s = scan_file(&parse(
+            "fn f(&self) { if self.cuts.lock().has(1) { x(); } self.endpoints.lock().get(2); }",
+        ));
+        assert!(s.edges.is_empty(), "{:?}", s.edges);
+    }
+
+    #[test]
+    fn match_scrutinee_temporary_covers_the_arms() {
+        let s = scan_file(&parse(
+            "fn f(&self) { match self.endpoints.lock().get(1) { Some(ep) => \
+             { self.inbound.lock().get(2); } None => {} } }",
+        ));
+        assert_eq!(s.edges.len(), 1);
+        assert_eq!(s.edges[0].from, "tcp.endpoints");
+        assert_eq!(s.edges[0].to, "tcp.inbound");
+    }
+
+    #[test]
+    fn socket_read_is_not_an_acquisition() {
+        let s = scan_file(&parse(
+            "fn f(&self) { let g = self.links.lock(); stream.read(&mut buf); }",
+        ));
+        assert!(s.edges.is_empty());
+        // …but it is also not in the blocking list (plain `read` can be
+        // non-blocking); `read_exact` is.
+        assert!(s.blocking.is_empty());
+    }
+
+    #[test]
+    fn blocking_calls_under_guard_are_reported() {
+        let s = scan_file(&parse(
+            "fn f(&self) { let g = self.links.lock(); rx.recv(); h.join(); p.join(\"x\"); }",
+        ));
+        let calls: Vec<&str> = s.blocking.iter().map(|b| b.call.as_str()).collect();
+        assert_eq!(calls, vec!["recv", "join"], "{:?}", s.blocking);
+    }
+
+    #[test]
+    fn bounded_send_blocks_unbounded_does_not() {
+        let bounded = scan_file(&parse(
+            "fn mk() { let (tx, rx) = sync_channel(4); } \
+             fn f(&self) { let g = self.links.lock(); tx.send(1); }",
+        ));
+        assert_eq!(bounded.blocking.len(), 1);
+        let unbounded = scan_file(&parse(
+            "fn f(&self) { let g = self.links.lock(); tx.send(1); }",
+        ));
+        assert!(unbounded.blocking.is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let s = scan_file(&parse(
+            "#[cfg(test)] mod t { fn f(&self) { let b = self.book.lock(); \
+             self.links.lock().get(1); } }",
+        ));
+        assert!(s.edges.is_empty());
+    }
+
+    #[test]
+    fn cycle_detection_finds_two_cycles() {
+        let e = |a: &str, b: &str| (a.to_string(), b.to_string());
+        assert!(find_cycle(&[e("a", "b"), e("b", "c")]).is_none());
+        let cyc = find_cycle(&[e("a", "b"), e("b", "a")]).expect("cycle");
+        assert_eq!(cyc.first(), cyc.last());
+        assert_eq!(cyc.len(), 3);
+        let three = find_cycle(&[e("a", "b"), e("b", "c"), e("c", "a")]).expect("cycle");
+        assert_eq!(three.len(), 4);
+    }
+
+    #[test]
+    fn file_node_names() {
+        assert_eq!(file_node("crates/wire/src/tcp.rs"), "tcp");
+        assert_eq!(file_node("crates/runtime/src/lib.rs"), "runtime");
+        assert_eq!(file_node("crates/cli/src/main.rs"), "cli");
+        assert_eq!(file_node("src/locks.rs"), "locks");
+    }
+}

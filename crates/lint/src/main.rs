@@ -1,28 +1,54 @@
 //! The `arm-lint` CLI: scans the workspace, prints `file:line: rule:
-//! message` diagnostics, optionally writes the JSON report and the
-//! BENCH-style summary, and exits non-zero on any unsuppressed finding.
+//! message` diagnostics, optionally writes the JSON/SARIF reports, the
+//! BENCH-style summary and GitHub annotations, and exits non-zero on any
+//! unsuppressed finding (or on blowing the `--max-ms` scan-time budget).
 
 use arm_lint::{default_root, run, Config};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: arm-lint [--root DIR] [--json FILE] [--summary FILE] [--verbose]
+const USAGE: &str = "usage: arm-lint [--root DIR] [--json FILE] [--summary FILE]
+                [--format sarif --out FILE | --sarif FILE]
+                [--github] [--max-ms N] [--verbose]
 
 Scans the workspace with the checked-in rule policy. Exit code 1 when any
-unsuppressed diagnostic remains. Suppress a finding inline with
-`// arm-lint: allow(<rule>) -- reason`.";
+unsuppressed diagnostic remains, or when the scan exceeds --max-ms.
+Suppress a finding inline with `// arm-lint: allow(<rule>) -- reason`.
+
+  --json FILE      write the full JSON report
+  --sarif FILE     write a SARIF 2.1.0 report (GitHub code scanning)
+  --format sarif   with --out FILE, same as --sarif FILE
+  --summary FILE   write the compact summary (per-rule counts + timings)
+  --github         print GitHub Actions ::error/::notice annotations
+  --max-ms N       fail if the full scan takes longer than N ms";
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut json_out: Option<PathBuf> = None;
+    let mut sarif_out: Option<PathBuf> = None;
     let mut summary_out: Option<PathBuf> = None;
+    let mut format: Option<String> = None;
+    let mut format_out: Option<PathBuf> = None;
+    let mut github = false;
+    let mut max_ms: Option<u64> = None;
     let mut verbose = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => root = args.next().map(PathBuf::from),
             "--json" => json_out = args.next().map(PathBuf::from),
+            "--sarif" => sarif_out = args.next().map(PathBuf::from),
+            "--format" => format = args.next(),
+            "--out" => format_out = args.next().map(PathBuf::from),
             "--summary" => summary_out = args.next().map(PathBuf::from),
+            "--github" => github = true,
+            "--max-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => max_ms = Some(v),
+                None => {
+                    eprintln!("arm-lint: --max-ms needs an integer\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
             "--verbose" | "-v" => verbose = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -32,6 +58,27 @@ fn main() -> ExitCode {
                 eprintln!("arm-lint: unknown argument `{other}`\n{USAGE}");
                 return ExitCode::from(2);
             }
+        }
+    }
+    match format.as_deref() {
+        None => {}
+        Some("sarif") => match format_out.take() {
+            Some(path) => sarif_out = Some(path),
+            None => {
+                eprintln!("arm-lint: --format sarif needs --out FILE\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        },
+        Some("json") => match format_out.take() {
+            Some(path) => json_out = Some(path),
+            None => {
+                eprintln!("arm-lint: --format json needs --out FILE\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        },
+        Some(other) => {
+            eprintln!("arm-lint: unknown format `{other}` (json|sarif)\n{USAGE}");
+            return ExitCode::from(2);
         }
     }
     let root = root.unwrap_or_else(default_root);
@@ -47,17 +94,22 @@ fn main() -> ExitCode {
             println!("{} [suppressed: {reason}]", d.render());
         }
     }
-
-    if let Some(path) = &json_out {
-        if let Err(e) = std::fs::write(path, report.to_json()) {
-            eprintln!("arm-lint: writing {}: {e}", path.display());
-            return ExitCode::from(2);
-        }
+    if github {
+        print!("{}", report.github_annotations());
     }
-    if let Some(path) = &summary_out {
-        if let Err(e) = std::fs::write(path, report.summary_json()) {
-            eprintln!("arm-lint: writing {}: {e}", path.display());
-            return ExitCode::from(2);
+
+    type RenderFn = fn(&arm_lint::Report) -> String;
+    let writes: [(&Option<PathBuf>, RenderFn); 3] = [
+        (&json_out, |r| r.to_json()),
+        (&sarif_out, |r| r.to_sarif()),
+        (&summary_out, |r| r.summary_json()),
+    ];
+    for (path, render) in writes {
+        if let Some(path) = path {
+            if let Err(e) = std::fs::write(path, render(&report)) {
+                eprintln!("arm-lint: writing {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
         }
     }
 
@@ -68,7 +120,17 @@ fn main() -> ExitCode {
         report.files_scanned,
         report.duration_ms
     );
-    if open > 0 {
+    let mut failed = open > 0;
+    if let Some(budget) = max_ms {
+        if report.duration_ms > budget {
+            eprintln!(
+                "arm-lint: scan took {} ms, over the {budget} ms budget",
+                report.duration_ms
+            );
+            failed = true;
+        }
+    }
+    if failed {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -22,6 +22,8 @@ fn fixture_config() -> Config {
         determinism_paths: vec!["src/det/".into()],
         lock_files: vec!["src/locks.rs".into()],
         lock_order: vec!["links".into(), "book".into()],
+        cast_paths: vec!["src/hot/".into()],
+        growth_paths: vec!["src/grow/".into()],
         audits: vec![EnumAudit {
             rule: arm_lint::rules::PROTO_EXHAUSTIVE,
             site: EnumSite {
@@ -51,12 +53,21 @@ fn fixtures_report_exact_file_line_rule() {
     let rendered: Vec<String> = report.diags.iter().map(|d| d.render()).collect();
     let expected: Vec<(&str, u32, &str)> = vec![
         ("src/allow.rs", 3, "allow-audit"),
+        ("src/block.rs", 10, "blocking-under-lock"),
+        ("src/block.rs", 16, "blocking-under-lock"),
         ("src/codec.rs", 3, "proto-exhaustive"),
+        ("src/cycle.rs", 17, "lock-graph"),
         ("src/det/clock.rs", 4, "determinism"),
         ("src/det/clock.rs", 9, "determinism"),
         ("src/det/clock.rs", 13, "determinism"),
+        ("src/grow/buf.rs", 10, "unbounded-growth"),
+        ("src/hot/cast.rs", 5, "narrow-cast"),
+        ("src/hot/cast.rs", 6, "narrow-cast"),
+        ("src/hot/cast.rs", 17, "narrow-cast"),
+        ("src/hot/cast.rs", 21, "unchecked-arith"),
+        ("src/locks.rs", 16, "lock-graph"),
         ("src/locks.rs", 16, "lock-order"),
-        ("src/locks.rs", 23, "lock-order"),
+        ("src/locks.rs", 23, "lock-graph"),
         ("src/locks.rs", 30, "lock-order"),
         ("src/np/panics.rs", 5, "no-panic"),
         ("src/np/panics.rs", 9, "no-panic"),
@@ -74,6 +85,11 @@ fn every_rule_fires_in_the_fixture_set() {
         "determinism",
         "proto-exhaustive",
         "lock-order",
+        "lock-graph",
+        "blocking-under-lock",
+        "narrow-cast",
+        "unchecked-arith",
+        "unbounded-growth",
         "allow-audit",
     ] {
         assert!(
@@ -294,5 +310,67 @@ fn removing_a_controller_arm_fails_state_lint() {
             && d.message.contains("state-controller handler loop")
             && d.suppressed.is_none()),
         "dropped controller arm not detected: {after:?}"
+    );
+}
+
+/// Acceptance lever one: deleting the early `drop(links)` in tcp.rs
+/// `ensure_link` leaves the guard live across the writer spawn, so the
+/// thread-exhaustion fallback's `self.links.lock()` becomes a re-acquire
+/// and must fail the lock-graph rule by name.
+#[test]
+fn deleting_tcp_guard_drop_fails_lock_graph() {
+    let root = workspace_root();
+    let cfg = Config::workspace();
+    let mut files = arm_lint::collect_files(&root, &cfg);
+
+    let mut before = Vec::new();
+    arm_lint::locks::lock_rules(&files, &cfg, &mut before);
+    assert!(
+        before.iter().all(|d| d.suppressed.is_some()),
+        "baseline not clean: {before:?}"
+    );
+
+    let tcp_rel = "crates/wire/src/tcp.rs";
+    let src = std::fs::read_to_string(root.join(tcp_rel)).expect("tcp.rs");
+    assert!(src.contains("drop(links);"), "fixture premise broken");
+    let cut = src.replacen("drop(links);", "", 1);
+    files.insert(tcp_rel.into(), SourceFile::parse(tcp_rel, &cut));
+
+    let mut after = Vec::new();
+    arm_lint::locks::lock_rules(&files, &cfg, &mut after);
+    assert!(
+        after.iter().any(|d| d.file == tcp_rel
+            && d.rule == "lock-graph"
+            && d.message.contains("links")
+            && d.suppressed.is_none()),
+        "deleted drop not detected: {after:?}"
+    );
+}
+
+/// Acceptance lever two: seeding a bounded-channel send under a live
+/// guard into tcp.rs (which already uses `sync_channel`, so sends count
+/// as blocking) must fail blocking-under-lock by name.
+#[test]
+fn seeded_blocking_send_under_guard_fails_lint() {
+    let root = workspace_root();
+    let cfg = Config::workspace();
+    let mut files = arm_lint::collect_files(&root, &cfg);
+
+    let tcp_rel = "crates/wire/src/tcp.rs";
+    let src = std::fs::read_to_string(root.join(tcp_rel)).expect("tcp.rs");
+    let seeded = format!(
+        "{src}\nimpl TcpTransport {{\n    fn seeded_backpressure(&self, tx: &SyncSender<usize>) {{\n        let links = self.links.lock();\n        tx.send(links.len()).ok();\n        drop(links);\n    }}\n}}\n"
+    );
+    files.insert(tcp_rel.into(), SourceFile::parse(tcp_rel, &seeded));
+
+    let mut after = Vec::new();
+    arm_lint::locks::lock_rules(&files, &cfg, &mut after);
+    assert!(
+        after.iter().any(|d| d.file == tcp_rel
+            && d.rule == "blocking-under-lock"
+            && d.message.contains("`send`")
+            && d.message.contains("links")
+            && d.suppressed.is_none()),
+        "seeded blocking send not detected: {after:?}"
     );
 }

@@ -1,0 +1,27 @@
+//! blocking-under-lock fixtures. The `sync_channel` ident marks the
+//! file's channels as bounded, so `.send(` counts as blocking.
+//! This file is never compiled, only scanned.
+
+use std::sync::mpsc::sync_channel;
+
+impl Pump {
+    pub fn bad_send(&self) {
+        let g = self.state.lock();
+        self.tx.send(*g); // VIOLATION blocking-under-lock: bounded send
+        drop(g);
+    }
+
+    pub fn bad_recv(&self) -> u64 {
+        let g = self.state.lock();
+        let v = self.rx.recv(); // VIOLATION blocking-under-lock: recv
+        drop(g);
+        v
+    }
+
+    pub fn good_send(&self) {
+        let g = self.state.lock();
+        let v = *g;
+        drop(g);
+        self.tx.send(v); // guard released first: not flagged
+    }
+}

@@ -1,0 +1,21 @@
+//! A lock cycle across two functions: `forward` nests `alpha` before
+//! `beta`, `backward` nests them the other way round. Neither lock is in
+//! the declared order table, so only the global lock-graph cycle check
+//! can catch the pair — per-function and per-statement checks each see a
+//! consistent picture. This file is never compiled, only scanned.
+
+impl Spinner {
+    pub fn forward(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        drop(b);
+        drop(a);
+    }
+
+    pub fn backward(&self) {
+        let b = self.beta.lock();
+        let a = self.alpha.lock(); // VIOLATION lock-graph: closes the cycle
+        drop(a);
+        drop(b);
+    }
+}

@@ -1043,14 +1043,14 @@ impl FairnessAllocator {
                                 continue;
                             }
                             if entries.len() < DOM_CAP {
-                                entries.push(arena.len() as u32);
+                                entries.push(crate::idx_u32(arena.len()));
                             }
                         }
                     }
                     _ => {}
                 }
 
-                let idx = arena.len() as u32;
+                let idx = crate::idx_u32(arena.len());
                 arena.push(child);
                 queue.push(idx, priority);
             }
@@ -1456,7 +1456,7 @@ pub fn enumerate_structural_paths(
             }
         }
         let node_visited = visited.get(ni as usize).copied().unwrap_or(0);
-        let child_start = nodes.len() as u32;
+        let child_start = crate::idx_u32(nodes.len());
         let mut child_count = 0u32;
         for edge in gr.out_edges(node.vertex) {
             let revisits = if use_bitmap {
@@ -1467,7 +1467,7 @@ pub fn enumerate_structural_paths(
             if revisits {
                 continue;
             }
-            let idx = nodes.len() as u32;
+            let idx = crate::idx_u32(nodes.len());
             nodes.push(StructNode {
                 parent: ni,
                 child_start: 0,

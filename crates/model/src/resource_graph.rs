@@ -130,7 +130,7 @@ impl ResourceGraph {
         if let Some(&id) = self.state_index.get(&format) {
             return id;
         }
-        let id = StateId(self.states.len() as u32);
+        let id = StateId(crate::idx_u32(self.states.len()));
         self.states.push(format);
         self.out.push(Vec::new());
         self.state_index.insert(format, id);
@@ -165,7 +165,7 @@ impl ResourceGraph {
         service: ServiceId,
         cost: ServiceCost,
     ) -> EdgeId {
-        let id = EdgeId(self.edges.len() as u32);
+        let id = EdgeId(crate::idx_u32(self.edges.len()));
         self.edges.push(ResourceEdge {
             id,
             from,

@@ -27,13 +27,13 @@ use arm_proto::{Message, TraceCtx};
 use arm_telemetry::TraceEvent;
 use arm_util::{DomainId, NodeId, SessionId, SimDuration, SimTime, TaskId};
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::{Mutex, RwLock};
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 pub mod net;
+pub(crate) mod sync;
 
 /// What happened during a run, shared across peer threads.
 #[derive(Debug, Default, Clone)]
@@ -53,6 +53,32 @@ pub struct Telemetry {
     pub traces: Vec<TraceEvent>,
 }
 
+/// Retention cap for each [`Telemetry`] event series. A long-running
+/// overlay emits outcomes/replies/traces forever; when a series reaches
+/// the cap the oldest half is dropped so observers keep the recent window
+/// without the process growing without bound.
+pub const TELEMETRY_CAP: usize = 65_536;
+
+/// Shared handle to a [`Telemetry`] sink, passed to networked peers.
+///
+/// The lock type is `parking_lot::Mutex` in normal builds and the
+/// instrumented witness mutex under the `lock-witness` feature; construct
+/// it with [`shared_telemetry`] so the witness name is always set.
+pub type SharedTelemetry = Arc<sync::Lock<Telemetry>>;
+
+/// A fresh shared [`Telemetry`] sink (witness name `runtime.telemetry`).
+pub fn shared_telemetry() -> SharedTelemetry {
+    Arc::new(sync::mutex("runtime.telemetry", Telemetry::default()))
+}
+
+/// Appends to a telemetry series, dropping the oldest half at the cap.
+fn push_capped<T>(series: &mut Vec<T>, item: T) {
+    if series.len() >= TELEMETRY_CAP {
+        series.drain(..TELEMETRY_CAP / 2);
+    }
+    series.push(item);
+}
+
 /// A message en route to a peer thread.
 enum Delivery {
     /// Deliver `event` once `at` is reached.
@@ -63,9 +89,9 @@ enum Delivery {
 
 struct Registry {
     epoch: Instant,
-    senders: RwLock<HashMap<NodeId, Sender<Delivery>>>,
+    senders: sync::Rw<HashMap<NodeId, Sender<Delivery>>>,
     latency: SimDuration,
-    telemetry: Mutex<Telemetry>,
+    telemetry: sync::Lock<Telemetry>,
 }
 
 impl Registry {
@@ -141,9 +167,9 @@ impl Runtime {
     pub fn new(config: RuntimeConfig) -> (Self, RuntimeConfig) {
         let registry = Arc::new(Registry {
             epoch: Instant::now(),
-            senders: RwLock::new(HashMap::new()),
+            senders: sync::rwlock("runtime.senders", HashMap::new()),
             latency: config.latency,
-            telemetry: Mutex::new(Telemetry::default()),
+            telemetry: sync::mutex("runtime.telemetry", Telemetry::default()),
         });
         (
             Self {
@@ -327,7 +353,7 @@ fn apply(
 /// and hands `Persist` intents to `persist` (the write-ahead log when a
 /// `--state-dir` is configured; a no-op otherwise).
 fn handle_actions<F, P>(
-    telemetry: &Mutex<Telemetry>,
+    telemetry: &sync::Lock<Telemetry>,
     pending: &mut BinaryHeap<TimerEntry>,
     me: NodeId,
     now: SimTime,
@@ -352,24 +378,24 @@ fn handle_actions<F, P>(
             Action::Outcome {
                 task, outcome, at, ..
             } => {
-                telemetry.lock().outcomes.push((task, outcome, at));
+                push_capped(&mut telemetry.lock().outcomes, (task, outcome, at));
             }
             Action::ReplyReceived {
                 task,
                 allocated,
                 at,
             } => {
-                telemetry.lock().replies.push((task, allocated, at));
+                push_capped(&mut telemetry.lock().replies, (task, allocated, at));
             }
             Action::Promoted { domain, at } => {
-                telemetry.lock().promotions.push((me, domain, at));
+                push_capped(&mut telemetry.lock().promotions, (me, domain, at));
             }
             Action::SessionRepaired { session, ok, at } => {
-                telemetry.lock().repairs.push((session, ok, at));
+                push_capped(&mut telemetry.lock().repairs, (session, ok, at));
             }
             Action::SessionReassigned { .. } => {}
             Action::Trace(ev) => {
-                telemetry.lock().traces.push(ev);
+                push_capped(&mut telemetry.lock().traces, ev);
             }
         }
     }

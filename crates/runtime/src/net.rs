@@ -29,7 +29,6 @@ use arm_wire::{
     InboundSink, StatusReport, StatusRequest, TcpOptions, TcpTransport, Transport, TransportStats,
 };
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
 use std::collections::BinaryHeap;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -104,7 +103,7 @@ impl NetMailbox {
 /// one [`StatusReport`] for `arm top` / `arm trace`.
 pub struct NodeStatus {
     node: NodeId,
-    inner: Mutex<StatusInner>,
+    inner: crate::sync::Lock<StatusInner>,
 }
 
 struct StatusInner {
@@ -126,29 +125,32 @@ impl NodeStatus {
     fn new(node: NodeId, tracing: bool, pulse: Option<&PulseConfig>) -> Self {
         Self {
             node,
-            inner: Mutex::new(StatusInner {
-                role: Role::Idle,
-                domain: None,
-                rm: None,
-                domain_size: None,
-                sessions: None,
-                load: 0.0,
-                active_hops: 0,
-                // Pulse sampling reads the recorder's registry, so a
-                // configured pulse keeps the recorder on even without
-                // protocol tracing (the ring then only sees health edges).
-                recorder: if tracing || pulse.is_some() {
-                    Recorder::enabled(TRACE_RING_CAPACITY)
-                } else {
-                    Recorder::disabled()
+            inner: crate::sync::mutex(
+                "net.inner",
+                StatusInner {
+                    role: Role::Idle,
+                    domain: None,
+                    rm: None,
+                    domain_size: None,
+                    sessions: None,
+                    load: 0.0,
+                    active_hops: 0,
+                    // Pulse sampling reads the recorder's registry, so a
+                    // configured pulse keeps the recorder on even without
+                    // protocol tracing (the ring then only sees health edges).
+                    recorder: if tracing || pulse.is_some() {
+                        Recorder::enabled(TRACE_RING_CAPACITY)
+                    } else {
+                        Recorder::disabled()
+                    },
+                    profiler: if tracing {
+                        HandleProfiler::enabled()
+                    } else {
+                        HandleProfiler::disabled()
+                    },
+                    pulse: pulse.map(|cfg| Pulse::new(cfg.capacity, &cfg.thresholds)),
                 },
-                profiler: if tracing {
-                    HandleProfiler::enabled()
-                } else {
-                    HandleProfiler::disabled()
-                },
-                pulse: pulse.map(|cfg| Pulse::new(cfg.capacity, &cfg.thresholds)),
-            }),
+            ),
         }
     }
 
@@ -377,7 +379,7 @@ impl NetPeer {
         spawn: PeerSpawn,
         transport: Arc<dyn Transport>,
         config: &NetPeerConfig,
-        telemetry: Arc<Mutex<Telemetry>>,
+        telemetry: crate::SharedTelemetry,
     ) -> Self {
         let NetMailbox { clock, tx, rx } = mailbox;
         let id = spawn.id;
@@ -469,7 +471,7 @@ fn net_peer_main(
     spawn: PeerSpawn,
     config: NetPeerConfig,
     transport: Arc<dyn Transport>,
-    telemetry: Arc<Mutex<Telemetry>>,
+    telemetry: crate::SharedTelemetry,
     status: Arc<NodeStatus>,
 ) {
     let mut node = PeerNode::new(
@@ -674,7 +676,7 @@ fn net_peer_main(
 /// `arm cluster` and the loopback integration tests.
 pub struct NetCluster {
     clock: NetClock,
-    telemetry: Arc<Mutex<Telemetry>>,
+    telemetry: crate::SharedTelemetry,
     peers: Vec<(NetPeer, Arc<TcpTransport>)>,
 }
 
@@ -688,7 +690,7 @@ impl NetCluster {
         opts: TcpOptions,
     ) -> Result<Self, arm_wire::TransportError> {
         let clock = NetClock::new();
-        let telemetry = Arc::new(Mutex::new(Telemetry::default()));
+        let telemetry = crate::shared_telemetry();
         // Bind every transport first so all listen addresses are known.
         let mut bound = Vec::with_capacity(spawns.len());
         for spawn in spawns {
@@ -1052,7 +1054,7 @@ mod tests {
             ..NetPeerConfig::default()
         };
         let clock = NetClock::new();
-        let telemetry = Arc::new(Mutex::new(Telemetry::default()));
+        let telemetry = crate::shared_telemetry();
         let hub = MemHub::new();
         let mut peers = Vec::new();
         for i in 1..=3u64 {

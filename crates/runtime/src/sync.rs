@@ -1,0 +1,42 @@
+//! Lock types used by the runtime registry and networked peers.
+//!
+//! Normal builds use `parking_lot`. With the `lock-witness` feature the
+//! locks become `arm-util`'s instrumented witness wrappers, recording the
+//! runtime lock-acquisition order under static names matching the nodes
+//! `arm-lint` infers for the same fields (`"runtime.senders"`,
+//! `"runtime.telemetry"`, `"net.inner"`). Call sites are identical in both
+//! builds — `.lock()`/`.read()`/`.write()` return guards directly.
+
+#[cfg(not(feature = "lock-witness"))]
+mod plain {
+    pub type Lock<T> = parking_lot::Mutex<T>;
+    pub type Rw<T> = parking_lot::RwLock<T>;
+
+    /// A new mutex; the name is only used by the witness build.
+    pub fn mutex<T>(_name: &'static str, value: T) -> Lock<T> {
+        parking_lot::Mutex::new(value)
+    }
+
+    /// A new rwlock; the name is only used by the witness build.
+    pub fn rwlock<T>(_name: &'static str, value: T) -> Rw<T> {
+        parking_lot::RwLock::new(value)
+    }
+}
+
+#[cfg(feature = "lock-witness")]
+mod plain {
+    pub type Lock<T> = arm_util::lockwitness::WitnessMutex<T>;
+    pub type Rw<T> = arm_util::lockwitness::WitnessRwLock<T>;
+
+    /// A new witness mutex recording acquisitions under `name`.
+    pub fn mutex<T>(name: &'static str, value: T) -> Lock<T> {
+        arm_util::lockwitness::WitnessMutex::new(name, value)
+    }
+
+    /// A new witness rwlock recording acquisitions under `name`.
+    pub fn rwlock<T>(name: &'static str, value: T) -> Rw<T> {
+        arm_util::lockwitness::WitnessRwLock::new(name, value)
+    }
+}
+
+pub(crate) use plain::{mutex, rwlock, Lock, Rw};

@@ -14,11 +14,11 @@ use arm_telemetry::{
 use arm_util::{DetRng, NodeId, SimTime};
 use arm_workload::{generate_inventories, generate_tasks, Inventory};
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Per-node persisted WAL byte streams captured by
 /// [`Simulation::enable_store`] (the DES twin of `--state-dir`).
-pub type StoreCapture = Arc<Mutex<BTreeMap<NodeId, Vec<u8>>>>;
+pub type StoreCapture = Arc<crate::sync::Lock<BTreeMap<NodeId, Vec<u8>>>>;
 
 /// Internal DES payload.
 enum SimEvent {
@@ -269,7 +269,7 @@ impl Simulation {
     /// read it after [`run`](Self::run); identically seeded runs must
     /// produce bit-identical streams.
     pub fn enable_store(&mut self) -> StoreCapture {
-        let capture: StoreCapture = Arc::new(Mutex::new(BTreeMap::new()));
+        let capture: StoreCapture = Arc::new(crate::sync::mutex("harness.stores", BTreeMap::new()));
         self.stores = Some(Arc::clone(&capture));
         capture
     }
@@ -431,9 +431,8 @@ impl Simulation {
                 else {
                     return;
                 };
-                if let Ok(mut streams) = stores.lock() {
-                    streams.entry(from).or_default().extend_from_slice(&record);
-                }
+                let mut streams = stores.lock();
+                streams.entry(from).or_default().extend_from_slice(&record);
             }
         }
     }
@@ -846,10 +845,31 @@ mod tests {
             crash_fraction: 1.0,
             churning_fraction: 0.7,
         });
-        let report = Simulation::new(cfg).run();
+        let mut sim = Simulation::new(cfg);
+        // Store capture runs the persistence path (and, with lock-witness,
+        // its instrumented lock) through the whole churny run.
+        let capture = sim.enable_store();
+        let report = sim.run();
         // The run sampled (so the checks actually fired) and survived.
         assert!(!report.fairness_series.is_empty());
         assert!(report.final_peers > 0);
+        assert!(!capture.lock().is_empty(), "churn run persisted records");
+
+        // With instrumented locks, the heavy-churn workload must leave the
+        // runtime lock-order witness violation-free.
+        #[cfg(feature = "lock-witness")]
+        arm_util::lockwitness::assert_clean();
+    }
+
+    /// The parallel sweep under instrumented locks: many worker threads
+    /// hammer the per-slot result locks; the witness must stay clean.
+    #[cfg(feature = "lock-witness")]
+    #[test]
+    fn lock_witness_clean_under_parallel_sweep() {
+        let configs: Vec<ScenarioConfig> = (1..=4).map(small_scenario).collect();
+        let reports = crate::parallel::run_parallel(configs, 4);
+        assert_eq!(reports.len(), 4);
+        arm_util::lockwitness::assert_clean();
     }
 
     #[test]
@@ -1001,7 +1021,7 @@ mod tests {
             let mut sim = Simulation::new(small_scenario(seed));
             let capture = sim.enable_store();
             let report = sim.run();
-            let streams = capture.lock().expect("capture lock").clone();
+            let streams = capture.lock().clone();
             (report, streams)
         };
         let (report, streams) = run(9);

@@ -23,6 +23,7 @@ mod harness;
 mod parallel;
 mod report;
 mod scenario;
+pub(crate) mod sync;
 
 pub use harness::Simulation;
 pub use parallel::{allocate_batch, run_parallel, AllocJob};

@@ -40,8 +40,10 @@ pub fn run_parallel(configs: Vec<ScenarioConfig>, threads: usize) -> Vec<SimRepo
     let jobs: Vec<ScenarioConfig> = configs;
     let next = std::sync::atomic::AtomicUsize::new(0);
     let mut slots: Vec<Option<SimReport>> = (0..n).map(|_| None).collect();
-    let slot_refs: Vec<std::sync::Mutex<&mut Option<SimReport>>> =
-        slots.iter_mut().map(std::sync::Mutex::new).collect();
+    let slot_refs: Vec<crate::sync::Lock<&mut Option<SimReport>>> = slots
+        .iter_mut()
+        .map(|s| crate::sync::mutex("parallel.slot", s))
+        .collect();
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -51,7 +53,7 @@ pub fn run_parallel(configs: Vec<ScenarioConfig>, threads: usize) -> Vec<SimRepo
                     break;
                 }
                 let report = Simulation::new(jobs[i].clone()).run();
-                **slot_refs[i].lock().expect("slot lock") = Some(report);
+                **slot_refs[i].lock() = Some(report);
             });
         }
     });
@@ -120,8 +122,10 @@ pub fn allocate_batch(
     // keyed by input position so output order is deterministic.
     let next = std::sync::atomic::AtomicUsize::new(0);
     let mut slots: Vec<Option<Result<Allocation, AllocError>>> = (0..n).map(|_| None).collect();
-    let slot_refs: Vec<std::sync::Mutex<&mut Option<Result<Allocation, AllocError>>>> =
-        slots.iter_mut().map(std::sync::Mutex::new).collect();
+    let slot_refs: Vec<crate::sync::Lock<&mut Option<Result<Allocation, AllocError>>>> = slots
+        .iter_mut()
+        .map(|s| crate::sync::mutex("parallel.slot", s))
+        .collect();
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -131,7 +135,7 @@ pub fn allocate_batch(
                     break;
                 }
                 let result = run_one(&jobs[i]);
-                **slot_refs[i].lock().expect("slot lock") = Some(result);
+                **slot_refs[i].lock() = Some(result);
             });
         }
     });

@@ -1,0 +1,29 @@
+//! Lock type used by the simulation harness and parallel sweeps.
+//!
+//! Normal builds use `parking_lot`. With the `lock-witness` feature the
+//! locks become `arm-util`'s instrumented witness wrappers so the heavy
+//! churn workloads also exercise the runtime lock-order witness. Names
+//! identify lock classes, not instances — every parallel-runner slot is
+//! `"parallel.slot"`.
+
+#[cfg(not(feature = "lock-witness"))]
+mod plain {
+    pub type Lock<T> = parking_lot::Mutex<T>;
+
+    /// A new lock; the name is only used by the witness build.
+    pub fn mutex<T>(_name: &'static str, value: T) -> Lock<T> {
+        parking_lot::Mutex::new(value)
+    }
+}
+
+#[cfg(feature = "lock-witness")]
+mod plain {
+    pub type Lock<T> = arm_util::lockwitness::WitnessMutex<T>;
+
+    /// A new witness lock recording acquisitions under `name`.
+    pub fn mutex<T>(name: &'static str, value: T) -> Lock<T> {
+        arm_util::lockwitness::WitnessMutex::new(name, value)
+    }
+}
+
+pub(crate) use plain::{mutex, Lock};

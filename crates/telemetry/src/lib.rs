@@ -96,6 +96,7 @@ impl Recorder {
     #[inline]
     pub fn record(&mut self, event: TraceEvent) {
         if self.enabled {
+            // arm-lint: allow(unbounded-growth) -- TraceLog::push evicts its oldest event at capacity
             self.trace.push(event);
         }
     }

@@ -243,6 +243,7 @@ impl MetricsRegistry {
 
     /// Sets a gauge to `value` (last write wins).
     pub fn set_gauge(&mut self, name: &'static str, labels: Labels, value: f64) {
+        // arm-lint: allow(unbounded-growth) -- keyed by the recorder's fixed metric-name x label vocabulary
         self.gauges.insert(MetricKey { name, labels }, value);
     }
 
@@ -398,6 +399,7 @@ impl MetricsSnapshot {
         for e in &other.counters {
             match self.counters.iter_mut().find(|m| m.key == e.key) {
                 Some(m) => m.value += e.value,
+                // arm-lint: allow(unbounded-growth) -- per-scrape fold; the snapshot is dropped after rendering
                 None => self.counters.push(e.clone()),
             }
         }
@@ -408,6 +410,7 @@ impl MetricsSnapshot {
                     m.samples += e.samples;
                     m.value = total / m.samples as f64;
                 }
+                // arm-lint: allow(unbounded-growth) -- per-scrape fold; the snapshot is dropped after rendering
                 None => self.gauges.push(e.clone()),
             }
         }
@@ -417,6 +420,7 @@ impl MetricsSnapshot {
                     m.histogram.merge(&e.histogram);
                 }
                 Some(_) => {}
+                // arm-lint: allow(unbounded-growth) -- per-scrape fold; the snapshot is dropped after rendering
                 None => self.histograms.push(e.clone()),
             }
         }

@@ -16,6 +16,9 @@
 //!
 //! Everything here is deterministic: no wall-clock reads, no global state,
 //! no ambient randomness. Experiments are reproducible from their seeds.
+//! The one exception is the opt-in `lock-witness` feature ([`lockwitness`]),
+//! test instrumentation that keeps a process-global record of observed
+//! lock-nesting edges for comparison with `arm-lint`'s static graph.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -23,6 +26,8 @@
 pub mod bloom;
 pub mod fairness;
 pub mod id;
+#[cfg(feature = "lock-witness")]
+pub mod lockwitness;
 pub mod ratelimit;
 pub mod rng;
 pub mod stats;

@@ -205,6 +205,7 @@ pub fn encode(payload: &WirePayload) -> Vec<u8> {
     out.push(PROTOCOL_VERSION);
     out.push(message_tag(payload));
     out.extend_from_slice(&[0, 0]); // reserved
+                                    // arm-lint: allow(narrow-cast) -- body.len() <= MAX_PAYLOAD asserted above
     out.extend_from_slice(&(body.len() as u32).to_le_bytes());
     out.extend_from_slice(&crc32(&body).to_le_bytes());
     out.extend_from_slice(&body);
@@ -232,7 +233,7 @@ impl FrameDecoder {
 
     /// Bytes buffered but not yet consumed.
     pub fn buffered(&self) -> usize {
-        self.buf.len() - self.start
+        self.buf.len().saturating_sub(self.start)
     }
 
     /// True once the stream has hit a poison-class error (bad magic,

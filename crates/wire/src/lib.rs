@@ -23,6 +23,7 @@
 pub mod frame;
 pub mod mem;
 pub mod status;
+pub(crate) mod sync;
 pub mod tcp;
 pub mod transport;
 

@@ -15,7 +15,6 @@ use crate::transport::{InboundSink, LinkCounters, Transport, TransportError, Tra
 use crate::WirePayload;
 use arm_proto::{Envelope, Message, TraceCtx};
 use arm_util::NodeId;
-use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -23,14 +22,22 @@ use std::sync::Arc;
 struct Endpoint {
     sink: InboundSink,
     /// Counters for traffic *into* this endpoint, keyed by sender.
-    inbound: Mutex<HashMap<NodeId, Arc<LinkCounters>>>,
+    inbound: crate::sync::Lock<HashMap<NodeId, Arc<LinkCounters>>>,
 }
 
-#[derive(Default)]
 struct HubInner {
-    endpoints: Mutex<HashMap<NodeId, Arc<Endpoint>>>,
+    endpoints: crate::sync::Lock<HashMap<NodeId, Arc<Endpoint>>>,
     /// Directed `(from, to)` pairs currently unreachable.
-    cuts: Mutex<HashSet<(NodeId, NodeId)>>,
+    cuts: crate::sync::Lock<HashSet<(NodeId, NodeId)>>,
+}
+
+impl Default for HubInner {
+    fn default() -> Self {
+        Self {
+            endpoints: crate::sync::mutex("mem.endpoints", HashMap::new()),
+            cuts: crate::sync::mutex("mem.cuts", HashSet::new()),
+        }
+    }
 }
 
 /// A process-local network connecting [`InMemoryTransport`] endpoints.
@@ -50,13 +57,13 @@ impl MemHub {
     pub fn register(&self, node: NodeId, sink: InboundSink) -> InMemoryTransport {
         let endpoint = Arc::new(Endpoint {
             sink,
-            inbound: Mutex::new(HashMap::new()),
+            inbound: crate::sync::mutex("mem.inbound", HashMap::new()),
         });
         self.inner.endpoints.lock().insert(node, endpoint);
         InMemoryTransport {
             node,
             hub: self.clone(),
-            links: Arc::new(Mutex::new(HashMap::new())),
+            links: Arc::new(crate::sync::mutex("mem.links", HashMap::new())),
             decode_errors: Arc::new(AtomicU64::new(0)),
             down: Arc::new(AtomicBool::new(false)),
         }
@@ -79,7 +86,7 @@ pub struct InMemoryTransport {
     node: NodeId,
     hub: MemHub,
     /// Outbound counters keyed by destination.
-    links: Arc<Mutex<HashMap<NodeId, Arc<LinkCounters>>>>,
+    links: Arc<crate::sync::Lock<HashMap<NodeId, Arc<LinkCounters>>>>,
     decode_errors: Arc<AtomicU64>,
     down: Arc<AtomicBool>,
 }
@@ -147,7 +154,7 @@ impl Transport for InMemoryTransport {
     fn stats(&self) -> TransportStats {
         // Merge outbound counters with inbound counters recorded on our own
         // endpoint, keyed by remote peer.
-        let mut links: Vec<_> = self
+        let mut merged: Vec<_> = self
             .links
             .lock()
             .iter()
@@ -156,19 +163,19 @@ impl Transport for InMemoryTransport {
         if let Some(ep) = self.hub.inner.endpoints.lock().get(&self.node) {
             for (peer, c) in ep.inbound.lock().iter() {
                 let snap = c.snapshot(*peer);
-                match links.iter_mut().find(|l| l.peer == *peer) {
+                match merged.iter_mut().find(|l| l.peer == *peer) {
                     Some(l) => {
                         l.msgs_in += snap.msgs_in;
                         l.bytes_in += snap.bytes_in;
                     }
-                    None => links.push(snap),
+                    None => merged.push(snap),
                 }
             }
         }
-        links.sort_by_key(|l| l.peer);
+        merged.sort_by_key(|l| l.peer);
         TransportStats {
             node: self.node,
-            links,
+            links: merged,
             decode_errors: self.decode_errors.load(Ordering::Relaxed),
             // The in-memory hub has no byte streams to poison and no
             // kill_link fault injection.

@@ -1,0 +1,31 @@
+//! Lock type used by the transports.
+//!
+//! Normal builds use `parking_lot`. With the `lock-witness` feature the
+//! locks become `arm-util`'s instrumented witness wrappers, which record
+//! the runtime lock-acquisition order under a static name chosen to match
+//! the node `arm-lint` infers for the same field (`"tcp.links"`,
+//! `"mem.endpoints"`, …). Call sites are identical in both builds —
+//! `.lock()` returning the guard directly — so the static analysis sees
+//! the same acquisitions either way.
+
+#[cfg(not(feature = "lock-witness"))]
+mod plain {
+    pub type Lock<T> = parking_lot::Mutex<T>;
+
+    /// A new lock; the name is only used by the witness build.
+    pub fn mutex<T>(_name: &'static str, value: T) -> Lock<T> {
+        parking_lot::Mutex::new(value)
+    }
+}
+
+#[cfg(feature = "lock-witness")]
+mod plain {
+    pub type Lock<T> = arm_util::lockwitness::WitnessMutex<T>;
+
+    /// A new witness lock recording acquisitions under `name`.
+    pub fn mutex<T>(name: &'static str, value: T) -> Lock<T> {
+        arm_util::lockwitness::WitnessMutex::new(name, value)
+    }
+}
+
+pub(crate) use plain::{mutex, Lock};

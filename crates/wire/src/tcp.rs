@@ -33,7 +33,6 @@ use crate::transport::{InboundSink, LinkCounters, Transport, TransportError, Tra
 use crate::{Hello, WirePayload};
 use arm_proto::{Envelope, Message, TraceCtx};
 use arm_util::NodeId;
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -94,6 +93,12 @@ struct Link {
     counters: Arc<LinkCounters>,
 }
 
+/// Address-book capacity. The book is a gossip-learned routing hint —
+/// connections re-learn addresses from `Hello` handshakes — so beyond the
+/// cap an arbitrary entry is evicted rather than letting unbounded peer
+/// churn grow the map forever.
+const BOOK_CAP: usize = 8192;
+
 struct Inner {
     node: NodeId,
     listen: SocketAddr,
@@ -101,14 +106,14 @@ struct Inner {
     sink: InboundSink,
     /// Answers inbound `StatusRequest` frames (introspection plane); unset
     /// transports simply ignore them.
-    status: Mutex<Option<StatusProvider>>,
-    links: Mutex<HashMap<NodeId, Link>>,
-    book: Mutex<HashMap<NodeId, SocketAddr>>,
+    status: crate::sync::Lock<Option<StatusProvider>>,
+    links: crate::sync::Lock<HashMap<NodeId, Link>>,
+    book: crate::sync::Lock<HashMap<NodeId, SocketAddr>>,
     decode_errors: AtomicU64,
     poisoned_streams: AtomicU64,
     killed_links: AtomicU64,
     shutdown: AtomicBool,
-    threads: Mutex<Vec<JoinHandle<()>>>,
+    threads: crate::sync::Lock<Vec<JoinHandle<()>>>,
 }
 
 /// The wire subsystem over real TCP sockets. See the module docs.
@@ -134,21 +139,21 @@ impl TcpTransport {
             listen: local,
             opts,
             sink,
-            status: Mutex::new(None),
-            links: Mutex::new(HashMap::new()),
-            book: Mutex::new(HashMap::new()),
+            status: crate::sync::mutex("tcp.status", None),
+            links: crate::sync::mutex("tcp.links", HashMap::new()),
+            book: crate::sync::mutex("tcp.book", HashMap::new()),
             decode_errors: AtomicU64::new(0),
             poisoned_streams: AtomicU64::new(0),
             killed_links: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
-            threads: Mutex::new(Vec::new()),
+            threads: crate::sync::mutex("tcp.threads", Vec::new()),
         });
         let accept_inner = Arc::clone(&inner);
         let handle = std::thread::Builder::new()
             .name(format!("wire-accept-{node}"))
             .spawn(move || accept_main(accept_inner, listener))
             .map_err(|e| TransportError::Io(e.to_string()))?;
-        inner.threads.lock().push(handle);
+        inner.track_thread(handle);
         Ok(Self { inner })
     }
 
@@ -227,7 +232,7 @@ impl TcpTransport {
             }
         };
         // The address we dialed is authoritative for this peer.
-        inner.book.lock().insert(hello.node, sockaddr);
+        inner.remember_route(hello.node, sockaddr, true);
         inner.learn(&hello);
         let link = inner.ensure_link(hello.node);
         if let Ok(clone) = stream.try_clone() {
@@ -250,7 +255,7 @@ impl TcpTransport {
     /// Registers an address for a peer without connecting yet.
     pub fn add_route(&self, node: NodeId, addr: &str) -> Result<(), TransportError> {
         let sockaddr = resolve(addr)?;
-        self.inner.book.lock().insert(node, sockaddr);
+        self.inner.remember_route(node, sockaddr, true);
         Ok(())
     }
 
@@ -374,13 +379,34 @@ impl Inner {
         }))
     }
 
+    /// Records `node → addr` in the address book, evicting an arbitrary
+    /// other entry at [`BOOK_CAP`]. Authoritative updates (handshakes,
+    /// explicit routes) overwrite; gossip only fills gaps.
+    fn remember_route(&self, node: NodeId, addr: SocketAddr, authoritative: bool) {
+        let mut book = self.book.lock();
+        if book.len() >= BOOK_CAP && !book.contains_key(&node) {
+            if let Some(stale) = book.keys().next().copied() {
+                book.remove(&stale);
+            }
+        }
+        match book.entry(node) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                if authoritative {
+                    e.insert(addr);
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(addr);
+            }
+        }
+    }
+
     /// Merges addressing information from a received `Hello`.
     fn learn(&self, hello: &Hello) {
-        let mut book = self.book.lock();
         if let Some(listen) = &hello.listen {
             if let Ok(addr) = resolve(listen) {
                 // A peer is authoritative about its own listen address.
-                book.insert(hello.node, addr);
+                self.remember_route(hello.node, addr, true);
             }
         }
         for (node, addr) in &hello.peers {
@@ -388,7 +414,7 @@ impl Inner {
                 continue;
             }
             if let Ok(addr) = resolve(addr) {
-                book.entry(*node).or_insert(addr);
+                self.remember_route(*node, addr, false);
             }
         }
     }
@@ -417,7 +443,7 @@ impl Inner {
             .name(format!("wire-writer-{}-{to}", self.node))
             .spawn(move || writer_main(inner, to, rx, counters));
         if let Ok(handle) = spawned {
-            self.threads.lock().push(handle);
+            self.track_thread(handle);
         } else {
             // Thread exhaustion: unregister the stillborn link. The closure
             // (and `rx`) was dropped, so sends on this handle fail cleanly
@@ -434,6 +460,15 @@ impl Inner {
             .map(|l| Arc::clone(&l.counters))
     }
 
+    /// Tracks a worker thread for join-on-shutdown, first reaping handles
+    /// whose threads already exited — reconnect churn would otherwise
+    /// accumulate dead `JoinHandle`s for the lifetime of the transport.
+    fn track_thread(&self, handle: JoinHandle<()>) {
+        let mut threads = self.threads.lock();
+        threads.retain(|h| !h.is_finished());
+        threads.push(handle);
+    }
+
     fn spawn_reader(self: &Arc<Self>, stream: TcpStream, peer: Option<NodeId>, accepted: bool) {
         if self.shutdown.load(Ordering::SeqCst) {
             return;
@@ -446,7 +481,7 @@ impl Inner {
             .name(name)
             .spawn(move || reader_main(inner, stream, peer, accepted))
         {
-            self.threads.lock().push(handle);
+            self.track_thread(handle);
         }
     }
 }
@@ -757,6 +792,20 @@ mod tests {
         }
     }
 
+    /// The writer thread bumps counters after the socket write, so the
+    /// receiver can observe a frame before the sender's stats do — poll
+    /// instead of asserting a single snapshot.
+    fn wait_for_stats(t: &TcpTransport, pred: impl Fn(&TransportStats) -> bool) -> TransportStats {
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let s = t.stats();
+            if pred(&s) || std::time::Instant::now() > deadline {
+                return s;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
     #[test]
     fn two_nodes_exchange_messages() {
         let (tx_a, rx_a) = channel::<(NodeId, Message)>();
@@ -795,7 +844,7 @@ mod tests {
         assert_eq!(from, NodeId::new(1));
         assert_eq!(msg, hb(1));
 
-        let sa = a.stats();
+        let sa = wait_for_stats(&a, |s| s.msgs_out() == 1);
         assert_eq!(sa.decode_errors, 0);
         assert_eq!(sa.msgs_out(), 1);
         assert!(sa.bytes_out() > 0);
